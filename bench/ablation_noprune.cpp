@@ -1,0 +1,70 @@
+// Ablation A3: Mykil's leave-without-pruning policy (Section III-D): "Since
+// the join operation is much less expensive if an empty leaf is already
+// present in the tree, Mykil increases the likelihood of this scenario by
+// not pruning the leaf after a member leaves."
+//
+// Workload: a full area suffers a wave of leaves, then a wave of joins.
+// We count the splits (each split creates fanout fresh nodes and forces an
+// extra unicast to a relocated member) and tree growth with and without
+// the policy.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "crypto/prng.h"
+#include "lkh/key_tree.h"
+
+namespace {
+
+struct JoinWaveCost {
+  std::size_t splits = 0;
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+};
+
+JoinWaveCost run(bool prune) {
+  using namespace mykil;
+  lkh::KeyTree::Config cfg;
+  cfg.fanout = 4;
+  cfg.prune_on_leave = prune;
+  lkh::KeyTree tree(cfg, crypto::Prng(3));
+  for (lkh::MemberId m = 0; m < 4096; ++m) tree.join(m);
+
+  // Wave of 1,000 leaves...
+  for (lkh::MemberId m = 0; m < 1000; ++m) tree.leave(m * 4);
+  JoinWaveCost cost;
+  cost.nodes_before = tree.node_count();
+
+  // ...followed by 1,000 joins.
+  for (lkh::MemberId m = 100000; m < 101000; ++m) {
+    auto out = tree.join(m);
+    if (out.split) ++cost.splits;
+  }
+  cost.nodes_after = tree.node_count();
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mykil;
+  bench::print_header(
+      "Ablation A3: leave-without-prune (4096-member area, 1000 leaves "
+      "then 1000 joins)");
+  std::printf("%-22s | %-8s | %-12s | %-11s\n", "policy", "splits",
+              "nodes before", "nodes after");
+  bench::print_rule(62);
+
+  JoinWaveCost keep = run(false);
+  JoinWaveCost prune = run(true);
+  std::printf("%-22s | %-8zu | %-12zu | %-11zu\n", "keep leaves (Mykil)",
+              keep.splits, keep.nodes_before, keep.nodes_after);
+  std::printf("%-22s | %-8zu | %-12zu | %-11zu\n", "prune leaves",
+              prune.splits, prune.nodes_before, prune.nodes_after);
+  bench::print_rule(62);
+  std::printf(
+      "with the Mykil policy every re-join lands in a vacated leaf: zero\n"
+      "splits, zero growth, and no relocation unicasts. Pruning forces a\n"
+      "split (4 fresh keys + an extra unicast) per join once the free\n"
+      "leaves run out — the cost Section III-D's design choice avoids.\n");
+  return 0;
+}

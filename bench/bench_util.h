@@ -1,0 +1,22 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mykil::bench {
+
+/// Print a header line followed by a separator sized to it.
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Fixed-width row printing: benches format with std::printf directly for
+/// byte-identical reproducible output files.
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace mykil::bench

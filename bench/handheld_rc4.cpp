@@ -1,0 +1,56 @@
+// Section V-E: hand-held device feasibility — RC4 encryption throughput
+// over a 16 MB buffer ("it took about 0.32 seconds to encrypt/decrypt a
+// 16 MB file, i.e. ... about 50 MB/sec" on a Celeron 600 MHz).
+//
+// We run the identical experiment with this repository's RC4 on the host
+// CPU. Absolute MB/s is higher on modern silicon; the paper's conclusion —
+// stream-cipher throughput is orders of magnitude above multimedia
+// bitrates, so key management, not bulk crypto, is the binding cost — is
+// what the numbers demonstrate.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "crypto/rc4.h"
+
+int main() {
+  using namespace mykil;
+  using Clock = std::chrono::steady_clock;
+
+  bench::print_header("Section V-E: RC4 throughput (16 MB buffer)");
+
+  constexpr std::size_t kFileSize = 16 * 1024 * 1024;
+  Bytes buffer(kFileSize, 0x5A);
+  Bytes key = to_bytes("handheld-session-key");
+
+  // Warm-up pass (page in the buffer).
+  {
+    crypto::Rc4 warm(key);
+    warm.process_inplace(buffer);
+  }
+
+  const int kRounds = 5;
+  double best = 1e9;
+  for (int i = 0; i < kRounds; ++i) {
+    crypto::Rc4 rc4(key);
+    auto t0 = Clock::now();
+    rc4.process_inplace(buffer);
+    double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (dt < best) best = dt;
+  }
+
+  double mb = static_cast<double>(kFileSize) / (1024.0 * 1024.0);
+  double mbps = mb / best;
+  std::printf("16 MB encrypt: %.3f s  ->  %.1f MB/s\n", best, mbps);
+  std::printf("paper anchor : 0.32 s  ->  ~50 MB/s on a Celeron 600 MHz\n\n");
+
+  // The paper's multimedia argument: one minute of high-res MPEG-4 is
+  // ~10 MB; decrypting it should take well under real time.
+  double mpeg_minute_s = 10.0 / mbps;
+  std::printf("one minute of 10 MB/min MPEG-4 decrypts in %.0f ms "
+              "(paper: ~200 ms on a PDA)\n", mpeg_minute_s * 1000.0);
+  std::printf("feasibility conclusion %s: bulk decryption is far faster "
+              "than playback.\n",
+              mpeg_minute_s < 60.0 ? "HOLDS" : "VIOLATED");
+  return 0;
+}

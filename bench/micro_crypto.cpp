@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark) of the primitives every protocol
+// operation is built from, plus the key-tree hot paths. These are the
+// "why" behind the V-D latency numbers.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.h"
+#include "crypto/prng.h"
+#include "crypto/rc4.h"
+#include "crypto/rsa.h"
+#include "crypto/sealed.h"
+#include "crypto/sha256.h"
+#include "crypto/speck.h"
+#include "lkh/key_tree.h"
+#include "mykil/ticket.h"
+
+namespace {
+
+using namespace mykil;
+
+void BM_Sha256(benchmark::State& state) {
+  crypto::Prng prng(1);
+  Bytes data = prng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  crypto::Prng prng(2);
+  Bytes key = prng.bytes(16);
+  Bytes data = prng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_SpeckCtr(benchmark::State& state) {
+  crypto::Prng prng(3);
+  Bytes key = prng.bytes(16);
+  Bytes nonce = prng.bytes(8);
+  Bytes data = prng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::speck_ctr(key, nonce, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SpeckCtr)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Rc4(benchmark::State& state) {
+  crypto::Prng prng(4);
+  Bytes key = prng.bytes(16);
+  Bytes data = prng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    crypto::Rc4 rc4(key);
+    rc4.process_inplace(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Rc4)->Arg(4096)->Arg(1 << 20);
+
+void BM_SymSeal(benchmark::State& state) {
+  crypto::Prng prng(5);
+  crypto::SymmetricKey key = crypto::SymmetricKey::random(prng);
+  Bytes msg = prng.bytes(16);  // one key's worth — the rekey unit
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sym_seal(key, msg, prng));
+  }
+}
+BENCHMARK(BM_SymSeal);
+
+void BM_RsaEncrypt768(benchmark::State& state) {
+  crypto::Prng prng(6);
+  static const crypto::RsaKeyPair kp = crypto::rsa_generate(768, prng);
+  Bytes msg = prng.bytes(30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_encrypt(kp.pub, msg, prng));
+  }
+}
+BENCHMARK(BM_RsaEncrypt768);
+
+void BM_RsaDecrypt768(benchmark::State& state) {
+  crypto::Prng prng(7);
+  static const crypto::RsaKeyPair kp = crypto::rsa_generate(768, prng);
+  Bytes ct = crypto::rsa_encrypt(kp.pub, prng.bytes(30), prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_decrypt(kp.priv, ct));
+  }
+}
+BENCHMARK(BM_RsaDecrypt768);
+
+void BM_RsaDecrypt768Blinded(benchmark::State& state) {
+  crypto::Prng prng(7);
+  static const crypto::RsaKeyPair kp = crypto::rsa_generate(768, prng);
+  Bytes ct = crypto::rsa_encrypt(kp.pub, prng.bytes(30), prng);
+  crypto::rsa_set_blinding(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_decrypt(kp.priv, ct));
+  }
+  crypto::rsa_set_blinding(false);
+}
+BENCHMARK(BM_RsaDecrypt768Blinded);
+
+void BM_RsaSign768(benchmark::State& state) {
+  crypto::Prng prng(8);
+  static const crypto::RsaKeyPair kp = crypto::rsa_generate(768, prng);
+  Bytes msg = prng.bytes(200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign(kp.priv, msg));
+  }
+}
+BENCHMARK(BM_RsaSign768);
+
+void BM_TicketSealOpen(benchmark::State& state) {
+  crypto::Prng prng(9);
+  crypto::SymmetricKey k_shared = crypto::SymmetricKey::random(prng);
+  core::Ticket t;
+  t.join_time = 1;
+  t.valid_until = 1000000000;
+  t.member_id = 42;
+  t.member_pubkey = prng.bytes(100);
+  t.last_ac = 7;
+  for (auto _ : state) {
+    Bytes sealed = core::seal_ticket(t, k_shared, prng);
+    benchmark::DoNotOptimize(core::open_ticket(sealed, k_shared, 500));
+  }
+}
+BENCHMARK(BM_TicketSealOpen);
+
+void BM_KeyTreeJoin(benchmark::State& state) {
+  lkh::KeyTree::Config cfg;
+  cfg.fanout = 4;
+  lkh::KeyTree tree(cfg, crypto::Prng(10));
+  lkh::MemberId next = 0;
+  std::size_t prefill = static_cast<std::size_t>(state.range(0));
+  while (next < prefill) tree.join(next++);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.join(next++));
+  }
+}
+BENCHMARK(BM_KeyTreeJoin)->Arg(1000)->Arg(100000);
+
+void BM_KeyTreeLeaveRekey(benchmark::State& state) {
+  lkh::KeyTree::Config cfg;
+  cfg.fanout = 4;
+  lkh::KeyTree tree(cfg, crypto::Prng(11));
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (lkh::MemberId m = 0; m < n; ++m) tree.join(m);
+  lkh::MemberId victim = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    tree.join(1000000 + victim);  // keep the population stable
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree.leave(1000000 + victim));
+    ++victim;
+  }
+}
+BENCHMARK(BM_KeyTreeLeaveRekey)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Scale sweep: the full Mykil protocol stack (real crypto, real messages)
+// as the number of areas grows, under an identical flash-crowd + steady
+// churn workload. Shows the decentralization claim of Section I: rekey and
+// forwarding load spreads across area controllers instead of concentrating
+// at one key server.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/runner.h"
+
+namespace {
+
+struct ScaleResult {
+  mykil::workload::RunReport report;
+  std::uint64_t max_ac_tx_bytes = 0;  ///< busiest controller's egress
+  std::uint64_t rs_tx_bytes = 0;
+};
+
+ScaleResult run_at(std::size_t areas) {
+  using namespace mykil;
+  net::NetworkConfig ncfg;
+  ncfg.jitter = 0;
+  ncfg.seed = 60;
+  net::Network net(ncfg);
+  core::GroupOptions opts;
+  opts.seed = 61;
+  opts.config.enable_timers = true;
+  opts.config.batching = true;
+  opts.config.t_idle = net::msec(500);
+  opts.config.t_active = net::sec(2);
+  core::MykilGroup group(net, opts);
+  group.add_area();
+  for (std::size_t a = 1; a < areas; ++a) group.add_area(0);
+  group.finalize();
+
+  workload::ChurnRunner runner(group, 62);
+  crypto::Prng sprng(63);
+  workload::ChurnSchedule sched = workload::ChurnSchedule::flash_crowd(
+      net::sec(30), 24, net::sec(10), 1.0, 0.2, sprng);
+  ScaleResult out;
+  out.report = runner.run(sched, net::sec(5));
+
+  for (std::size_t a = 0; a < areas; ++a) {
+    out.max_ac_tx_bytes =
+        std::max(out.max_ac_tx_bytes,
+                 net.stats().sent_by_node(group.ac(a).id()).bytes);
+  }
+  out.rs_tx_bytes = net.stats().sent_by_node(group.rs().id()).bytes;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mykil;
+  bench::print_header(
+      "Scale sweep: 24-member flash crowd + churn vs number of areas");
+  std::printf("%-6s | %-8s | %-7s | %-11s | %-13s | %s\n", "areas", "joined",
+              "stale", "rekey bytes", "busiest AC tx", "RS tx");
+  bench::print_rule(72);
+
+  for (std::size_t areas : {1u, 2u, 4u, 8u}) {
+    ScaleResult r = run_at(areas);
+    std::printf("%-6zu | %-8zu | %-7zu | %-11llu | %-13llu | %llu\n", areas,
+                r.report.final_members, r.report.out_of_sync,
+                static_cast<unsigned long long>(r.report.rekey_bytes),
+                static_cast<unsigned long long>(r.max_ac_tx_bytes),
+                static_cast<unsigned long long>(r.rs_tx_bytes));
+  }
+  bench::print_rule(72);
+  std::printf(
+      "the busiest controller's egress falls as areas are added (rekeys\n"
+      "stay area-local) — the decentralization property Mykil inherits\n"
+      "from Iolus without inheriting its O(m) leave cost. The registration\n"
+      "server's bytes grow only because step 5 ships a larger AC\n"
+      "directory; its per-join work (2 RSA ops) is constant.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Why the paper signs only KEY UPDATES with RSA and points at "faster
+// methods [16], [3]" for data: per-packet cost of the alternatives.
+//
+//   RSA sign/verify      — what signing every data packet would cost,
+//   TESLA stamp/verify   — this repo's [3]-style scheme (MAC + hash chain),
+//   plain HMAC           — the lower bound (no source authentication
+//                          against insiders, only group membership).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+#include "mykil/source_auth.h"
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+template <typename F>
+double time_per_op(F f, int iters) {
+  auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) f(i);
+  return std::chrono::duration<double>(Clock::now() - t0).count() /
+         static_cast<double>(iters);
+}
+}  // namespace
+
+int main() {
+  using namespace mykil;
+  bench::print_header(
+      "Per-packet source authentication cost (1 kB payloads)");
+
+  crypto::Prng prng(4);
+  Bytes payload = prng.bytes(1024);
+
+  // RSA per-packet signing (what the paper avoids).
+  crypto::RsaKeyPair kp768 = crypto::rsa_generate(768, prng);
+  double rsa_sign =
+      time_per_op([&](int) { crypto::rsa_sign(kp768.priv, payload); }, 20);
+  Bytes sig = crypto::rsa_sign(kp768.priv, payload);
+  double rsa_verify = time_per_op(
+      [&](int) { crypto::rsa_verify(kp768.pub, payload, sig); }, 50);
+
+  // TESLA (amortized: stamp + verify-at-disclosure), 100 ms intervals.
+  core::TeslaSender sender(0, net::msec(100), 2, 60000, prng);
+  core::TeslaVerifier verifier(sender.params());
+  double tesla_stamp = time_per_op(
+      [&](int i) {
+        sender.stamp(payload,
+                     net::msec(50 + 100 * static_cast<std::uint64_t>(i)));
+      },
+      5000);
+  double tesla_verify = time_per_op(
+      [&](int i) {
+        net::SimTime t = net::msec(50 + 100 * static_cast<std::uint64_t>(i));
+        verifier.on_packet(sender.stamp(payload, t), t + net::msec(1));
+      },
+      5000);
+
+  // Plain HMAC under the group key (no insider-source authentication).
+  crypto::SymmetricKey gk = crypto::SymmetricKey::random(prng);
+  double hmac = time_per_op(
+      [&](int) { crypto::hmac_sha256(gk.bytes(), payload); }, 20000);
+
+  std::printf("%-28s | %12s | %12s | %s\n", "scheme", "sender/pkt",
+              "receiver/pkt", "wire overhead");
+  bench::print_rule(80);
+  std::printf("%-28s | %9.3f ms | %9.3f ms | %zu B signature\n",
+              "RSA-768 per-packet sig", rsa_sign * 1e3, rsa_verify * 1e3,
+              kp768.pub.modulus_bytes());
+  std::printf("%-28s | %9.3f ms | %9.3f ms | 32 B MAC + 32 B key + 8 B hdr\n",
+              "TESLA (this repo, [3])", tesla_stamp * 1e3, tesla_verify * 1e3);
+  std::printf("%-28s | %9.3f ms | %9.3f ms | 32 B MAC\n",
+              "plain HMAC (no src auth)", hmac * 1e3, hmac * 1e3);
+  bench::print_rule(80);
+  std::printf(
+      "TESLA authenticates the SENDER (not just group membership) at\n"
+      "~%.0fx less sender CPU than per-packet RSA — the paper's rationale\n"
+      "for reserving RSA signatures for rare, batched key updates.\n",
+      rsa_sign / tesla_stamp);
+  return 0;
+}

@@ -1,0 +1,216 @@
+#include "analysis/models.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace mykil::analysis {
+
+namespace {
+
+/// The paper's effective rounding: round(log_f(n)) — this reproduces its
+/// printed constants (17 levels for 100k members, 12 for 5k areas).
+std::size_t levels(std::size_t members, unsigned fanout) {
+  if (members <= 1) return 0;
+  double l = std::log(static_cast<double>(members)) /
+             std::log(static_cast<double>(fanout));
+  return static_cast<std::size_t>(std::lround(l));
+}
+
+/// Number of nodes in a complete fanout-ary tree whose leaf layer covers
+/// the group (the paper's 2^18 for 100k members, binary).
+std::size_t complete_tree_nodes(std::size_t members, unsigned fanout) {
+  std::size_t l = levels(members, fanout);
+  double leaves = std::pow(static_cast<double>(fanout), static_cast<double>(l));
+  double nodes = leaves * fanout / (fanout - 1);
+  return static_cast<std::size_t>(nodes);
+}
+
+}  // namespace
+
+std::size_t tree_depth(std::size_t members, unsigned fanout) {
+  if (members <= 1) return 0;
+  std::size_t d = 0;
+  std::size_t cap = 1;
+  while (cap < members) {
+    cap *= fanout;
+    ++d;
+  }
+  return d;
+}
+
+// ------------------------------------------------------------- Section V-A
+
+std::size_t member_storage_iolus(const ProtocolParams& p) {
+  // One subgroup key + one pairwise key with the GSA.
+  return 2 * p.key_bytes;
+}
+
+std::size_t member_storage_lkh(const ProtocolParams& p) {
+  // All keys from leaf to root: "16 auxiliary keys and a group key".
+  return levels(p.group_size, p.tree_fanout) * p.key_bytes;
+}
+
+std::size_t member_storage_mykil(const ProtocolParams& p) {
+  return levels(p.area_size(), p.tree_fanout) * p.key_bytes;
+}
+
+std::size_t controller_storage_iolus(const ProtocolParams& p) {
+  // One pairwise key per member + the subgroup key + a few public keys.
+  return (p.area_size() + 1) * p.key_bytes + 5 * p.rsa_key_bytes;
+}
+
+std::size_t controller_storage_lkh(const ProtocolParams& p) {
+  // The whole auxiliary-key tree ("approximately 2^18 auxiliary keys").
+  return complete_tree_nodes(p.group_size, p.tree_fanout) * p.key_bytes;
+}
+
+std::size_t controller_storage_mykil(const ProtocolParams& p) {
+  // Per-area tree + the public keys of every other AC and the RS.
+  return complete_tree_nodes(p.area_size(), p.tree_fanout) * p.key_bytes +
+         p.num_areas * p.rsa_key_bytes;
+}
+
+// ------------------------------------------------------------- Section V-B
+
+std::vector<UpdateBucket> leave_update_distribution_iolus(const ProtocolParams& p) {
+  // Every member of the departed member's subgroup updates exactly one key.
+  return {{1, p.area_size()}};
+}
+
+namespace {
+std::vector<UpdateBucket> tree_update_distribution(std::size_t members,
+                                                   unsigned fanout) {
+  // In a balanced tree, (f-1)/f of the members share no updated key below
+  // the root (1 update), (f-1)/f^2 share one more level (2 updates), ...
+  std::vector<UpdateBucket> out;
+  std::size_t remaining = members;
+  std::size_t l = levels(members, fanout);
+  for (std::size_t i = 1; i <= l && remaining > 0; ++i) {
+    std::size_t count = members * (fanout - 1);
+    for (std::size_t k = 0; k < i; ++k) count /= fanout;
+    if (i == l || count == 0) count = remaining;  // tail bucket
+    count = std::min(count, remaining);
+    out.push_back({i, count});
+    remaining -= count;
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<UpdateBucket> leave_update_distribution_lkh(const ProtocolParams& p) {
+  return tree_update_distribution(p.group_size, p.tree_fanout);
+}
+
+std::vector<UpdateBucket> leave_update_distribution_mykil(const ProtocolParams& p) {
+  return tree_update_distribution(p.area_size(), p.tree_fanout);
+}
+
+namespace {
+double avg_from(const std::vector<UpdateBucket>& dist, std::size_t population) {
+  double total = 0;
+  for (const UpdateBucket& b : dist)
+    total += static_cast<double>(b.keys_updated) *
+             static_cast<double>(b.member_count);
+  return total / static_cast<double>(population);
+}
+}  // namespace
+
+double avg_keys_updated_iolus(const ProtocolParams& p) {
+  return avg_from(leave_update_distribution_iolus(p), p.group_size);
+}
+double avg_keys_updated_lkh(const ProtocolParams& p) {
+  return avg_from(leave_update_distribution_lkh(p), p.group_size);
+}
+double avg_keys_updated_mykil(const ProtocolParams& p) {
+  return avg_from(leave_update_distribution_mykil(p), p.group_size);
+}
+
+// ------------------------------------------- Section V-C, Figures 8 and 9
+
+std::size_t leave_bandwidth_iolus(const ProtocolParams& p) {
+  // One fresh subgroup key per remaining member, each encrypted pairwise.
+  return p.area_size() * p.key_bytes;
+}
+
+std::size_t leave_bandwidth_lkh(const ProtocolParams& p) {
+  // "2 x 17 x 16 = 544 bytes": every level's new key encrypted under each
+  // of its children's keys.
+  return p.tree_fanout * levels(p.group_size, p.tree_fanout) * p.key_bytes;
+}
+
+std::size_t leave_bandwidth_mykil(const ProtocolParams& p) {
+  // "2 x 12 x 16 = 384 bytes": same formula inside one area.
+  return p.tree_fanout * levels(p.area_size(), p.tree_fanout) * p.key_bytes;
+}
+
+std::size_t join_unicast_lkh(const ProtocolParams& p) {
+  return levels(p.group_size, p.tree_fanout) * p.key_bytes;
+}
+
+std::size_t join_unicast_mykil(const ProtocolParams& p) {
+  return levels(p.area_size(), p.tree_fanout) * p.key_bytes;
+}
+
+// ------------------------------------------------------------- Figure 10
+
+std::size_t serial_leave_bandwidth_lkh(const ProtocolParams& p,
+                                       std::size_t leaves) {
+  return leaves * leave_bandwidth_lkh(p);
+}
+
+std::size_t serial_leave_bandwidth_mykil(const ProtocolParams& p,
+                                         std::size_t leaves) {
+  return leaves * leave_bandwidth_mykil(p);
+}
+
+std::size_t aggregated_leave_bandwidth_mykil(const ProtocolParams& p,
+                                             std::size_t leaves,
+                                             bool best_case) {
+  // Model the area's auxiliary-key tree as a complete fanout-ary tree of
+  // depth L and compute the union of the departing members' root paths.
+  const unsigned f = p.tree_fanout;
+  const std::size_t L = levels(p.area_size(), f);
+  if (L == 0 || leaves == 0) return 0;
+
+  // Leaf positions: best case = adjacent siblings; worst case = evenly
+  // spread across the leaf layer.
+  std::size_t leaf_count = 1;
+  for (std::size_t i = 0; i < L; ++i) leaf_count *= f;
+  leaves = std::min(leaves, leaf_count);
+
+  std::set<std::size_t> departed;  // leaf indices
+  if (best_case) {
+    for (std::size_t i = 0; i < leaves; ++i) departed.insert(i);
+  } else {
+    std::size_t stride = leaf_count / leaves;
+    for (std::size_t i = 0; i < leaves; ++i) departed.insert(i * stride);
+  }
+
+  // Walk up level by level. An internal node is AFFECTED if any departed
+  // leaf lies beneath it (its key must change); a node is DEAD if its whole
+  // subtree departed (nobody beneath it needs the new keys). Each affected
+  // node emits one encrypted entry per live child.
+  std::size_t entries = 0;
+  std::set<std::size_t> affected = departed;  // child-level affected set
+  std::set<std::size_t> dead = departed;      // child-level dead set
+  for (std::size_t level = L; level-- > 0;) {
+    std::set<std::size_t> parent_affected;
+    for (std::size_t idx : affected) parent_affected.insert(idx / f);
+
+    std::set<std::size_t> parent_dead;
+    for (std::size_t parent : parent_affected) {
+      unsigned dead_children = 0;
+      for (unsigned c = 0; c < f; ++c) {
+        if (dead.contains(parent * f + c)) ++dead_children;
+      }
+      entries += f - dead_children;
+      if (dead_children == f) parent_dead.insert(parent);
+    }
+    affected = std::move(parent_affected);
+    dead = std::move(parent_dead);
+  }
+  return entries * p.key_bytes;
+}
+
+}  // namespace mykil::analysis

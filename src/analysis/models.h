@@ -1,0 +1,86 @@
+// Closed-form cost models for Iolus, LKH, and Mykil — Section V of the
+// paper (storage V-A, CPU V-B, bandwidth V-C, Figures 8–10).
+//
+// The paper's printed numbers use BINARY-tree arithmetic (depth 17 for a
+// 100,000-member group: 2^17 ≈ 131k) even though the protocol text says
+// fanout 4; `ProtocolParams::tree_fanout` defaults to 2 so the formulas
+// reproduce the printed constants (544 B, 384 B, 80,000 B, ...). The
+// benchmarks print both this model and measurements from the real KeyTree.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mykil::analysis {
+
+struct ProtocolParams {
+  std::size_t group_size = 100000;
+  std::size_t num_areas = 20;      ///< Iolus subgroups / Mykil areas
+  std::size_t key_bytes = 16;      ///< 128-bit symmetric keys
+  std::size_t rsa_key_bytes = 256; ///< 2048-bit RSA
+  unsigned tree_fanout = 2;        ///< paper's effective arithmetic
+
+  /// Members per area (ceil division).
+  [[nodiscard]] std::size_t area_size() const {
+    return (group_size + num_areas - 1) / num_areas;
+  }
+};
+
+/// ceil(log_fanout(n)): depth of a balanced key tree over n members.
+std::size_t tree_depth(std::size_t members, unsigned fanout);
+
+// ------------------------------------------------------------- Section V-A
+
+/// Symmetric-key storage per member (bytes).
+std::size_t member_storage_iolus(const ProtocolParams& p);  // 2 keys
+std::size_t member_storage_lkh(const ProtocolParams& p);    // depth+1 keys
+std::size_t member_storage_mykil(const ProtocolParams& p);  // area depth+1
+
+/// Key storage at the controller / key server (bytes), including the
+/// public keys the paper counts (Section V-A's 132 KB / 4 MB / 80 KB).
+std::size_t controller_storage_iolus(const ProtocolParams& p);
+std::size_t controller_storage_lkh(const ProtocolParams& p);
+std::size_t controller_storage_mykil(const ProtocolParams& p);
+
+// ------------------------------------------------------------- Section V-B
+
+/// Distribution of "k keys updated" -> "number of members" when one member
+/// leaves. Index i holds {keys_updated, member_count}.
+struct UpdateBucket {
+  std::size_t keys_updated;
+  std::size_t member_count;
+};
+std::vector<UpdateBucket> leave_update_distribution_iolus(const ProtocolParams& p);
+std::vector<UpdateBucket> leave_update_distribution_lkh(const ProtocolParams& p);
+std::vector<UpdateBucket> leave_update_distribution_mykil(const ProtocolParams& p);
+
+/// Mean keys updated per group member for one leave event.
+double avg_keys_updated_iolus(const ProtocolParams& p);
+double avg_keys_updated_lkh(const ProtocolParams& p);
+double avg_keys_updated_mykil(const ProtocolParams& p);
+
+// ------------------------------------------- Section V-C, Figures 8 and 9
+
+/// Bytes of key-update traffic for ONE leave event.
+std::size_t leave_bandwidth_iolus(const ProtocolParams& p);  // m * key_bytes
+std::size_t leave_bandwidth_lkh(const ProtocolParams& p);    // 2 d n * kb
+std::size_t leave_bandwidth_mykil(const ProtocolParams& p);  // 2 d_a * kb
+
+/// Bytes unicast to a joining member (the key path) — V-C's 272 B / 172 B.
+std::size_t join_unicast_lkh(const ProtocolParams& p);
+std::size_t join_unicast_mykil(const ProtocolParams& p);
+
+// ------------------------------------------------------------- Figure 10
+
+/// Bytes of key-update traffic for `leaves` consecutive leave events.
+/// Without aggregation: leaves x single-leave cost.
+std::size_t serial_leave_bandwidth_lkh(const ProtocolParams& p, std::size_t leaves);
+std::size_t serial_leave_bandwidth_mykil(const ProtocolParams& p, std::size_t leaves);
+
+/// With Mykil aggregation. `best_case` = departing members are adjacent in
+/// the tree (maximal path sharing); worst case = maximally spread.
+std::size_t aggregated_leave_bandwidth_mykil(const ProtocolParams& p,
+                                             std::size_t leaves,
+                                             bool best_case);
+
+}  // namespace mykil::analysis

@@ -1,0 +1,67 @@
+// Core byte-buffer type and small helpers used across the library.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mykil {
+
+/// The universal octet-string type for keys, ciphertexts, and wire messages.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view over a byte buffer. All crypto primitives take ByteView
+/// inputs so callers never copy just to encrypt/hash.
+using ByteView = std::span<const std::uint8_t>;
+
+/// Convert a string literal / std::string into Bytes (no encoding applied).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interpret a byte buffer as text (caller asserts it is printable).
+inline std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Append `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Concatenate any number of byte views into a fresh buffer.
+template <typename... Views>
+Bytes concat(const Views&... views) {
+  Bytes out;
+  std::size_t total = (std::size_t{0} + ... + std::size_t{views.size()});
+  out.reserve(total);
+  (append(out, ByteView{views}), ...);
+  return out;
+}
+
+/// Constant-time equality: runtime independent of where buffers differ.
+/// Use for MAC and key comparisons so timing does not leak match prefixes.
+inline bool ct_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+/// Best-effort zeroization of key material. The volatile pointer defeats
+/// dead-store elimination on the compilers we target.
+inline void secure_wipe(Bytes& b) {
+  volatile std::uint8_t* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+  b.clear();
+}
+
+/// XOR `src` into `dst` (sizes must match; used by CTR mode and OAEP-lite).
+inline void xor_into(std::span<std::uint8_t> dst, ByteView src) {
+  for (std::size_t i = 0; i < dst.size() && i < src.size(); ++i) dst[i] ^= src[i];
+}
+
+}  // namespace mykil

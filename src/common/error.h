@@ -1,0 +1,52 @@
+// Exception hierarchy shared by all Mykil modules.
+//
+// Errors in this codebase are exceptional conditions: malformed wire data,
+// failed authentication, cryptographic misuse. Expected control-flow outcomes
+// (e.g. "member not found", "join denied") are returned as values instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mykil {
+
+/// Base class for all errors thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Cryptographic failure: bad key size, message too large for an RSA block,
+/// decryption integrity failure, etc.
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+/// Malformed or truncated wire data encountered while deserializing.
+class WireError : public Error {
+ public:
+  explicit WireError(const std::string& what) : Error("wire: " + what) {}
+};
+
+/// A protocol step received a message that violates the protocol state
+/// machine (unexpected type, wrong nonce arithmetic, stale timestamp).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol: " + what) {}
+};
+
+/// Authentication or authorization failure: bad MAC, bad signature,
+/// failed challenge-response, expired or tampered ticket.
+class AuthError : public Error {
+ public:
+  explicit AuthError(const std::string& what) : Error("auth: " + what) {}
+};
+
+/// Simulator misuse: scheduling in the past, unknown node, etc.
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("sim: " + what) {}
+};
+
+}  // namespace mykil

@@ -1,0 +1,18 @@
+// Hex encoding/decoding for test vectors, logging, and key fingerprints.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace mykil {
+
+/// Lowercase hex encoding of a byte buffer ("deadbeef").
+std::string hex_encode(ByteView data);
+
+/// Decode a hex string (case-insensitive). Throws WireError on odd length
+/// or non-hex characters.
+Bytes hex_decode(std::string_view hex);
+
+}  // namespace mykil

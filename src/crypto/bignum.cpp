@@ -1,0 +1,457 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.h"
+#include "crypto/prng.h"
+
+namespace mykil::crypto {
+
+namespace {
+
+constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+
+// Small primes for trial division before Miller–Rabin.
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+BigUInt::BigUInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigUInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt BigUInt::from_bytes_be(ByteView bytes) {
+  BigUInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // byte i (from the end) goes into limb i/4 at position i%4.
+    std::size_t from_end = bytes.size() - 1 - i;
+    out.limbs_[i / 4] |= static_cast<std::uint32_t>(bytes[from_end]) << (8 * (i % 4));
+  }
+  out.normalize();
+  return out;
+}
+
+Bytes BigUInt::to_bytes_be(std::size_t min_len) const {
+  std::size_t nbytes = (bit_length() + 7) / 8;
+  std::size_t len = std::max(nbytes, min_len);
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    std::uint32_t limb = limbs_[i / 4];
+    out[len - 1 - i] = static_cast<std::uint8_t>(limb >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+BigUInt BigUInt::from_decimal(const std::string& s) {
+  if (s.empty()) throw CryptoError("empty decimal string");
+  BigUInt out;
+  for (char c : s) {
+    if (c < '0' || c > '9') throw CryptoError("non-digit in decimal string");
+    out = out * BigUInt(10) + BigUInt(static_cast<std::uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+std::string BigUInt::to_decimal() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  BigUInt v = *this;
+  const BigUInt ten(10);
+  while (!v.is_zero()) {
+    auto [q, r] = divmod(v, ten);
+    digits.push_back(static_cast<char>('0' + r.low_u64()));
+    v = std::move(q);
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUInt::bit(std::size_t i) const {
+  std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::uint64_t BigUInt::low_u64() const {
+  std::uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::strong_ordering operator<=>(const BigUInt& a, const BigUInt& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() <=> b.limbs_.size();
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigUInt operator+(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.normalize();
+  return out;
+}
+
+BigUInt operator-(const BigUInt& a, const BigUInt& b) {
+  if (a < b) throw CryptoError("BigUInt subtraction underflow");
+  BigUInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt operator*(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigUInt();
+  BigUInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt operator<<(const BigUInt& a, std::size_t shift) {
+  if (a.is_zero() || shift == 0) {
+    BigUInt out = a;
+    return out;
+  }
+  std::size_t limb_shift = shift / 32;
+  std::size_t bit_shift = shift % 32;
+  BigUInt out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt operator>>(const BigUInt& a, std::size_t shift) {
+  std::size_t limb_shift = shift / 32;
+  std::size_t bit_shift = shift % 32;
+  if (limb_shift >= a.limbs_.size()) return BigUInt();
+  BigUInt out;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = a.limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size())
+      v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.normalize();
+  return out;
+}
+
+std::pair<BigUInt, BigUInt> BigUInt::divmod(const BigUInt& a, const BigUInt& b) {
+  if (b.is_zero()) throw CryptoError("BigUInt division by zero");
+  if (a < b) return {BigUInt(), a};
+  if (b.limbs_.size() == 1) {
+    // Fast path: divisor fits in one limb.
+    std::uint64_t d = b.limbs_[0];
+    BigUInt q;
+    q.limbs_.assign(a.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      std::uint64_t cur = rem << 32 | a.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.normalize();
+    return {std::move(q), BigUInt(rem)};
+  }
+
+  // Knuth Algorithm D (TAOCP vol. 2, 4.3.1) with 32-bit digits.
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int s = 0;
+  {
+    std::uint32_t top = b.limbs_.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++s;
+    }
+  }
+  BigUInt u = a << static_cast<std::size_t>(s);
+  BigUInt v = b << static_cast<std::size_t>(s);
+  std::size_t n = v.limbs_.size();
+  std::size_t m = u.limbs_.size() - n;
+  u.limbs_.resize(u.limbs_.size() + 1, 0);  // u has m+n+1 digits
+
+  BigUInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  const std::uint64_t v1 = v.limbs_[n - 1];
+  const std::uint64_t v2 = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q̂. Keep qhat < 2^32 before multiplying by v2 so the
+    // refinement test cannot overflow uint64.
+    std::uint64_t num = (static_cast<std::uint64_t>(u.limbs_[j + n]) << 32) |
+                        u.limbs_[j + n - 1];
+    std::uint64_t qhat, rhat;
+    if (u.limbs_[j + n] >= v1) {
+      qhat = kBase - 1;
+      rhat = num - qhat * v1;
+    } else {
+      qhat = num / v1;
+      rhat = num % v1;
+    }
+    while (rhat < kBase &&
+           qhat * v2 > ((rhat << 32) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v1;
+    }
+
+    // D4: multiply and subtract u[j..j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t p = qhat * v.limbs_[i] + carry;
+      carry = p >> 32;
+      std::int64_t t = static_cast<std::int64_t>(u.limbs_[i + j]) -
+                       static_cast<std::int64_t>(p & 0xFFFFFFFFu) - borrow;
+      if (t < 0) {
+        t += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<std::uint32_t>(t);
+    }
+    std::int64_t t = static_cast<std::int64_t>(u.limbs_[j + n]) -
+                     static_cast<std::int64_t>(carry) - borrow;
+    if (t < 0) {
+      // D6: estimate was one too large; add back.
+      t += static_cast<std::int64_t>(kBase);
+      u.limbs_[j + n] = static_cast<std::uint32_t>(t);
+      --qhat;
+      std::uint64_t carry2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = static_cast<std::uint64_t>(u.limbs_[i + j]) +
+                            v.limbs_[i] + carry2;
+        u.limbs_[i + j] = static_cast<std::uint32_t>(sum);
+        carry2 = sum >> 32;
+      }
+      u.limbs_[j + n] = static_cast<std::uint32_t>(u.limbs_[j + n] + carry2);
+    } else {
+      u.limbs_[j + n] = static_cast<std::uint32_t>(t);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  q.normalize();
+  u.limbs_.resize(n);
+  u.normalize();
+  BigUInt r = u >> static_cast<std::size_t>(s);
+  return {std::move(q), std::move(r)};
+}
+
+BigUInt operator/(const BigUInt& a, const BigUInt& b) {
+  return BigUInt::divmod(a, b).first;
+}
+
+BigUInt operator%(const BigUInt& a, const BigUInt& b) {
+  return BigUInt::divmod(a, b).second;
+}
+
+BigUInt BigUInt::mod_exp(const BigUInt& base, const BigUInt& exp,
+                         const BigUInt& m) {
+  if (m.is_zero()) throw CryptoError("mod_exp modulus is zero");
+  if (m == BigUInt(1)) return BigUInt();
+  BigUInt result(1);
+  BigUInt b = base % m;
+  std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = (result * b) % m;
+    b = (b * b) % m;
+  }
+  return result;
+}
+
+BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
+  while (!b.is_zero()) {
+    BigUInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUInt BigUInt::mod_inverse(const BigUInt& a, const BigUInt& m) {
+  // Extended Euclid tracking coefficients of `a` only, with explicit signs.
+  // Invariant: r_i = s_i * a (mod m), sign_i gives the sign of s_i.
+  BigUInt r0 = a % m, r1 = m;
+  BigUInt s0(1), s1(0);
+  bool neg0 = false, neg1 = false;
+
+  while (!r1.is_zero()) {
+    BigUInt q = r0 / r1;
+
+    BigUInt r2 = r0 - q * r1;
+
+    // s2 = s0 - q * s1 with sign tracking.
+    BigUInt qs1 = q * s1;
+    BigUInt s2;
+    bool neg2;
+    if (neg0 == neg1) {
+      // same sign: s0 - q*s1 may flip sign
+      if (s0 >= qs1) {
+        s2 = s0 - qs1;
+        neg2 = neg0;
+      } else {
+        s2 = qs1 - s0;
+        neg2 = !neg0;
+      }
+    } else {
+      s2 = s0 + qs1;
+      neg2 = neg0;
+    }
+
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    s0 = std::move(s1);
+    s1 = std::move(s2);
+    neg0 = neg1;
+    neg1 = neg2;
+  }
+
+  if (r0 != BigUInt(1)) throw CryptoError("mod_inverse: not coprime");
+  if (neg0) return m - (s0 % m);
+  return s0 % m;
+}
+
+BigUInt BigUInt::random_with_bits(std::size_t bits, Prng& prng) {
+  if (bits == 0) return BigUInt();
+  std::size_t nbytes = (bits + 7) / 8;
+  Bytes raw = prng.bytes(nbytes);
+  // Clear excess leading bits, then force the top bit so the value has
+  // exactly `bits` bits.
+  std::size_t excess = nbytes * 8 - bits;
+  raw[0] = static_cast<std::uint8_t>(raw[0] & (0xFF >> excess));
+  raw[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+  return from_bytes_be(raw);
+}
+
+BigUInt BigUInt::random_below(const BigUInt& bound, Prng& prng) {
+  if (bound.is_zero()) throw CryptoError("random_below bound is zero");
+  std::size_t bits = bound.bit_length();
+  std::size_t nbytes = (bits + 7) / 8;
+  std::size_t excess = nbytes * 8 - bits;
+  // Rejection sampling.
+  for (;;) {
+    Bytes raw = prng.bytes(nbytes);
+    raw[0] = static_cast<std::uint8_t>(raw[0] & (0xFF >> excess));
+    BigUInt v = from_bytes_be(raw);
+    if (v < bound) return v;
+  }
+}
+
+bool BigUInt::is_probable_prime(const BigUInt& n, int rounds, Prng& prng) {
+  if (n < BigUInt(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    BigUInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  // Write n - 1 = d * 2^r with d odd.
+  BigUInt n_minus_1 = n - BigUInt(1);
+  BigUInt d = n_minus_1;
+  std::size_t r = 0;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2].
+    BigUInt a = BigUInt(2) + random_below(n - BigUInt(4), prng);
+    BigUInt x = mod_exp(a, d, n);
+    if (x == BigUInt(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUInt BigUInt::generate_prime(std::size_t bits, Prng& prng) {
+  if (bits < 8) throw CryptoError("prime size too small");
+  for (;;) {
+    BigUInt candidate = random_with_bits(bits, prng);
+    // Force odd.
+    if (candidate.is_even()) candidate += BigUInt(1);
+    if (candidate.bit_length() != bits) continue;
+    if (is_probable_prime(candidate, 20, prng)) return candidate;
+  }
+}
+
+}  // namespace mykil::crypto

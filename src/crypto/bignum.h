@@ -1,0 +1,90 @@
+// Arbitrary-precision unsigned integers, sized for RSA (512–4096 bit).
+//
+// Representation: little-endian vector of 32-bit limbs, always normalized
+// (no high zero limbs; zero is the empty vector). 32-bit limbs keep every
+// intermediate product within uint64_t, which makes schoolbook
+// multiplication and Knuth Algorithm D division straightforward to verify.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace mykil::crypto {
+
+class Prng;
+
+class BigUInt {
+ public:
+  /// Zero.
+  BigUInt() = default;
+  /// From a machine word.
+  BigUInt(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal ergonomics
+
+  /// From big-endian bytes (leading zeros allowed).
+  static BigUInt from_bytes_be(ByteView bytes);
+  /// From a decimal string; throws CryptoError on bad input.
+  static BigUInt from_decimal(const std::string& s);
+  /// Uniform random integer with exactly `bits` bits (top bit set).
+  static BigUInt random_with_bits(std::size_t bits, Prng& prng);
+  /// Uniform random integer in [0, bound).
+  static BigUInt random_below(const BigUInt& bound, Prng& prng);
+
+  /// Big-endian byte encoding, left-padded with zeros to at least `min_len`.
+  [[nodiscard]] Bytes to_bytes_be(std::size_t min_len = 0) const;
+  [[nodiscard]] std::string to_decimal() const;
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_even() const { return limbs_.empty() || (limbs_[0] & 1) == 0; }
+  [[nodiscard]] bool is_odd() const { return !is_even(); }
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+  /// Value of bit `i` (0 = least significant).
+  [[nodiscard]] bool bit(std::size_t i) const;
+  /// Low 64 bits.
+  [[nodiscard]] std::uint64_t low_u64() const;
+
+  friend std::strong_ordering operator<=>(const BigUInt& a, const BigUInt& b);
+  friend bool operator==(const BigUInt& a, const BigUInt& b) = default;
+
+  friend BigUInt operator+(const BigUInt& a, const BigUInt& b);
+  /// Throws CryptoError if b > a (unsigned subtraction).
+  friend BigUInt operator-(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator*(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator/(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator%(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator<<(const BigUInt& a, std::size_t shift);
+  friend BigUInt operator>>(const BigUInt& a, std::size_t shift);
+
+  BigUInt& operator+=(const BigUInt& b) { return *this = *this + b; }
+  BigUInt& operator-=(const BigUInt& b) { return *this = *this - b; }
+
+  /// Quotient and remainder in one division (throws CryptoError on /0).
+  /// Returned as {quotient, remainder}.
+  static std::pair<BigUInt, BigUInt> divmod(const BigUInt& a, const BigUInt& b);
+
+  /// (base ^ exp) mod m, m > 0. Square-and-multiply.
+  static BigUInt mod_exp(const BigUInt& base, const BigUInt& exp, const BigUInt& m);
+  /// Greatest common divisor.
+  static BigUInt gcd(BigUInt a, BigUInt b);
+  /// Modular inverse of a mod m; throws CryptoError if gcd(a, m) != 1.
+  static BigUInt mod_inverse(const BigUInt& a, const BigUInt& m);
+
+  /// Miller–Rabin probabilistic primality test with `rounds` random bases,
+  /// preceded by trial division against small primes.
+  static bool is_probable_prime(const BigUInt& n, int rounds, Prng& prng);
+  /// Generate a random prime with exactly `bits` bits.
+  static BigUInt generate_prime(std::size_t bits, Prng& prng);
+
+ private:
+  void normalize();
+  [[nodiscard]] std::size_t limb_count() const { return limbs_.size(); }
+
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace mykil::crypto

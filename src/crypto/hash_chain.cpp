@@ -1,0 +1,31 @@
+#include "crypto/hash_chain.h"
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+
+namespace mykil::crypto {
+
+HashChain::HashChain(std::size_t length, Prng& prng) {
+  if (length == 0) throw CryptoError("hash chain needs length >= 1");
+  elements_.resize(length + 1);
+  elements_[length] = prng.bytes(Sha256::kDigestSize);  // random tip k_N
+  for (std::size_t i = length; i-- > 0;) {
+    elements_[i] = Sha256::digest(elements_[i + 1]);
+  }
+  anchor_ = elements_[0];
+}
+
+const Bytes& HashChain::element(std::size_t i) const {
+  if (i == 0 || i >= elements_.size())
+    throw CryptoError("hash chain element index out of range");
+  return elements_[i];
+}
+
+bool HashChain::verify(ByteView candidate, std::size_t i, ByteView anchor) {
+  if (i == 0) return false;
+  Bytes cur(candidate.begin(), candidate.end());
+  for (std::size_t step = 0; step < i; ++step) cur = Sha256::digest(cur);
+  return ct_equal(cur, anchor);
+}
+
+}  // namespace mykil::crypto

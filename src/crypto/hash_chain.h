@@ -1,0 +1,43 @@
+// One-way hash chains (Lamport): the primitive behind TESLA-style
+// multicast source authentication (the paper's reference [3],
+// Canetti et al., for authenticating data senders without per-packet
+// signatures).
+//
+// A chain k_0 <- k_1 <- ... <- k_N with k_{i-1} = H(k_i) is generated from
+// a random tip k_N. The ANCHOR k_0 is published authentically once; any
+// later element k_i proves itself by hashing down to the anchor, and
+// elements can only be revealed forward (nobody can compute k_{i+1} from
+// k_i).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/prng.h"
+
+namespace mykil::crypto {
+
+class HashChain {
+ public:
+  /// Generate a chain with `length` usable elements (indices 1..length).
+  HashChain(std::size_t length, Prng& prng);
+
+  /// The public anchor k_0 (publish via an authentic channel).
+  [[nodiscard]] const Bytes& anchor() const { return anchor_; }
+  [[nodiscard]] std::size_t length() const { return elements_.size() - 1; }
+
+  /// Element k_i, i in [1, length].
+  [[nodiscard]] const Bytes& element(std::size_t i) const;
+
+  /// Verify that `candidate` is k_i for the chain with `anchor`: hash it
+  /// down i times and compare. Cost O(i) — verifiers should cache the
+  /// latest verified element and pass it as (anchor', i - j).
+  static bool verify(ByteView candidate, std::size_t i, ByteView anchor);
+
+ private:
+  std::vector<Bytes> elements_;  // elements_[i] = k_i; [0] = anchor
+  Bytes anchor_;
+};
+
+}  // namespace mykil::crypto

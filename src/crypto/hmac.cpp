@@ -1,0 +1,46 @@
+#include "crypto/hmac.h"
+
+namespace mykil::crypto {
+
+Bytes hmac_sha256(ByteView key, ByteView message) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+
+  Bytes k(kBlock, 0);
+  if (key.size() > kBlock) {
+    Bytes kd = Sha256::digest(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+bool hmac_verify(ByteView key, ByteView message, ByteView tag) {
+  Bytes expected = hmac_sha256(key, message);
+  if (tag.size() > expected.size() || tag.empty()) return false;
+  // Accept truncated tags of the caller-provided length.
+  return ct_equal(ByteView(expected.data(), tag.size()), tag);
+}
+
+Bytes hmac_sha256_trunc(ByteView key, ByteView message, std::size_t n) {
+  Bytes full = hmac_sha256(key, message);
+  if (n < full.size()) full.resize(n);
+  return full;
+}
+
+}  // namespace mykil::crypto

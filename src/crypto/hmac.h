@@ -1,0 +1,23 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// This is the "MAC" that appears in every step of the Mykil join and rejoin
+// protocols, and the integrity tag inside tickets.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace mykil::crypto {
+
+/// Compute HMAC-SHA256(key, message). Returns a 32-byte tag.
+Bytes hmac_sha256(ByteView key, ByteView message);
+
+/// Constant-time verification of a full-length tag.
+bool hmac_verify(ByteView key, ByteView message, ByteView tag);
+
+/// Truncated MAC helper: first `n` bytes of the HMAC. The wire formats use
+/// 16-byte truncated tags to keep message-size accounting close to the
+/// paper's (which MACs with short tags).
+Bytes hmac_sha256_trunc(ByteView key, ByteView message, std::size_t n);
+
+}  // namespace mykil::crypto

@@ -1,0 +1,55 @@
+// Typed 128-bit symmetric key, the unit of all group/area/auxiliary keys.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "crypto/prng.h"
+#include "crypto/sha256.h"
+
+namespace mykil::crypto {
+
+/// A 128-bit symmetric key (the paper's choice for area and auxiliary keys).
+/// Value type with strict size invariant.
+class SymmetricKey {
+ public:
+  static constexpr std::size_t kSize = 16;
+
+  /// All-zero key; only useful as a placeholder before assignment.
+  SymmetricKey() : key_(kSize, 0) {}
+
+  explicit SymmetricKey(Bytes raw) : key_(std::move(raw)) {
+    if (key_.size() != kSize) throw CryptoError("SymmetricKey must be 16 bytes");
+  }
+
+  static SymmetricKey random(Prng& prng) { return SymmetricKey(prng.bytes(kSize)); }
+
+  /// Derive a subkey bound to a purpose label (e.g. separating the cipher
+  /// key from the MAC key inside sym_seal).
+  [[nodiscard]] SymmetricKey derive(std::string_view purpose) const {
+    Bytes material = Sha256::digest(concat(key_, to_bytes(purpose)));
+    material.resize(kSize);
+    return SymmetricKey(std::move(material));
+  }
+
+  [[nodiscard]] ByteView bytes() const { return key_; }
+  [[nodiscard]] const Bytes& raw() const { return key_; }
+
+  /// Short stable identifier for logging/assertions (not secret-preserving).
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    Bytes d = Sha256::digest(key_);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = v << 8 | d[static_cast<std::size_t>(i)];
+    return v;
+  }
+
+  friend bool operator==(const SymmetricKey& a, const SymmetricKey& b) {
+    return ct_equal(a.key_, b.key_);
+  }
+
+ private:
+  Bytes key_;
+};
+
+}  // namespace mykil::crypto

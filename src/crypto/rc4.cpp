@@ -1,0 +1,39 @@
+#include "crypto/rc4.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mykil::crypto {
+
+Rc4::Rc4(ByteView key) {
+  if (key.empty() || key.size() > 256)
+    throw CryptoError("RC4 key must be 1..256 bytes");
+  std::iota(s_.begin(), s_.end(), 0);
+  std::uint8_t j = 0;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<std::uint8_t>(j + s_[static_cast<std::size_t>(i)] +
+                                  key[static_cast<std::size_t>(i) % key.size()]);
+    std::swap(s_[static_cast<std::size_t>(i)], s_[j]);
+  }
+}
+
+void Rc4::process_inplace(std::span<std::uint8_t> data) {
+  std::uint8_t i = i_, j = j_;
+  for (auto& byte : data) {
+    i = static_cast<std::uint8_t>(i + 1);
+    j = static_cast<std::uint8_t>(j + s_[i]);
+    std::swap(s_[i], s_[j]);
+    byte ^= s_[static_cast<std::uint8_t>(s_[i] + s_[j])];
+  }
+  i_ = i;
+  j_ = j;
+}
+
+Bytes Rc4::process(ByteView data) {
+  Bytes out(data.begin(), data.end());
+  process_inplace(out);
+  return out;
+}
+
+}  // namespace mykil::crypto

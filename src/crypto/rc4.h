@@ -1,0 +1,32 @@
+// RC4 stream cipher.
+//
+// Present solely to reproduce the paper's hand-held-device experiment
+// (Section V-E: RC4 encrypt/decrypt of a 16 MB file at ~50 MB/s on a
+// Celeron-600). RC4 is broken for modern use; nothing in the Mykil
+// protocols encrypts with it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace mykil::crypto {
+
+class Rc4 {
+ public:
+  /// Key length 1..256 bytes.
+  explicit Rc4(ByteView key);
+
+  /// Produce keystream XORed with `data` (encrypt == decrypt). Advances the
+  /// internal state, so consecutive calls continue the stream.
+  Bytes process(ByteView data);
+  /// In-place variant used by the throughput benchmark (no allocation).
+  void process_inplace(std::span<std::uint8_t> data);
+
+ private:
+  std::array<std::uint8_t, 256> s_;
+  std::uint8_t i_ = 0, j_ = 0;
+};
+
+}  // namespace mykil::crypto

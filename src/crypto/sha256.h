@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used as: the MAC core (via HMAC), the PRNG core, RSA-OAEP's hash/MGF1,
+// signature digests, and key fingerprints.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace mykil::crypto {
+
+/// Incremental SHA-256 hasher.
+///
+///   Sha256 h;
+///   h.update(part1);
+///   h.update(part2);
+///   Bytes digest = h.finish();   // 32 bytes
+///
+/// `finish()` finalizes; the object must not be updated afterwards.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  void update(ByteView data);
+  /// Finalize and return the 32-byte digest. May be called once.
+  Bytes finish();
+
+  /// One-shot convenience.
+  static Bytes digest(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace mykil::crypto

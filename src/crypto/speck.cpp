@@ -1,0 +1,81 @@
+#include "crypto/speck.h"
+
+#include <bit>
+
+#include "common/error.h"
+
+namespace mykil::crypto {
+
+namespace {
+
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline void round_enc(std::uint64_t& x, std::uint64_t& y, std::uint64_t k) {
+  x = std::rotr(x, 8);
+  x += y;
+  x ^= k;
+  y = std::rotl(y, 3);
+  y ^= x;
+}
+
+inline void round_dec(std::uint64_t& x, std::uint64_t& y, std::uint64_t k) {
+  y ^= x;
+  y = std::rotr(y, 3);
+  x ^= k;
+  x -= y;
+  x = std::rotl(x, 8);
+}
+
+}  // namespace
+
+Speck128::Speck128(ByteView key) {
+  if (key.size() != kKeySize) throw CryptoError("Speck128 key must be 16 bytes");
+  std::uint64_t a = load_le64(key.data());      // k[0]
+  std::uint64_t b = load_le64(key.data() + 8);  // l[0]
+  for (int i = 0; i < kRounds; ++i) {
+    round_keys_[i] = a;
+    round_enc(b, a, static_cast<std::uint64_t>(i));
+  }
+}
+
+void Speck128::encrypt_block(std::uint8_t* block) const {
+  std::uint64_t y = load_le64(block);      // pt[0]
+  std::uint64_t x = load_le64(block + 8);  // pt[1]
+  for (int i = 0; i < kRounds; ++i) round_enc(x, y, round_keys_[i]);
+  store_le64(block, y);
+  store_le64(block + 8, x);
+}
+
+void Speck128::decrypt_block(std::uint8_t* block) const {
+  std::uint64_t y = load_le64(block);
+  std::uint64_t x = load_le64(block + 8);
+  for (int i = kRounds - 1; i >= 0; --i) round_dec(x, y, round_keys_[i]);
+  store_le64(block, y);
+  store_le64(block + 8, x);
+}
+
+Bytes speck_ctr(ByteView key, ByteView nonce, ByteView data) {
+  if (nonce.size() != 8) throw CryptoError("speck_ctr nonce must be 8 bytes");
+  Speck128 cipher(key);
+  Bytes out(data.begin(), data.end());
+  std::uint8_t block[Speck128::kBlockSize];
+  std::uint64_t counter = 0;
+  for (std::size_t off = 0; off < out.size(); off += Speck128::kBlockSize) {
+    std::copy(nonce.begin(), nonce.end(), block);
+    store_le64(block + 8, counter++);
+    cipher.encrypt_block(block);
+    std::size_t n = std::min(out.size() - off, Speck128::kBlockSize);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= block[i];
+  }
+  return out;
+}
+
+}  // namespace mykil::crypto

@@ -1,0 +1,38 @@
+// Speck128/128 block cipher (NSA, 2013) with CTR mode.
+//
+// Stands in for the paper's 128-bit symmetric cipher (the prototype used
+// OpenSSL). Speck is chosen because its ARX structure is tiny, fast, and
+// has published reference test vectors we validate against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace mykil::crypto {
+
+/// Speck128/128: 128-bit block, 128-bit key, 32 rounds.
+class Speck128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 32;
+
+  /// Key must be exactly 16 bytes; throws CryptoError otherwise.
+  explicit Speck128(ByteView key);
+
+  /// Encrypt one 16-byte block in place (as two little-endian u64 words,
+  /// per the reference implementation's convention).
+  void encrypt_block(std::uint8_t* block) const;
+  void decrypt_block(std::uint8_t* block) const;
+
+ private:
+  std::array<std::uint64_t, kRounds> round_keys_;
+};
+
+/// CTR-mode keystream: encrypt and decrypt are the same operation.
+/// `nonce` must be 8 bytes; it occupies the upper half of the counter block.
+Bytes speck_ctr(ByteView key, ByteView nonce, ByteView data);
+
+}  // namespace mykil::crypto

@@ -1,0 +1,45 @@
+#include "lkh/member_state.h"
+
+#include "common/error.h"
+#include "crypto/sealed.h"
+
+namespace mykil::lkh {
+
+void MemberKeyState::install(const std::vector<PathKey>& path) {
+  for (const PathKey& pk : path) {
+    auto it = keys_.find(pk.node);
+    if (it != keys_.end() && it->second.version >= pk.version) continue;
+    if (pk.node == 0 && it != keys_.end()) remember_root(it->second);
+    keys_[pk.node] = {pk.key, pk.version};
+  }
+}
+
+std::size_t MemberKeyState::apply(const RekeyMessage& msg) {
+  std::size_t updated = 0;
+  for (const RekeyEntry& e : msg.entries) {
+    auto enc_it = keys_.find(e.encrypted_under);
+    if (enc_it == keys_.end()) continue;  // not for us
+    auto tgt_it = keys_.find(e.target);
+    if (tgt_it != keys_.end() && tgt_it->second.version >= e.version)
+      continue;  // already current (duplicate delivery)
+    Bytes raw = crypto::sym_open(enc_it->second.key, e.box);
+    if (e.target == 0 && tgt_it != keys_.end()) remember_root(tgt_it->second);
+    keys_[e.target] = {crypto::SymmetricKey(std::move(raw)), e.version};
+    ++updated;
+  }
+  return updated;
+}
+
+const crypto::SymmetricKey& MemberKeyState::group_key() const {
+  auto it = keys_.find(0);
+  if (it == keys_.end()) throw ProtocolError("member holds no group key");
+  return it->second.key;
+}
+
+std::uint64_t MemberKeyState::version_of(NodeIndex node) const {
+  auto it = keys_.find(node);
+  if (it == keys_.end()) throw ProtocolError("version_of: key not held");
+  return it->second.version;
+}
+
+}  // namespace mykil::lkh

@@ -1,0 +1,205 @@
+#include "lkh/protocol.h"
+
+#include "common/error.h"
+#include "common/wire.h"
+#include "crypto/sealed.h"
+
+namespace mykil::lkh {
+
+namespace {
+
+constexpr const char* kLabelJoin = "lkh-join";
+constexpr const char* kLabelRekey = "lkh-rekey";
+constexpr const char* kLabelData = "lkh-data";
+
+}  // namespace
+
+LkhServer::LkhServer(KeyTree::Config tree_config, crypto::Prng prng)
+    : tree_(tree_config, prng.fork()), prng_(std::move(prng)) {}
+
+void LkhServer::open_group(net::Network& net) {
+  group_ = net.create_group();
+  group_open_ = true;
+}
+
+void LkhServer::on_message(const net::Message& msg) {
+  try {
+    dispatch(msg);
+  } catch (const Error&) {
+    // Malformed or hostile input must never crash the key server.
+  }
+}
+
+void LkhServer::dispatch(const net::Message& msg) {
+  WireReader r(msg.payload);
+  auto type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::kJoinRequest:
+      handle_join(msg);
+      break;
+    case MsgType::kLeaveRequest:
+      handle_leave(msg);
+      break;
+    default:
+      // Data and rekey traffic is member-to-member; the server ignores it.
+      break;
+  }
+}
+
+void LkhServer::handle_join(const net::Message& msg) {
+  if (!group_open_) throw ProtocolError("LkhServer group not opened");
+  WireReader r(msg.payload);
+  (void)r.u8();
+  MemberId member = r.u64();
+  crypto::RsaPublicKey pub = crypto::RsaPublicKey::deserialize(r.bytes());
+  r.expect_done();
+
+  KeyTree::JoinOutcome out = tree_.join(member);
+  member_pubkeys_.emplace(member, pub);
+  member_nodes_[member] = msg.from;
+
+  // Rotate the group key for existing members before answering.
+  if (!out.multicast.entries.empty()) {
+    WireWriter rw;
+    rw.u8(static_cast<std::uint8_t>(MsgType::kRekey));
+    rw.bytes(out.multicast.serialize());
+    network().multicast(id(), group_, kLabelRekey, rw.take());
+  }
+
+  // Split update to the moved member, encrypted to its public key.
+  if (out.split) {
+    auto it = member_pubkeys_.find(out.split_member);
+    if (it != member_pubkeys_.end()) {
+      WireWriter sw;
+      sw.u8(static_cast<std::uint8_t>(MsgType::kSplitUpdate));
+      sw.bytes(crypto::pk_encrypt(it->second,
+                                  serialize_path(out.split_member_update),
+                                  prng_));
+      network().unicast(id(), member_nodes_[out.split_member], kLabelJoin,
+                        sw.take());
+    }
+  }
+
+  // Join reply: group id + full key path, encrypted to the joiner.
+  WireWriter inner;
+  inner.u32(group_);
+  inner.bytes(serialize_path(out.member_path));
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kJoinReply));
+  w.bytes(crypto::pk_encrypt(pub, inner.data(), prng_));
+  network().unicast(id(), msg.from, kLabelJoin, w.take());
+}
+
+void LkhServer::handle_leave(const net::Message& msg) {
+  WireReader r(msg.payload);
+  (void)r.u8();
+  MemberId member = r.u64();
+  r.expect_done();
+  if (!tree_.contains(member)) return;  // duplicate/stale request
+
+  RekeyMessage rekey = tree_.leave(member);
+  member_pubkeys_.erase(member);
+  member_nodes_.erase(member);
+
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRekey));
+  w.bytes(rekey.serialize());
+  network().multicast(id(), group_, kLabelRekey, w.take());
+}
+
+LkhMember::LkhMember(MemberId member_id, crypto::RsaKeyPair keypair,
+                     crypto::Prng prng)
+    : member_id_(member_id),
+      keypair_(std::move(keypair)),
+      prng_(std::move(prng)) {}
+
+void LkhMember::join(net::NodeId server) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kJoinRequest));
+  w.u64(member_id_);
+  w.bytes(keypair_.pub.serialize());
+  network().unicast(id(), server, kLabelJoin, w.take());
+}
+
+void LkhMember::leave(net::NodeId server) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kLeaveRequest));
+  w.u64(member_id_);
+  network().unicast(id(), server, kLabelJoin, w.take());
+  if (group_) network().leave_group(*group_, id());
+  state_.clear();
+  joined_ = false;
+}
+
+void LkhMember::send_data(ByteView payload) {
+  if (!joined_) throw ProtocolError("send_data before join completed");
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kData));
+  w.u64(member_id_);
+  w.bytes(crypto::sym_seal(state_.group_key(), payload, prng_));
+  network().multicast(id(), *group_, kLabelData, w.take());
+}
+
+void LkhMember::on_message(const net::Message& msg) {
+  try {
+    dispatch(msg);
+  } catch (const Error&) {
+    // Clients must be unconditionally robust to network garbage.
+  }
+}
+
+void LkhMember::dispatch(const net::Message& msg) {
+  WireReader r(msg.payload);
+  auto type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::kJoinReply: {
+      Bytes inner = crypto::pk_decrypt(keypair_.priv, r.bytes());
+      r.expect_done();
+      WireReader ir(inner);
+      group_ = ir.u32();
+      state_.install(deserialize_path(ir.bytes()));
+      ir.expect_done();
+      network().join_group(*group_, id());
+      joined_ = true;
+      break;
+    }
+    case MsgType::kSplitUpdate: {
+      Bytes inner = crypto::pk_decrypt(keypair_.priv, r.bytes());
+      r.expect_done();
+      state_.install(deserialize_path(inner));
+      break;
+    }
+    case MsgType::kRekey: {
+      RekeyMessage rekey = RekeyMessage::deserialize(r.bytes());
+      r.expect_done();
+      state_.apply(rekey);
+      break;
+    }
+    case MsgType::kData: {
+      (void)r.u64();  // sender id
+      if (!joined_) break;
+      Bytes box = r.bytes();
+      // Data may be sealed under the current group key or — when a rekey
+      // is still in flight — the immediately previous one. Anything else
+      // is undecryptable (e.g. we were evicted); count it and move on.
+      try {
+        received_data_.push_back(crypto::sym_open(state_.group_key(), box));
+      } catch (const AuthError&) {
+        const auto& prev = state_.previous_group_key();
+        if (prev) {
+          try {
+            received_data_.push_back(crypto::sym_open(*prev, box));
+            break;
+          } catch (const AuthError&) {
+          }
+        }
+        ++undecryptable_count_;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace mykil::lkh

@@ -1,0 +1,101 @@
+// LKH baseline protocol over the simulated network: one central key server
+// managing a group-wide key tree, members joining/leaving/multicasting.
+//
+// Registration is deliberately minimal ("Initial registration protocol is
+// not described in detail for Iolus or LKH" — Section V-A): a join request
+// carries the member's public key; the server answers with the key path
+// encrypted to that key. The point of this baseline is rekey traffic, which
+// is exercised with full fidelity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "lkh/key_tree.h"
+#include "lkh/member_state.h"
+#include "net/network.h"
+
+namespace mykil::lkh {
+
+/// Message type tags on the wire.
+enum class MsgType : std::uint8_t {
+  kJoinRequest = 1,
+  kJoinReply = 2,
+  kSplitUpdate = 3,
+  kRekey = 4,
+  kLeaveRequest = 5,
+  kData = 6,
+};
+
+/// Central key server (key distribution center) for the LKH baseline.
+class LkhServer : public net::Node {
+ public:
+  LkhServer(KeyTree::Config tree_config, crypto::Prng prng);
+
+  /// Must be called after Network::attach, before members join.
+  void open_group(net::Network& net);
+  [[nodiscard]] net::GroupId group() const { return group_; }
+
+  void on_message(const net::Message& msg) override;
+
+  [[nodiscard]] const KeyTree& tree() const { return tree_; }
+  [[nodiscard]] std::size_t member_count() const { return tree_.member_count(); }
+
+ private:
+  void dispatch(const net::Message& msg);
+  void handle_join(const net::Message& msg);
+  void handle_leave(const net::Message& msg);
+
+  KeyTree tree_;
+  crypto::Prng prng_;
+  net::GroupId group_ = 0;
+  bool group_open_ = false;
+  std::map<MemberId, crypto::RsaPublicKey> member_pubkeys_;
+  std::map<MemberId, net::NodeId> member_nodes_;
+};
+
+/// A group member in the LKH baseline.
+class LkhMember : public net::Node {
+ public:
+  /// `keypair` is this member's long-term RSA keypair (tests share small
+  /// keys to keep keygen off the hot path).
+  LkhMember(MemberId member_id, crypto::RsaKeyPair keypair, crypto::Prng prng);
+
+  /// Send a join request to the server.
+  void join(net::NodeId server);
+  /// Send a leave request and drop local keys.
+  void leave(net::NodeId server);
+  /// Encrypt `payload` under the group key and multicast it.
+  void send_data(ByteView payload);
+
+  void on_message(const net::Message& msg) override;
+
+  [[nodiscard]] bool joined() const { return joined_; }
+  [[nodiscard]] const MemberKeyState& keys() const { return state_; }
+  MemberKeyState& mutable_keys() { return state_; }
+  [[nodiscard]] const std::vector<Bytes>& received_data() const {
+    return received_data_;
+  }
+  /// Data messages this member could not decrypt (e.g. after eviction).
+  [[nodiscard]] std::size_t undecryptable_count() const {
+    return undecryptable_count_;
+  }
+  [[nodiscard]] MemberId member_id() const { return member_id_; }
+
+ private:
+  void dispatch(const net::Message& msg);
+
+  MemberId member_id_;
+  crypto::RsaKeyPair keypair_;
+  crypto::Prng prng_;
+  MemberKeyState state_;
+  bool joined_ = false;
+  std::optional<net::GroupId> group_;
+  std::vector<Bytes> received_data_;
+  std::size_t undecryptable_count_ = 0;
+};
+
+}  // namespace mykil::lkh

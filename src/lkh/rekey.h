@@ -1,0 +1,59 @@
+// Wire format of key-update (rekey) messages.
+//
+// Shared by the LKH baseline and by Mykil's per-area auxiliary key trees:
+// both distribute new keys by encrypting each updated key under the keys of
+// its children (Wong/Gouda/Lam key graphs), so one multicast reaches every
+// member with exactly the entries it can decrypt.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/keys.h"
+
+namespace mykil::lkh {
+
+/// Index of a node in a KeyTree. The root is always index 0.
+using NodeIndex = std::uint32_t;
+inline constexpr NodeIndex kNoNodeIndex = 0xFFFFFFFF;
+
+/// Identifier of a group member inside a tree (assigned by the caller;
+/// in the full protocols this is the member's node/client id).
+using MemberId = std::uint64_t;
+
+/// One updated key: `target` node's new key (version `version`), encrypted
+/// under the current key of node `encrypted_under` (a child of `target`).
+struct RekeyEntry {
+  NodeIndex target = kNoNodeIndex;
+  std::uint64_t version = 0;
+  NodeIndex encrypted_under = kNoNodeIndex;
+  Bytes box;  ///< sym_seal(child key, new key bytes)
+};
+
+/// A complete rekey multicast. Entries are ordered bottom-up so a member
+/// processing them in order always already holds the (new) child key an
+/// entry was encrypted under.
+struct RekeyMessage {
+  std::uint64_t epoch = 0;
+  std::vector<RekeyEntry> entries;
+
+  [[nodiscard]] Bytes serialize() const;
+  static RekeyMessage deserialize(ByteView data);
+
+  /// Total payload bytes (what the figure benchmarks measure).
+  [[nodiscard]] std::size_t wire_size() const { return serialize().size(); }
+};
+
+/// A (node, key) pair delivered by unicast when a member joins or is moved
+/// by a leaf split.
+struct PathKey {
+  NodeIndex node = kNoNodeIndex;
+  std::uint64_t version = 0;
+  crypto::SymmetricKey key;
+};
+
+Bytes serialize_path(const std::vector<PathKey>& path);
+std::vector<PathKey> deserialize_path(ByteView data);
+
+}  // namespace mykil::lkh

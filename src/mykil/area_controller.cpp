@@ -1,0 +1,1033 @@
+#include "mykil/area_controller.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "crypto/sealed.h"
+
+namespace mykil::core {
+
+namespace {
+
+constexpr const char* kLabelJoin = "mykil-join";
+constexpr const char* kLabelRejoin = "mykil-rejoin";
+constexpr const char* kLabelRekey = "mykil-rekey";
+constexpr const char* kLabelData = "mykil-data";
+constexpr const char* kLabelAlive = "mykil-alive";
+constexpr const char* kLabelRepl = "mykil-repl";
+constexpr const char* kLabelArea = "mykil-area";
+
+// Recurring timer tokens.
+constexpr std::uint64_t kTimerIdle = 1;
+constexpr std::uint64_t kTimerMemberScan = 2;
+constexpr std::uint64_t kTimerRekey = 3;
+constexpr std::uint64_t kTimerHeartbeat = 4;
+constexpr std::uint64_t kTimerBackupWatch = 5;
+
+constexpr std::uint8_t kAliveFromAc = 0;
+constexpr std::uint8_t kAliveFromMember = 1;
+
+/// Open a box under `current` falling back to `prev`; nullopt if neither.
+std::optional<Bytes> open_fallback(const crypto::SymmetricKey& current,
+                                   const std::optional<crypto::SymmetricKey>& prev,
+                                   ByteView box) {
+  try {
+    return crypto::sym_open(current, box);
+  } catch (const AuthError&) {
+  }
+  if (prev) {
+    try {
+      return crypto::sym_open(*prev, box);
+    } catch (const AuthError&) {
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+AreaController::AreaController(AcId ac_id, MykilConfig config,
+                               crypto::RsaKeyPair keypair,
+                               crypto::SymmetricKey k_shared,
+                               crypto::RsaPublicKey rs_pub, crypto::Prng prng,
+                               Role role)
+    : ac_id_(ac_id),
+      config_(config),
+      keypair_(std::move(keypair)),
+      k_shared_(std::move(k_shared)),
+      rs_pub_(std::move(rs_pub)),
+      prng_(std::move(prng)),
+      role_(role) {
+  lkh::KeyTree::Config tree_cfg;
+  tree_cfg.fanout = config_.tree_fanout;
+  tree_cfg.prune_on_leave = false;       // Section III-D
+  tree_cfg.rekey_root_on_join = false;   // batching layer rotates the root
+  tree_.emplace(tree_cfg, prng_.fork());
+}
+
+void AreaController::open_area(net::Network& net) {
+  if (role_ != Role::kPrimary) throw ProtocolError("open_area on a backup");
+  area_group_ = net.create_group();
+  net.join_group(area_group_, id());
+  open_ = true;
+  last_area_tx_ = net.now();
+  start_primary_timers();
+}
+
+void AreaController::start_primary_timers() {
+  if (!config_.enable_timers) return;
+  network().set_timer(id(), config_.t_idle, kTimerIdle);
+  network().set_timer(id(), config_.t_active, kTimerMemberScan);
+  network().set_timer(id(), config_.rekey_interval, kTimerRekey);
+}
+
+void AreaController::set_backup(net::NodeId backup_node) {
+  backup_node_ = backup_node;
+  if (config_.enable_timers)
+    network().set_timer(id(), config_.heartbeat_interval, kTimerHeartbeat);
+  sync_backup();
+}
+
+void AreaController::start_watchdog() {
+  if (role_ != Role::kBackup) throw ProtocolError("start_watchdog on a primary");
+  last_heartbeat_rx_ = network().now();
+  if (config_.enable_timers)
+    network().set_timer(id(), config_.heartbeat_interval, kTimerBackupWatch);
+}
+
+bool AreaController::ts_fresh(net::SimTime ts) const {
+  net::SimTime now = network().now();
+  net::SimTime skew = now >= ts ? now - ts : ts - now;
+  return skew <= config_.ts_window;
+}
+
+void AreaController::multicast_area(const char* label, Bytes payload) {
+  network().multicast(id(), area_group_, label, std::move(payload));
+  last_area_tx_ = network().now();
+}
+
+Bytes AreaController::issue_ticket(ClientId client, ByteView pubkey,
+                                   net::SimTime join_time,
+                                   net::SimTime valid_until) {
+  Ticket t;
+  t.join_time = join_time;
+  t.valid_until = valid_until;
+  t.member_id = client;
+  t.member_pubkey = Bytes(pubkey.begin(), pubkey.end());
+  t.last_ac = ac_id_;
+  return seal_ticket(t, k_shared_, prng_);
+}
+
+// ---------------------------------------------------------------- rekeying
+
+void AreaController::flush_rekeys() {
+  if (role_ != Role::kPrimary || !open_) return;
+  lkh::RekeyMessage msg;
+  if (!pending_leaves_.empty()) {
+    prev_area_key_ = tree_->root_key();
+    msg = tree_->leave_batch(pending_leaves_);
+    pending_leaves_.clear();
+    pending_join_rotation_ = false;
+  } else if (pending_join_rotation_) {
+    prev_area_key_ = tree_->root_key();
+    msg = tree_->rotate_root();
+    pending_join_rotation_ = false;
+  } else {
+    return;
+  }
+  multicast_area(kLabelRekey,
+                 signed_envelope(MsgType::kRekey, msg.serialize(), keypair_.priv));
+  ++counters_.rekey_multicasts;
+  last_fresh_rekey_ = network().now();
+  sync_backup();
+}
+
+std::vector<lkh::PathKey> AreaController::admit(ClientId client,
+                                                net::NodeId node,
+                                                ByteView pubkey) {
+  // A rejoining client may still sit in the tree (stale leaf) or in the
+  // pending-leave batch (left, now coming back before the flush). Clear
+  // both so the new admission starts from a clean slate.
+  std::erase(pending_leaves_, client);
+  if (tree_->contains(client)) {
+    prev_area_key_ = tree_->root_key();
+    lkh::RekeyMessage rekey = tree_->leave(client);
+    multicast_area(kLabelRekey, signed_envelope(MsgType::kRekey,
+                                                rekey.serialize(),
+                                                keypair_.priv));
+    ++counters_.rekey_multicasts;
+  }
+
+  lkh::KeyTree::JoinOutcome out = tree_->join(client);
+  if (out.split) {
+    auto moved = members_.find(out.split_member);
+    if (moved != members_.end()) {
+      crypto::RsaPublicKey moved_pub =
+          crypto::RsaPublicKey::deserialize(moved->second.pubkey);
+      network().unicast(
+          id(), moved->second.node, kLabelRekey,
+          envelope(MsgType::kSplitUpdate,
+                   crypto::pk_encrypt(
+                       moved_pub,
+                       with_mac(lkh::serialize_path(out.split_member_update)),
+                       prng_)));
+    }
+  }
+
+  MemberRecord rec;
+  rec.node = node;
+  rec.pubkey = Bytes(pubkey.begin(), pubkey.end());
+  rec.last_heard = network().now();
+  members_[client] = std::move(rec);
+  departed_tickets_.erase(client);
+
+  pending_join_rotation_ = true;
+  if (!config_.batching) flush_rekeys();
+  // Re-read the path AFTER any immediate flush: the join reply must carry
+  // the keys as they are now, not as they were before the root rotated.
+  return tree_->path_keys(client);
+}
+
+void AreaController::schedule_leave(ClientId client) {
+  auto it = members_.find(client);
+  if (it == members_.end()) return;
+  departed_tickets_[client] = it->second.sealed_ticket;
+  network().leave_group(area_group_, it->second.node);
+  members_.erase(it);
+  if (std::find(pending_leaves_.begin(), pending_leaves_.end(), client) ==
+      pending_leaves_.end()) {
+    pending_leaves_.push_back(client);
+  }
+  if (!config_.batching) flush_rekeys();
+  sync_backup();
+}
+
+// ----------------------------------------------------------- join protocol
+
+void AreaController::handle_join_step4(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  // Signed by the registration server; verify before trusting anything.
+  if (!verify_envelope(env, rs_pub_)) return;
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  std::uint64_t nonce_ac = r.u64();
+  ClientId client_id = r.u64();
+  net::SimTime ts = r.u64();
+  Bytes client_pubkey = r.bytes();
+  net::SimDuration duration = r.u64();
+  r.expect_done();
+  if (!ts_fresh(ts)) return;  // replay (the paper's Timestamp check)
+
+  PendingJoin pj;
+  pj.client_id = client_id;
+  pj.client_pubkey = std::move(client_pubkey);
+  pj.duration = duration;
+  pending_joins_[nonce_ac + 2] = std::move(pj);
+
+  // Under network reordering the client's step 6 can arrive before this
+  // introduction; if it is parked, complete the join now.
+  auto early = early_step6_.find(nonce_ac + 2);
+  if (early != early_step6_.end()) {
+    EarlyStep6 e = early->second;
+    early_step6_.erase(early);
+    complete_join(nonce_ac + 2, e.client_node, e.nonce_ca);
+  }
+}
+
+void AreaController::handle_join_step6(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  std::uint64_t nonce_response = r.u64();
+  std::uint64_t nonce_ca = r.u64();
+  r.expect_done();
+  complete_join(nonce_response, msg.from, nonce_ca);
+}
+
+void AreaController::complete_join(std::uint64_t nonce_response,
+                                   net::NodeId client_node,
+                                   std::uint64_t nonce_ca) {
+  auto it = pending_joins_.find(nonce_response);
+  if (it == pending_joins_.end()) {
+    // Either an attack (bogus nonce) or the step-4 introduction is still
+    // in flight: park it. A bogus entry sits harmlessly in the map — it
+    // can never match a real Nonce_AC+2, which has 64 bits of entropy.
+    early_step6_[nonce_response] = {client_node, nonce_ca};
+    return;
+  }
+  PendingJoin pj = std::move(it->second);
+  pending_joins_.erase(it);
+
+  std::vector<lkh::PathKey> path =
+      admit(pj.client_id, client_node, pj.client_pubkey);
+  net::SimTime now = network().now();
+  Bytes sealed = issue_ticket(pj.client_id, pj.client_pubkey, now,
+                              now + pj.duration);
+  members_[pj.client_id].sealed_ticket = sealed;
+  members_[pj.client_id].valid_until = now + pj.duration;
+
+  // Step 7: {Nonce_CA+1; ticket; [aux-keys]; MAC}_Pub_k. pk_encrypt goes
+  // hybrid automatically — the paper's one-time-symmetric-key workaround.
+  WireWriter w;
+  w.u64(nonce_ca + 1);
+  w.bytes(sealed);
+  w.u64(ac_id_);
+  w.u32(area_group_);
+  w.bytes(lkh::serialize_path(path));
+  crypto::RsaPublicKey client_pub =
+      crypto::RsaPublicKey::deserialize(members_[pj.client_id].pubkey);
+  network().unicast(id(), client_node, kLabelJoin,
+                    envelope(MsgType::kJoinStep7,
+                             crypto::pk_encrypt(client_pub, with_mac(w.data()),
+                                                prng_)));
+  ++counters_.joins;
+  sync_backup();
+}
+
+// --------------------------------------------------------- rejoin protocol
+
+void AreaController::handle_rejoin_step1(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  std::uint64_t nonce_cb = r.u64();
+  ClientId claimed_nic = r.u64();
+  Bytes sealed_ticket = r.bytes();
+  r.expect_done();
+
+  Ticket ticket = open_ticket(sealed_ticket, k_shared_, network().now());
+
+  std::uint64_t nonce_bc = prng_.next_u64();
+  PendingRejoin pr;
+  pr.client_node = msg.from;
+  pr.claimed_nic = claimed_nic;
+  pr.ticket = ticket;
+  pending_rejoins_[nonce_bc + 1] = std::move(pr);
+
+  WireWriter w;
+  w.u64(nonce_cb + 1);
+  w.u64(nonce_bc);
+  crypto::RsaPublicKey client_pub =
+      crypto::RsaPublicKey::deserialize(ticket.member_pubkey);
+  network().unicast(id(), msg.from, kLabelRejoin,
+                    envelope(MsgType::kRejoinStep2,
+                             crypto::pk_encrypt(client_pub, with_mac(w.data()),
+                                                prng_)));
+}
+
+void AreaController::handle_rejoin_step3(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  std::uint64_t response = r.u64();
+  r.expect_done();
+
+  auto it = pending_rejoins_.find(response);
+  if (it == pending_rejoins_.end()) return;
+  PendingRejoin pr = std::move(it->second);
+  pending_rejoins_.erase(it);
+
+  AwaitingCohortCheck s;
+  s.client_node = pr.client_node;
+  s.claimed_nic = pr.claimed_nic;
+  s.ticket = pr.ticket;
+
+  if (config_.skip_cohort_check) {
+    admit_rejoin(s);
+    return;
+  }
+
+  if (s.ticket.last_ac == ac_id_) {
+    // Rejoining the same area (e.g. after a transient disconnect). Deny
+    // only if the recorded member is still actively heard from a DIFFERENT
+    // node — that is the ticket-sharing cohort signature.
+    auto mit = members_.find(s.ticket.member_id);
+    bool active_elsewhere =
+        mit != members_.end() && mit->second.node != s.client_node &&
+        network().now() - mit->second.last_heard < config_.member_silence_limit();
+    if (active_elsewhere) {
+      deny_rejoin(s);
+    } else {
+      admit_rejoin(s);
+    }
+    return;
+  }
+
+  const AcInfo* aca = directory_.find(s.ticket.last_ac);
+  if (aca == nullptr) {
+    // Old AC unknown — treat like a partition.
+    finish_rejoin(s.ticket.member_id, s, /*cohort_confirmed_gone=*/false);
+    return;
+  }
+
+  // Steps 4–5: ask AC_A whether the client has really left.
+  WireWriter w;
+  w.u64(ac_id_);
+  w.u64(s.ticket.member_id);
+  w.u64(network().now());
+  crypto::RsaPublicKey aca_pub = crypto::RsaPublicKey::deserialize(aca->pubkey);
+  network().unicast(
+      id(), aca->node, kLabelRejoin,
+      signed_envelope(MsgType::kRejoinStep4,
+                      crypto::pk_encrypt(aca_pub, with_mac(w.data()), prng_),
+                      keypair_.priv));
+
+  std::uint64_t token = next_timer_token_++;
+  s.timeout_timer =
+      network().set_timer(id(), config_.rejoin_check_timeout, token);
+  rejoin_timeout_tokens_[token] = s.ticket.member_id;
+  awaiting_cohort_[s.ticket.member_id] = std::move(s);
+}
+
+void AreaController::handle_rejoin_step4(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  AcId requester = r.u64();
+  ClientId k_id = r.u64();
+  net::SimTime ts = r.u64();
+  r.expect_done();
+  if (!ts_fresh(ts)) return;
+  if (!directory_.verify(requester, env.box, env.sig)) return;
+  const AcInfo* req_info = directory_.find(requester);
+  if (req_info == nullptr) return;
+
+  bool gone = true;
+  Bytes ticket_bytes;
+  auto it = members_.find(k_id);
+  if (it != members_.end()) {
+    if (network().now() - it->second.last_heard <
+        config_.member_silence_limit()) {
+      gone = false;  // still actively with us: cohort sharing suspected
+    } else {
+      ticket_bytes = it->second.sealed_ticket;
+      schedule_leave(k_id);  // the member has clearly moved on
+    }
+  } else if (auto dit = departed_tickets_.find(k_id);
+             dit != departed_tickets_.end()) {
+    ticket_bytes = dit->second;
+  }
+
+  WireWriter w;
+  w.u64(ac_id_);
+  w.u64(k_id);
+  w.u8(gone ? 1 : 0);
+  w.bytes(ticket_bytes);
+  w.u64(network().now());
+  crypto::RsaPublicKey req_pub =
+      crypto::RsaPublicKey::deserialize(req_info->pubkey);
+  network().unicast(
+      id(), msg.from, kLabelRejoin,
+      signed_envelope(MsgType::kRejoinStep5,
+                      crypto::pk_encrypt(req_pub, with_mac(w.data()), prng_),
+                      keypair_.priv));
+}
+
+void AreaController::handle_rejoin_step5(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  AcId responder = r.u64();
+  ClientId k_id = r.u64();
+  bool gone = r.u8() != 0;
+  (void)r.bytes();  // AC_A's stored ticket copy; client's copy already checked
+  net::SimTime ts = r.u64();
+  r.expect_done();
+  if (!ts_fresh(ts)) return;
+  if (!directory_.verify(responder, env.box, env.sig)) return;
+
+  auto it = awaiting_cohort_.find(k_id);
+  if (it == awaiting_cohort_.end()) return;  // late answer after timeout
+  AwaitingCohortCheck s = std::move(it->second);
+  awaiting_cohort_.erase(it);
+  network().cancel_timer(s.timeout_timer);
+  std::erase_if(rejoin_timeout_tokens_,
+                [&](const auto& kv) { return kv.second == k_id; });
+
+  if (gone) {
+    admit_rejoin(s);
+  } else {
+    deny_rejoin(s);
+  }
+}
+
+void AreaController::finish_rejoin(std::uint64_t k_id,
+                                   const AwaitingCohortCheck& s,
+                                   bool cohort_confirmed_gone) {
+  (void)k_id;
+  if (cohort_confirmed_gone) {
+    admit_rejoin(s);
+    return;
+  }
+  // Partition / no answer: Section IV-B's two options.
+  switch (config_.partitioned_rejoin) {
+    case PartitionedRejoinPolicy::kDeny:
+      deny_rejoin(s);
+      break;
+    case PartitionedRejoinPolicy::kAdmitWithNicCheck:
+      if (s.claimed_nic == s.ticket.member_id) {
+        admit_rejoin(s);
+      } else {
+        deny_rejoin(s);
+      }
+      break;
+  }
+}
+
+void AreaController::admit_rejoin(const AwaitingCohortCheck& s) {
+  std::vector<lkh::PathKey> path =
+      admit(s.ticket.member_id, s.client_node, s.ticket.member_pubkey);
+
+  // Re-issue the ticket with the ORIGINAL validity — moving areas neither
+  // extends nor cuts short the membership the client paid for.
+  Ticket t = s.ticket;
+  t.last_ac = ac_id_;
+  Bytes sealed = seal_ticket(t, k_shared_, prng_);
+  members_[t.member_id].sealed_ticket = sealed;
+  members_[t.member_id].valid_until = t.valid_until;
+
+  WireWriter w;
+  w.bytes(sealed);
+  w.u64(ac_id_);
+  w.u32(area_group_);
+  w.bytes(lkh::serialize_path(path));
+  crypto::RsaPublicKey client_pub =
+      crypto::RsaPublicKey::deserialize(t.member_pubkey);
+  network().unicast(
+      id(), s.client_node, kLabelRejoin,
+      signed_envelope(MsgType::kRejoinStep6,
+                      crypto::pk_encrypt(client_pub, with_mac(w.data()), prng_),
+                      keypair_.priv));
+  ++counters_.rejoins;
+  sync_backup();
+}
+
+void AreaController::deny_rejoin(const AwaitingCohortCheck& s) {
+  (void)s;  // no denial message on the wire; the client times out
+  ++counters_.rejoins_denied;
+}
+
+// --------------------------------------------------------------- area tree
+
+void AreaController::connect_to_parent(AcId parent) {
+  const AcInfo* info = directory_.find(parent);
+  if (info == nullptr) throw ProtocolError("parent AC not in directory");
+  Uplink up;
+  up.parent_ac = parent;
+  up.parent_node = info->node;
+  up.parent_group = info->group;
+  up.last_heard_parent = network().now();
+  up.last_attempt = network().now();
+  uplink_ = std::move(up);
+  network().join_group(info->group, id());
+
+  WireWriter w;
+  w.u64(ac_id_);
+  w.u64(network().now());
+  crypto::RsaPublicKey parent_pub =
+      crypto::RsaPublicKey::deserialize(info->pubkey);
+  network().unicast(
+      id(), info->node, kLabelArea,
+      signed_envelope(MsgType::kAcUplinkJoin,
+                      crypto::pk_encrypt(parent_pub, with_mac(w.data()), prng_),
+                      keypair_.priv));
+}
+
+void AreaController::handle_uplink_join(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  AcId child = r.u64();
+  net::SimTime ts = r.u64();
+  r.expect_done();
+  if (!ts_fresh(ts)) return;
+  // The directory doubles as the authorization database AI: only listed
+  // ACs may link (their key must verify the signature).
+  if (!directory_.verify(child, env.box, env.sig)) return;
+  const AcInfo* child_info = directory_.find(child);
+  if (child_info == nullptr) return;
+
+  // The signature may be from the child's backup (post-takeover): answer
+  // whichever key verifies. We encrypt to the primary key first and to the
+  // backup key if the primary fails verification.
+  Bytes child_pub_ser = child_info->pubkey;
+  crypto::pk_count_verify();
+  if (!crypto::rsa_verify(crypto::RsaPublicKey::deserialize(child_pub_ser),
+                          env.box, env.sig) &&
+      !child_info->backup_pubkey.empty()) {
+    child_pub_ser = child_info->backup_pubkey;
+  }
+
+  std::vector<lkh::PathKey> path = admit(child, msg.from, child_pub_ser);
+  net::SimTime now = network().now();
+  members_[child].sealed_ticket =
+      issue_ticket(child, child_pub_ser, now, now + config_.ticket_validity);
+  members_[child].valid_until = now + config_.ticket_validity;
+
+  WireWriter w;
+  w.u64(ac_id_);
+  w.u32(area_group_);
+  w.bytes(lkh::serialize_path(path));
+  w.u64(now);
+  crypto::RsaPublicKey child_pub =
+      crypto::RsaPublicKey::deserialize(child_pub_ser);
+  network().unicast(
+      id(), msg.from, kLabelArea,
+      signed_envelope(MsgType::kAcUplinkReply,
+                      crypto::pk_encrypt(child_pub, with_mac(w.data()), prng_),
+                      keypair_.priv));
+  sync_backup();
+}
+
+void AreaController::handle_uplink_reply(const net::Message& msg) {
+  if (!uplink_) return;
+  Envelope env = parse_envelope(msg.payload);
+  if (!directory_.verify(uplink_->parent_ac, env.box, env.sig)) return;
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  AcId parent = r.u64();
+  net::GroupId parent_group = r.u32();
+  std::vector<lkh::PathKey> path = lkh::deserialize_path(r.bytes());
+  net::SimTime ts = r.u64();
+  r.expect_done();
+  if (parent != uplink_->parent_ac || !ts_fresh(ts)) return;
+
+  uplink_->parent_group = parent_group;
+  uplink_->keys.clear();
+  uplink_->keys.install(path);
+  network().join_group(parent_group, id());
+  uplink_->ready = true;
+  uplink_->last_heard_parent = network().now();
+  uplink_->last_sent_parent = network().now();
+}
+
+void AreaController::check_parent_liveness() {
+  if (!uplink_) return;
+  net::SimTime now = network().now();
+  if (!uplink_->ready) {
+    // Our uplink-join request got no answer (lost, or the parent is down):
+    // try the next preferred controller.
+    if (now - uplink_->last_attempt > config_.ac_silence_limit())
+      switch_parent();
+    return;
+  }
+  if (now - uplink_->last_heard_parent <= config_.ac_silence_limit()) return;
+  switch_parent();
+}
+
+void AreaController::switch_parent() {
+  // Pick the first directory entry that is neither us nor the unreachable
+  // parent — the "list of one or more preferred area controllers"
+  // (Section IV-C). If nobody else is listed, retry the same parent: it
+  // may come back (disconnected operation continues meanwhile).
+  AcId dead = uplink_ ? uplink_->parent_ac : kNoAc;
+  if (uplink_ && uplink_->ready)
+    network().leave_group(uplink_->parent_group, id());
+  uplink_.reset();
+  for (const AcInfo& e : directory_.entries()) {
+    if (e.ac_id == ac_id_ || e.ac_id == dead) continue;
+    ++counters_.parent_switches;
+    connect_to_parent(e.ac_id);
+    return;
+  }
+  if (dead != kNoAc && directory_.find(dead) != nullptr) {
+    ++counters_.parent_switches;
+    connect_to_parent(dead);
+  }
+}
+
+// -------------------------------------------------------------- steady state
+
+void AreaController::send_alive_if_idle() {
+  net::SimTime now = network().now();
+  if (now - last_area_tx_ >= config_.t_idle && !members_.empty()) {
+    WireWriter w;
+    w.u8(kAliveFromAc);
+    w.u64(ac_id_);
+    multicast_area(kLabelAlive, envelope(MsgType::kAlive, w.data()));
+  }
+  // As a member of the parent area, we owe the parent OUR alive messages.
+  if (uplink_ && uplink_->ready &&
+      now - uplink_->last_sent_parent >= config_.t_active) {
+    WireWriter w;
+    w.u8(kAliveFromMember);
+    w.u64(ac_id_);
+    network().unicast(id(), uplink_->parent_node, kLabelAlive,
+                      envelope(MsgType::kAlive, w.data()));
+    uplink_->last_sent_parent = now;
+  }
+}
+
+void AreaController::scan_members() {
+  net::SimTime now = network().now();
+  std::vector<ClientId> silent;
+  for (const auto& [cid, rec] : members_) {
+    if (now - rec.last_heard > config_.member_silence_limit())
+      silent.push_back(cid);
+    else if (rec.valid_until != 0 && now > rec.valid_until)
+      silent.push_back(cid);  // membership period over: evict
+  }
+  for (ClientId cid : silent) {
+    schedule_leave(cid);
+    ++counters_.evictions;
+  }
+}
+
+void AreaController::handle_alive(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  WireReader r(env.box);
+  std::uint8_t kind = r.u8();
+  std::uint64_t sender = r.u64();
+  r.expect_done();
+  if (kind == kAliveFromMember) {
+    auto it = members_.find(sender);
+    if (it != members_.end() && it->second.node == msg.from)
+      it->second.last_heard = network().now();
+  }
+  // AC alive messages in the parent group refresh last_heard_parent via
+  // the generic bookkeeping in on_message.
+}
+
+void AreaController::handle_leave_request(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  WireReader r(env.box);
+  ClientId client = r.u64();
+  r.expect_done();
+  auto it = members_.find(client);
+  if (it == members_.end()) return;
+  // Anti-spoofing: the request must come from the member's own node.
+  if (it->second.node != msg.from) return;
+  schedule_leave(client);
+}
+
+void AreaController::handle_data(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  WireReader r(env.box);
+  std::uint64_t msg_id = r.u64();
+  std::uint64_t sender = r.u64();
+  Bytes key_box = r.bytes();
+  Bytes payload_box = r.bytes();
+  r.expect_done();
+
+  // Any traffic from a member counts as liveness.
+  if (auto it = members_.find(sender); it != members_.end())
+    it->second.last_heard = network().now();
+
+  if (!seen_data_.insert(msg_id).second) return;
+
+  // Section III-E: "The keys are updated just before the multicast data is
+  // forwarded."
+  flush_rekeys();
+
+  bool from_own = msg.group == area_group_;
+  bool from_parent = uplink_ && uplink_->ready &&
+                     msg.group == uplink_->parent_group;
+  if (!from_own && !from_parent) return;
+
+  std::optional<Bytes> dk_raw;
+  if (from_own) {
+    dk_raw = open_fallback(tree_->root_key(), prev_area_key_, key_box);
+  } else {
+    dk_raw = open_fallback(uplink_->keys.group_key(),
+                           uplink_->keys.previous_group_key(), key_box);
+  }
+  if (!dk_raw) return;  // rotated underneath the sender; drop
+  crypto::SymmetricKey data_key(std::move(*dk_raw));
+
+  auto build = [&](const crypto::SymmetricKey& area_key) {
+    WireWriter w;
+    w.u64(msg_id);
+    w.u64(sender);
+    w.bytes(crypto::sym_seal(area_key, data_key.bytes(), prng_));
+    w.bytes(payload_box);
+    return envelope(MsgType::kData, w.data());
+  };
+
+  if (from_own && uplink_ && uplink_->ready) {
+    network().multicast(id(), uplink_->parent_group, kLabelData,
+                        build(uplink_->keys.group_key()));
+    uplink_->last_sent_parent = network().now();
+    ++counters_.data_forwards;
+  }
+  if (from_parent) {
+    multicast_area(kLabelData, build(tree_->root_key()));
+    ++counters_.data_forwards;
+  }
+}
+
+void AreaController::handle_rekey_from_parent(const net::Message& msg) {
+  if (!uplink_ || !uplink_->ready || msg.group != uplink_->parent_group) return;
+  Envelope env = parse_envelope(msg.payload);
+  if (!directory_.verify(uplink_->parent_ac, env.box, env.sig)) return;
+  uplink_->keys.apply(lkh::RekeyMessage::deserialize(env.box));
+}
+
+void AreaController::handle_split_update(const net::Message& msg) {
+  if (!uplink_) return;
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  uplink_->keys.install(lkh::deserialize_path(inner));
+}
+
+void AreaController::handle_takeover(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(env.box);
+  WireReader r(inner);
+  AcId who = r.u64();
+  net::NodeId new_node = r.u32();
+  net::SimTime ts = r.u64();
+  r.expect_done();
+  if (!ts_fresh(ts)) return;
+  if (!directory_.verify(who, env.box, env.sig)) return;
+  directory_.promote_backup(who);
+  if (uplink_ && uplink_->parent_ac == who) {
+    uplink_->parent_node = new_node;
+    uplink_->last_heard_parent = network().now();
+  }
+}
+
+// -------------------------------------------------------------- replication
+
+Bytes AreaController::make_snapshot() const {
+  WireWriter w;
+  w.u32(area_group_);
+  w.u64(uplink_ ? uplink_->parent_ac : kNoAc);
+  w.bytes(tree_->serialize());
+  w.u32(static_cast<std::uint32_t>(members_.size()));
+  for (const auto& [cid, rec] : members_) {
+    w.u64(cid);
+    w.u32(rec.node);
+    w.bytes(rec.pubkey);
+    w.bytes(rec.sealed_ticket);
+    w.u64(rec.valid_until);
+  }
+  return w.take();
+}
+
+void AreaController::sync_backup() {
+  if (backup_node_ == net::kNoNode) return;
+  Bytes sealed =
+      crypto::sym_seal(k_shared_.derive("sync"), make_snapshot(), prng_);
+  network().unicast(id(), backup_node_, kLabelRepl,
+                    envelope(MsgType::kStateSync, sealed));
+}
+
+void AreaController::load_snapshot(ByteView snapshot) {
+  WireReader r(snapshot);
+  area_group_ = r.u32();
+  AcId parent = r.u64();
+  tree_ = lkh::KeyTree::deserialize(r.bytes(), prng_.fork());
+  members_.clear();
+  std::uint32_t n = r.u32();
+  net::SimTime now = network().now();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ClientId cid = r.u64();
+    MemberRecord rec;
+    rec.node = r.u32();
+    rec.pubkey = r.bytes();
+    rec.sealed_ticket = r.bytes();
+    rec.valid_until = r.u64();
+    rec.last_heard = now;  // grace period after takeover
+    members_[cid] = std::move(rec);
+  }
+  r.expect_done();
+  if (parent != kNoAc) {
+    Uplink up;
+    up.parent_ac = parent;
+    const AcInfo* info = directory_.find(parent);
+    up.parent_node = info != nullptr ? info->node : net::kNoNode;
+    up.last_heard_parent = now;
+    uplink_ = std::move(up);
+  } else {
+    uplink_.reset();
+  }
+}
+
+void AreaController::handle_state_sync(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes snapshot = crypto::sym_open(k_shared_.derive("sync"), env.box);
+  if (!got_snapshot_) {
+    // First sync: learn the area group and listen in silently.
+    WireReader r(snapshot);
+    net::GroupId group = r.u32();
+    network().join_group(group, id());
+    got_snapshot_ = true;
+  }
+  latest_snapshot_ = std::move(snapshot);
+  last_heartbeat_rx_ = network().now();
+}
+
+void AreaController::handle_heartbeat(const net::Message& msg) {
+  (void)msg;
+  last_heartbeat_rx_ = network().now();
+}
+
+void AreaController::promote_to_primary() {
+  if (role_ != Role::kBackup || !got_snapshot_) return;
+  role_ = Role::kPrimary;
+  load_snapshot(latest_snapshot_);
+  open_ = true;
+  last_area_tx_ = network().now();
+  start_primary_timers();
+  ++counters_.takeovers;
+
+  // Announce: members and child ACs update their AC address and verify key.
+  WireWriter w;
+  w.u64(ac_id_);
+  w.u32(id());
+  w.u64(network().now());
+  multicast_area(kLabelArea, signed_envelope(MsgType::kTakeOver,
+                                             with_mac(w.data()), keypair_.priv));
+
+  // Re-link to the parent: the uplink's key state was intentionally not
+  // replicated ("only a minimal state information is replicated").
+  if (uplink_) {
+    AcId parent = uplink_->parent_ac;
+    uplink_.reset();
+    if (directory_.find(parent) != nullptr) connect_to_parent(parent);
+  }
+}
+
+// ------------------------------------------------------------------ routing
+
+void AreaController::on_timer(std::uint64_t token) {
+  switch (token) {
+    case kTimerIdle:
+      send_alive_if_idle();
+      check_parent_liveness();
+      network().set_timer(id(), config_.t_idle, kTimerIdle);
+      return;
+    case kTimerMemberScan:
+      scan_members();
+      network().set_timer(id(), config_.t_active, kTimerMemberScan);
+      return;
+    case kTimerRekey:
+      if (update_pending()) {
+        flush_rekeys();
+      } else if (config_.periodic_fresh_rekey && !members_.empty() &&
+                 network().now() - last_fresh_rekey_ >=
+                     config_.rekey_interval) {
+        // No membership events, but the interval elapsed: rotate the area
+        // key anyway to keep it fresh (Section III-E, condition 2).
+        pending_join_rotation_ = true;
+        flush_rekeys();
+      }
+      network().set_timer(id(), config_.rekey_interval, kTimerRekey);
+      return;
+    case kTimerHeartbeat: {
+      if (backup_node_ != net::kNoNode) {
+        WireWriter w;
+        w.u64(network().now());
+        network().unicast(id(), backup_node_, kLabelRepl,
+                          envelope(MsgType::kHeartbeat, w.data()));
+        network().set_timer(id(), config_.heartbeat_interval, kTimerHeartbeat);
+      }
+      return;
+    }
+    case kTimerBackupWatch: {
+      if (role_ != Role::kBackup) return;
+      net::SimTime limit = config_.heartbeat_misses * config_.heartbeat_interval;
+      if (got_snapshot_ && network().now() - last_heartbeat_rx_ > limit) {
+        promote_to_primary();
+      } else {
+        network().set_timer(id(), config_.heartbeat_interval, kTimerBackupWatch);
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  // Rejoin cohort-check timeout.
+  auto tok = rejoin_timeout_tokens_.find(token);
+  if (tok == rejoin_timeout_tokens_.end()) return;
+  ClientId k_id = tok->second;
+  rejoin_timeout_tokens_.erase(tok);
+  auto it = awaiting_cohort_.find(k_id);
+  if (it == awaiting_cohort_.end()) return;
+  AwaitingCohortCheck s = std::move(it->second);
+  awaiting_cohort_.erase(it);
+  finish_rejoin(k_id, s, /*cohort_confirmed_gone=*/false);
+}
+
+void AreaController::on_message(const net::Message& msg) {
+  // Generic parent-liveness bookkeeping: anything the parent AC multicasts
+  // into its area (alive, rekey, forwarded data) proves it is up.
+  if (uplink_ && uplink_->ready && msg.group == uplink_->parent_group &&
+      msg.from == uplink_->parent_node) {
+    uplink_->last_heard_parent = network().now();
+  }
+
+  Envelope env;
+  try {
+    env = parse_envelope(msg.payload);
+  } catch (const Error&) {
+    return;
+  }
+
+  try {
+    if (role_ == Role::kBackup) {
+      switch (env.type) {
+        case MsgType::kStateSync:
+          handle_state_sync(msg);
+          break;
+        case MsgType::kHeartbeat:
+          handle_heartbeat(msg);
+          break;
+        default:
+          break;  // backups stay silent
+      }
+      return;
+    }
+
+    switch (env.type) {
+      case MsgType::kJoinStep4:
+        handle_join_step4(msg);
+        break;
+      case MsgType::kJoinStep6:
+        handle_join_step6(msg);
+        break;
+      case MsgType::kRejoinStep1:
+        handle_rejoin_step1(msg);
+        break;
+      case MsgType::kRejoinStep3:
+        handle_rejoin_step3(msg);
+        break;
+      case MsgType::kRejoinStep4:
+        handle_rejoin_step4(msg);
+        break;
+      case MsgType::kRejoinStep5:
+        handle_rejoin_step5(msg);
+        break;
+      case MsgType::kAcUplinkJoin:
+        handle_uplink_join(msg);
+        break;
+      case MsgType::kAcUplinkReply:
+        handle_uplink_reply(msg);
+        break;
+      case MsgType::kAlive:
+        handle_alive(msg);
+        break;
+      case MsgType::kData:
+        handle_data(msg);
+        break;
+      case MsgType::kLeaveRequest:
+        handle_leave_request(msg);
+        break;
+      case MsgType::kRekey:
+        handle_rekey_from_parent(msg);
+        break;
+      case MsgType::kSplitUpdate:
+        handle_split_update(msg);
+        break;
+      case MsgType::kTakeOver:
+        handle_takeover(msg);
+        break;
+      default:
+        break;
+    }
+  } catch (const Error&) {
+    // Malformed/unauthentic input from the network must never crash an AC.
+  }
+}
+
+}  // namespace mykil::core

@@ -1,0 +1,238 @@
+// Area controller (AC): the per-area authority of Mykil.
+//
+// Responsibilities (Section III-A): (1) manage the area's cryptographic
+// keys via a per-area auxiliary key tree; (2) forward multicast data across
+// area boundaries; (3) manage member mobility and failures; (4) maintain
+// the auxiliary key tree; (5) manage member join and leave events.
+//
+// On top of that, this class implements:
+//   - the AC half of the join protocol (steps 4, 6, 7 of Fig. 3),
+//   - the rejoin protocol (Fig. 7) on both the new-area (AC_B) and
+//     old-area (AC_A) sides, including the partitioned-network options,
+//   - batching of join/leave rekeys (Section III-E),
+//   - failure detection via alive messages (Section IV-A), unilateral
+//     member eviction, and parent-switching (Section IV-C),
+//   - primary-backup replication with heartbeats and takeover
+//     (Section IV-C): construct a second instance with Role::kBackup and
+//     point the primary at it via set_backup().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "crypto/prng.h"
+#include "crypto/rsa.h"
+#include "lkh/key_tree.h"
+#include "lkh/member_state.h"
+#include "mykil/config.h"
+#include "mykil/directory.h"
+#include "mykil/ticket.h"
+#include "mykil/wire.h"
+#include "net/network.h"
+
+namespace mykil::core {
+
+class AreaController : public net::Node {
+ public:
+  enum class Role : std::uint8_t { kPrimary, kBackup };
+
+  AreaController(AcId ac_id, MykilConfig config, crypto::RsaKeyPair keypair,
+                 crypto::SymmetricKey k_shared, crypto::RsaPublicKey rs_pub,
+                 crypto::Prng prng, Role role = Role::kPrimary);
+
+  // ---- setup (primary role) ----
+
+  /// Create this AC's area: multicast group + protocol timers.
+  /// Call after Network::attach.
+  void open_area(net::Network& net);
+  /// Install the AC directory (identical content at every AC).
+  void set_directory(AcDirectory directory) { directory_ = std::move(directory); }
+  /// Join `parent`'s area (Section III-A): this AC becomes a member of the
+  /// parent's auxiliary key tree, enabling cross-area data forwarding.
+  void connect_to_parent(AcId parent);
+  /// Start replicating to a backup instance (heartbeats + state sync).
+  void set_backup(net::NodeId backup_node);
+
+  // ---- setup (backup role) ----
+  /// Backup instances need only attach + set_directory + start_watchdog;
+  /// they learn everything else from state-sync messages.
+  void start_watchdog();
+
+  void on_message(const net::Message& msg) override;
+  void on_timer(std::uint64_t token) override;
+
+  /// Force a batched-rekey flush now (tests/benchmarks; normally triggered
+  /// by data arrival or the rekey timer).
+  void flush_rekeys();
+
+  /// Toggle Section IV-B's optional cohort check (steps 4-5 of the rejoin
+  /// protocol) at runtime — the V-D benchmark measures both variants.
+  void set_skip_cohort_check(bool skip) { config_.skip_cohort_check = skip; }
+
+  // ---- introspection ----
+  [[nodiscard]] AcId ac_id() const { return ac_id_; }
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] net::GroupId area_group() const { return area_group_; }
+  [[nodiscard]] const lkh::KeyTree& tree() const { return *tree_; }
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+  [[nodiscard]] bool has_member(ClientId c) const { return members_.contains(c); }
+  [[nodiscard]] bool uplink_ready() const {
+    return uplink_ && uplink_->ready;
+  }
+  [[nodiscard]] AcId parent_ac() const {
+    return uplink_ ? uplink_->parent_ac : kNoAc;
+  }
+  [[nodiscard]] const crypto::RsaPublicKey& public_key() const {
+    return keypair_.pub;
+  }
+  [[nodiscard]] bool update_pending() const {
+    return pending_join_rotation_ || !pending_leaves_.empty();
+  }
+
+  struct Counters {
+    std::uint64_t joins = 0;
+    std::uint64_t rejoins = 0;
+    std::uint64_t rejoins_denied = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rekey_multicasts = 0;
+    std::uint64_t data_forwards = 0;
+    std::uint64_t parent_switches = 0;
+    std::uint64_t takeovers = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct MemberRecord {
+    net::NodeId node = net::kNoNode;
+    Bytes pubkey;         ///< serialized RsaPublicKey
+    Bytes sealed_ticket;  ///< last ticket issued to this member
+    net::SimTime last_heard = 0;
+    net::SimTime valid_until = 0;
+  };
+  struct PendingJoin {  ///< step 4 received, awaiting step 6
+    ClientId client_id = 0;
+    Bytes client_pubkey;
+    net::SimDuration duration = 0;
+  };
+  struct PendingRejoin {  ///< step 1/2 done, awaiting step 3
+    net::NodeId client_node = net::kNoNode;
+    ClientId claimed_nic = 0;
+    Ticket ticket;
+  };
+  struct AwaitingCohortCheck {  ///< step 4 sent to AC_A, awaiting step 5
+    net::NodeId client_node = net::kNoNode;
+    ClientId claimed_nic = 0;
+    Ticket ticket;
+    net::Network::TimerId timeout_timer = 0;
+  };
+  struct Uplink {
+    AcId parent_ac = kNoAc;
+    net::NodeId parent_node = net::kNoNode;
+    bool ready = false;
+    net::GroupId parent_group = 0;
+    lkh::MemberKeyState keys;
+    net::SimTime last_heard_parent = 0;
+    net::SimTime last_sent_parent = 0;
+    net::SimTime last_attempt = 0;  ///< when the join request went out
+  };
+
+  // message handlers
+  void handle_join_step4(const net::Message& msg);
+  void handle_join_step6(const net::Message& msg);
+  /// Shared tail of step 6: admit and send step 7.
+  void complete_join(std::uint64_t nonce_response, net::NodeId client_node,
+                     std::uint64_t nonce_ca);
+  void handle_rejoin_step1(const net::Message& msg);
+  void handle_rejoin_step3(const net::Message& msg);
+  void handle_rejoin_step4(const net::Message& msg);
+  void handle_rejoin_step5(const net::Message& msg);
+  void handle_uplink_join(const net::Message& msg);
+  void handle_uplink_reply(const net::Message& msg);
+  void handle_alive(const net::Message& msg);
+  void handle_data(const net::Message& msg);
+  void handle_leave_request(const net::Message& msg);
+  void handle_rekey_from_parent(const net::Message& msg);
+  void handle_split_update(const net::Message& msg);
+  void handle_state_sync(const net::Message& msg);
+  void handle_heartbeat(const net::Message& msg);
+  void handle_takeover(const net::Message& msg);
+
+  // internals
+  /// Admit `client` into the tree and area; returns the unicast path keys.
+  std::vector<lkh::PathKey> admit(ClientId client, net::NodeId node,
+                                  ByteView pubkey);
+  void schedule_leave(ClientId client);
+  void multicast_area(const char* label, Bytes payload);
+  void send_alive_if_idle();
+  void scan_members();
+  void check_parent_liveness();
+  void switch_parent();
+  void finish_rejoin(std::uint64_t k_id, const AwaitingCohortCheck& s,
+                     bool cohort_confirmed_gone);
+  void admit_rejoin(const AwaitingCohortCheck& s);
+  void deny_rejoin(const AwaitingCohortCheck& s);
+  void sync_backup();
+  [[nodiscard]] Bytes make_snapshot() const;
+  void load_snapshot(ByteView snapshot);
+  void promote_to_primary();
+  void start_primary_timers();
+  [[nodiscard]] Bytes issue_ticket(ClientId client, ByteView pubkey,
+                                   net::SimTime join_time,
+                                   net::SimTime valid_until);
+  [[nodiscard]] bool ts_fresh(net::SimTime ts) const;
+
+  AcId ac_id_;
+  MykilConfig config_;
+  crypto::RsaKeyPair keypair_;
+  crypto::SymmetricKey k_shared_;
+  crypto::RsaPublicKey rs_pub_;
+  crypto::Prng prng_;
+  Role role_;
+
+  std::optional<lkh::KeyTree> tree_;
+  net::GroupId area_group_ = 0;
+  bool open_ = false;
+  AcDirectory directory_;
+
+  std::map<ClientId, MemberRecord> members_;
+  std::map<ClientId, Bytes> departed_tickets_;  ///< for rejoin confirmations
+  std::map<std::uint64_t, PendingJoin> pending_joins_;      // by Nonce_AC+2
+  /// Step 6 can overtake the RS's step-4 introduction under reordering;
+  /// park it until the introduction arrives. Keyed by Nonce_AC+2.
+  struct EarlyStep6 {
+    net::NodeId client_node = net::kNoNode;
+    std::uint64_t nonce_ca = 0;
+  };
+  std::map<std::uint64_t, EarlyStep6> early_step6_;
+  std::map<std::uint64_t, PendingRejoin> pending_rejoins_;  // by Nonce_BC+1
+  std::map<std::uint64_t, AwaitingCohortCheck> awaiting_cohort_;  // by K_id
+
+  std::optional<Uplink> uplink_;
+  std::set<std::uint64_t> seen_data_;
+  /// Area key before the most recent rotation: senders race rekeys.
+  std::optional<crypto::SymmetricKey> prev_area_key_;
+  /// One-shot rejoin-timeout timers: token -> K_id of the awaited check.
+  static constexpr std::uint64_t kRejoinTokenBase = 1000;
+  std::map<std::uint64_t, std::uint64_t> rejoin_timeout_tokens_;
+  std::uint64_t next_timer_token_ = kRejoinTokenBase;
+
+  // batching state
+  bool pending_join_rotation_ = false;
+  std::vector<lkh::MemberId> pending_leaves_;
+  net::SimTime last_area_tx_ = 0;
+  net::SimTime last_member_scan_ = 0;
+  net::SimTime last_fresh_rekey_ = 0;
+
+  // replication
+  net::NodeId backup_node_ = net::kNoNode;
+  net::SimTime last_heartbeat_rx_ = 0;
+  bool got_snapshot_ = false;
+  Bytes latest_snapshot_;
+
+  Counters counters_;
+};
+
+}  // namespace mykil::core

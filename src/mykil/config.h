@@ -1,0 +1,89 @@
+// Protocol parameters for Mykil (Sections III–IV).
+#pragma once
+
+#include <cstdint>
+
+#include "net/sim_time.h"
+
+namespace mykil::core {
+
+/// How an area controller handles a rejoin when the member's previous area
+/// controller is unreachable (Section IV-B's two options).
+enum class PartitionedRejoinPolicy : std::uint8_t {
+  /// Option 1: deny the rejoin — no mobility across partitions, but ticket
+  /// sharing by malicious cohorts is impossible.
+  kDeny = 1,
+  /// Option 2: admit after verifying the NIC identifier in the ticket —
+  /// mobility keeps working across partitions at some cohort-sharing risk.
+  kAdmitWithNicCheck = 2,
+};
+
+struct MykilConfig {
+  // ---- key tree (Section III-C) ----
+  unsigned tree_fanout = 4;
+
+  // ---- batching (Section III-E) ----
+  /// Aggregate join/leave events and rekey only when multicast data arrives
+  /// or the rekey interval elapses. Disabling rekeys immediately per event.
+  bool batching = true;
+  /// Maximum time between rekeys while events are pending ("a specific
+  /// time interval has elapsed since the last rekeying operation").
+  net::SimDuration rekey_interval = net::sec(5);
+  /// Rotate the area key on the rekey interval even with NO pending
+  /// membership events — "rekeying under the latter condition preserves
+  /// the freshness of the area key" (Section III-E / key freshness,
+  /// Section II property 1).
+  bool periodic_fresh_rekey = false;
+
+  // ---- area sizing (Section V-A) ----
+  /// Registration stops assigning new members to an area at this size
+  /// ("we limit the membership size of an area to about 5000 members").
+  /// 0 disables the cap.
+  std::size_t max_area_members = 0;
+
+  // ---- failure detection (Section IV-A) ----
+  /// AC multicasts an alive message after this much in-area silence.
+  net::SimDuration t_idle = net::sec(1);
+  /// A member unicasts an alive message after this much silence toward
+  /// its AC. "Typically much larger than T_idle."
+  net::SimDuration t_active = net::sec(4);
+  /// Disconnection threshold multiplier (the paper's example uses 5x).
+  unsigned disconnect_multiplier = 5;
+
+  // ---- rejoin (Section IV-B) ----
+  PartitionedRejoinPolicy partitioned_rejoin = PartitionedRejoinPolicy::kAdmitWithNicCheck;
+  /// How long AC_B waits for AC_A's step-5 answer before applying the
+  /// partitioned-rejoin policy.
+  net::SimDuration rejoin_check_timeout = net::sec(2);
+  /// Skip steps 4–5 entirely (the 0.28 s variant measured in Section V-D).
+  bool skip_cohort_check = false;
+  /// Client-side retry: a rejoin that got no answer (denied, lost, or the
+  /// old AC still counted us as active) is retried after this long.
+  net::SimDuration rejoin_retry_interval = net::sec(3);
+  /// Ticket validity granted at registration.
+  net::SimDuration ticket_validity = net::sec(3600);
+
+  // ---- replication (Section IV-C) ----
+  net::SimDuration heartbeat_interval = net::sec(1);
+  /// Backup takes over after this many missed heartbeats.
+  unsigned heartbeat_misses = 3;
+
+  // ---- simulation control ----
+  /// Arm the periodic protocol timers (alive, eviction scans, rekey
+  /// interval, heartbeats). Protocol-logic tests that drive the network
+  /// manually disable them so the event queue can drain.
+  bool enable_timers = true;
+
+  // ---- replay protection ----
+  /// Maximum clock skew accepted on timestamped messages.
+  net::SimDuration ts_window = net::sec(30);
+
+  [[nodiscard]] net::SimDuration member_silence_limit() const {
+    return disconnect_multiplier * t_active;
+  }
+  [[nodiscard]] net::SimDuration ac_silence_limit() const {
+    return disconnect_multiplier * t_idle;
+  }
+};
+
+}  // namespace mykil::core

@@ -1,0 +1,81 @@
+#include "mykil/directory.h"
+
+#include "common/error.h"
+#include "common/wire.h"
+#include "crypto/sealed.h"
+
+namespace mykil::core {
+
+void AcDirectory::add(AcInfo info) {
+  for (const AcInfo& e : entries_) {
+    if (e.ac_id == info.ac_id) throw ProtocolError("duplicate AC id in directory");
+  }
+  entries_.push_back(std::move(info));
+}
+
+const AcInfo* AcDirectory::find(AcId ac_id) const {
+  for (const AcInfo& e : entries_) {
+    if (e.ac_id == ac_id) return &e;
+  }
+  return nullptr;
+}
+
+void AcDirectory::promote_backup(AcId ac_id) {
+  for (AcInfo& e : entries_) {
+    if (e.ac_id != ac_id || !e.has_backup()) continue;
+    e.node = e.backup_node;
+    e.pubkey = e.backup_pubkey;
+    e.backup_node = net::kNoNode;
+    e.backup_pubkey.clear();
+    return;
+  }
+}
+
+bool AcDirectory::verify(AcId ac_id, ByteView data, ByteView sig) const {
+  const AcInfo* info = find(ac_id);
+  if (info == nullptr) return false;
+  crypto::pk_count_verify();
+  if (crypto::rsa_verify(crypto::RsaPublicKey::deserialize(info->pubkey), data,
+                         sig))
+    return true;
+  if (!info->backup_pubkey.empty()) {
+    crypto::pk_count_verify();
+    return crypto::rsa_verify(
+        crypto::RsaPublicKey::deserialize(info->backup_pubkey), data, sig);
+  }
+  return false;
+}
+
+Bytes AcDirectory::serialize() const {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const AcInfo& e : entries_) {
+    w.u64(e.ac_id);
+    w.u32(e.node);
+    w.u32(e.group);
+    w.bytes(e.pubkey);
+    w.u32(e.backup_node);
+    w.bytes(e.backup_pubkey);
+  }
+  return w.take();
+}
+
+AcDirectory AcDirectory::deserialize(ByteView data) {
+  WireReader r(data);
+  AcDirectory dir;
+  std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    AcInfo e;
+    e.ac_id = r.u64();
+    e.node = r.u32();
+    e.group = r.u32();
+    e.pubkey = r.bytes();
+    e.backup_node = r.u32();
+    e.backup_pubkey = r.bytes();
+    dir.add(std::move(e));
+  }
+  r.expect_done();
+  return dir;
+}
+
+}  // namespace mykil::core

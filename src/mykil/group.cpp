@@ -1,0 +1,106 @@
+#include "mykil/group.h"
+
+#include "common/error.h"
+
+namespace mykil::core {
+
+namespace {
+/// AC identities live far above client NIC ids so the two never collide in
+/// the shared key-tree member-id space.
+constexpr AcId kAcIdBase = 0x4143000000000000;  // "AC"
+}  // namespace
+
+MykilGroup::MykilGroup(net::Network& net, GroupOptions options)
+    : net_(net),
+      options_(options),
+      prng_(options.seed),
+      k_shared_(crypto::SymmetricKey::random(prng_)) {
+  crypto::RsaKeyPair rs_keys = crypto::rsa_generate(options_.rsa_bits, prng_);
+  rs_ = std::make_unique<RegistrationServer>(options_.config, std::move(rs_keys),
+                                             prng_.fork());
+  net_.attach(*rs_);
+}
+
+std::size_t MykilGroup::add_area(std::optional<std::size_t> parent) {
+  if (finalized_) throw ProtocolError("add_area after finalize");
+  if (parent && *parent >= areas_.size())
+    throw ProtocolError("parent area index out of range");
+
+  Area area;
+  area.ac_id = kAcIdBase + areas_.size();
+  area.parent = parent;
+
+  crypto::RsaKeyPair keys = crypto::rsa_generate(options_.rsa_bits, prng_);
+  area.primary = std::make_unique<AreaController>(
+      area.ac_id, options_.config, std::move(keys), k_shared_,
+      rs_->public_key(), prng_.fork(), AreaController::Role::kPrimary);
+  net_.attach(*area.primary);
+  area.primary->open_area(net_);
+
+  if (options_.with_backups) {
+    crypto::RsaKeyPair bkeys = crypto::rsa_generate(options_.rsa_bits, prng_);
+    area.backup = std::make_unique<AreaController>(
+        area.ac_id, options_.config, std::move(bkeys), k_shared_,
+        rs_->public_key(), prng_.fork(), AreaController::Role::kBackup);
+    net_.attach(*area.backup);
+  }
+
+  areas_.push_back(std::move(area));
+  return areas_.size() - 1;
+}
+
+void MykilGroup::finalize() {
+  if (finalized_) throw ProtocolError("finalize called twice");
+  finalized_ = true;
+
+  for (const Area& a : areas_) {
+    AcInfo info;
+    info.ac_id = a.ac_id;
+    info.node = a.primary->id();
+    info.group = a.primary->area_group();
+    info.pubkey = a.primary->public_key().serialize();
+    if (a.backup) {
+      info.backup_node = a.backup->id();
+      info.backup_pubkey = a.backup->public_key().serialize();
+    }
+    directory_.add(info);
+    rs_->register_ac(info);
+  }
+
+  for (Area& a : areas_) {
+    a.primary->set_directory(directory_);
+    if (a.backup) {
+      a.backup->set_directory(directory_);
+      a.backup->start_watchdog();
+      a.primary->set_backup(a.backup->id());
+    }
+  }
+
+  // Link the area tree (children join their parent's area, Section III-A).
+  for (Area& a : areas_) {
+    if (a.parent) a.primary->connect_to_parent(areas_[*a.parent].ac_id);
+  }
+  settle();
+}
+
+std::unique_ptr<Member> MykilGroup::make_member(ClientId client,
+                                                net::SimDuration authorized) {
+  rs_->authorize(client, authorized);
+  crypto::RsaKeyPair keys = crypto::rsa_generate(options_.rsa_bits, prng_);
+  auto m = std::make_unique<Member>(client, options_.config, std::move(keys),
+                                    rs_->public_key(), prng_.fork());
+  net_.attach(*m);
+  m->start_timers();
+  return m;
+}
+
+void MykilGroup::join_member(Member& member, net::SimDuration requested) {
+  member.join(rs_->id(), requested);
+  settle();
+}
+
+void MykilGroup::settle(net::SimDuration dt) {
+  net_.run_until(net_.now() + dt);
+}
+
+}  // namespace mykil::core

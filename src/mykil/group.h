@@ -1,0 +1,92 @@
+// Convenience orchestration: builds a complete Mykil deployment — one
+// registration server, a tree of area controllers (optionally replicated),
+// a shared ticket key, and the AC directory — on a simulated network.
+//
+// This is the entry point examples and benchmarks use; it performs the
+// out-of-band setup the paper leaves to "the authorization information
+// database AI": generating K_shared, registering ACs, and wiring parents.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mykil/area_controller.h"
+#include "mykil/member.h"
+#include "mykil/registration_server.h"
+#include "net/network.h"
+
+namespace mykil::core {
+
+struct GroupOptions {
+  MykilConfig config;
+  /// RSA modulus size for all entities. 768 keeps simulations fast; the
+  /// paper's 2048 is exercised by the join-latency benchmark.
+  std::size_t rsa_bits = 768;
+  /// Give every area a primary-backup replicated controller.
+  bool with_backups = false;
+  /// Master seed: everything (keys, nonces, workloads) derives from it.
+  std::uint64_t seed = 1;
+  /// Arm the periodic protocol timers (alive/eviction/rekey/heartbeat).
+  /// Disable for protocol-logic tests that drive the network manually.
+  bool enable_timers = true;
+};
+
+class MykilGroup {
+ public:
+  MykilGroup(net::Network& net, GroupOptions options);
+
+  /// Create an area controller. `parent` is the index of the parent area
+  /// (the first area, index 0, is the root whose AC is the group
+  /// controller). Returns the new area's index.
+  std::size_t add_area(std::optional<std::size_t> parent = std::nullopt);
+
+  /// Finish setup: distribute the directory, link area parents, replicate
+  /// controllers, and settle the network. Call once, after add_area calls.
+  void finalize();
+
+  /// Construct (and attach) a member with its own deterministic keypair,
+  /// authorized at the RS for `authorized` time.
+  std::unique_ptr<Member> make_member(ClientId client,
+                                      net::SimDuration authorized);
+
+  /// Drive the member through the full join and settle the network.
+  void join_member(Member& member, net::SimDuration requested);
+
+  /// Advance simulated time (runs all due events).
+  void settle(net::SimDuration dt = net::msec(500));
+
+  [[nodiscard]] RegistrationServer& rs() { return *rs_; }
+  [[nodiscard]] AreaController& ac(std::size_t index) {
+    return *areas_.at(index).primary;
+  }
+  [[nodiscard]] AreaController* backup(std::size_t index) {
+    return areas_.at(index).backup.get();
+  }
+  [[nodiscard]] std::size_t area_count() const { return areas_.size(); }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] const MykilConfig& config() const { return options_.config; }
+  [[nodiscard]] const AcDirectory& directory() const { return directory_; }
+  [[nodiscard]] const crypto::RsaPublicKey& rs_public_key() const {
+    return rs_->public_key();
+  }
+
+ private:
+  struct Area {
+    std::unique_ptr<AreaController> primary;
+    std::unique_ptr<AreaController> backup;
+    std::optional<std::size_t> parent;
+    AcId ac_id = 0;
+  };
+
+  net::Network& net_;
+  GroupOptions options_;
+  crypto::Prng prng_;
+  crypto::SymmetricKey k_shared_;
+  std::unique_ptr<RegistrationServer> rs_;
+  std::vector<Area> areas_;
+  AcDirectory directory_;
+  bool finalized_ = false;
+};
+
+}  // namespace mykil::core

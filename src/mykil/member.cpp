@@ -1,0 +1,401 @@
+#include "mykil/member.h"
+
+#include "common/error.h"
+#include "crypto/sealed.h"
+
+namespace mykil::core {
+
+namespace {
+
+constexpr const char* kLabelJoin = "mykil-join";
+constexpr const char* kLabelRejoin = "mykil-rejoin";
+constexpr const char* kLabelData = "mykil-data";
+constexpr const char* kLabelAlive = "mykil-alive";
+
+constexpr std::uint64_t kTimerAlive = 1;
+constexpr std::uint64_t kTimerWatchdog = 2;
+
+constexpr std::uint8_t kAliveFromMember = 1;
+
+}  // namespace
+
+Member::Member(ClientId nic_id, MykilConfig config, crypto::RsaKeyPair keypair,
+               crypto::RsaPublicKey rs_pub, crypto::Prng prng)
+    : nic_id_(nic_id),
+      config_(config),
+      keypair_(std::move(keypair)),
+      rs_pub_(std::move(rs_pub)),
+      prng_(std::move(prng)) {}
+
+void Member::start_timers() {
+  if (!config_.enable_timers) return;
+  network().set_timer(id(), config_.t_active, kTimerAlive);
+  network().set_timer(id(), config_.t_idle, kTimerWatchdog);
+}
+
+void Member::join(net::NodeId rs_node, net::SimDuration requested_duration) {
+  rs_node_ = rs_node;
+  requested_duration_ = requested_duration;
+  join_in_progress_ = true;
+  nonce_cw_ = prng_.next_u64();
+  join_started_ = network().now();
+
+  // Step 1: {[auth-info]; Pub_k; Nonce_CW; MAC}_Pub_rs. The auth-info is
+  // our client id plus the membership duration we are "paying" for.
+  WireWriter w;
+  w.u64(nic_id_);
+  w.u64(requested_duration);
+  w.bytes(keypair_.pub.serialize());
+  w.u64(nonce_cw_);
+  network().unicast(id(), rs_node, kLabelJoin,
+                    envelope(MsgType::kJoinStep1,
+                             crypto::pk_encrypt(rs_pub_, with_mac(w.data()),
+                                                prng_)));
+}
+
+void Member::handle_join_step2(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  std::uint64_t challenge_response = r.u64();
+  std::uint64_t nonce_wc = r.u64();
+  r.expect_done();
+  // Authenticate the RS: only the holder of the well-known key's private
+  // half could read Nonce_CW and answer Nonce_CW + 1.
+  if (challenge_response != nonce_cw_ + 1)
+    throw AuthError("registration server failed the nonce challenge");
+  nonce_wc_ = nonce_wc;
+
+  // Step 3: {Nonce_WC+1; MAC}_Pub_rs.
+  WireWriter w;
+  w.u64(nonce_wc_ + 1);
+  network().unicast(id(), rs_node_, kLabelJoin,
+                    envelope(MsgType::kJoinStep3,
+                             crypto::pk_encrypt(rs_pub_, with_mac(w.data()),
+                                                prng_)));
+}
+
+void Member::handle_join_step5(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  // Signed by the RS — verify before trusting the AC handle inside.
+  if (!verify_envelope(env, rs_pub_)) throw AuthError("step-5 signature bad");
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  nonce_ac_ = r.u64() - 1;  // RS sent Nonce_AC + 1
+  AcId ac_id = r.u64();
+  net::NodeId ac_node = r.u32();
+  Bytes ac_pub = r.bytes();
+  directory_ = AcDirectory::deserialize(r.bytes());
+  r.expect_done();
+  (void)ac_pub;  // also present in the directory
+
+  ac_id_ = ac_id;
+  ac_node_ = ac_node;
+
+  // Step 6: {Nonce_AC+2; Nonce_CA; MAC}_Pub_ac.
+  nonce_ca_ = prng_.next_u64();
+  const AcInfo* info = directory_.find(ac_id);
+  if (info == nullptr) throw ProtocolError("assigned AC missing from directory");
+  crypto::RsaPublicKey pub = crypto::RsaPublicKey::deserialize(info->pubkey);
+  // Subscribe to the area's multicast group now: a rekey triggered by a
+  // concurrent join must not slip past us between steps 6 and 7.
+  network().join_group(info->group, id());
+  WireWriter w;
+  w.u64(nonce_ac_ + 2);
+  w.u64(nonce_ca_);
+  network().unicast(id(), ac_node, kLabelJoin,
+                    envelope(MsgType::kJoinStep6,
+                             crypto::pk_encrypt(pub, with_mac(w.data()),
+                                                prng_)));
+  last_sent_ac_ = network().now();
+}
+
+void Member::handle_join_step7(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  std::uint64_t challenge_response = r.u64();
+  Bytes ticket = r.bytes();
+  AcId ac_id = r.u64();
+  net::GroupId group = r.u32();
+  std::vector<lkh::PathKey> path = lkh::deserialize_path(r.bytes());
+  r.expect_done();
+  if (challenge_response != nonce_ca_ + 1)
+    throw AuthError("area controller failed the nonce challenge");
+
+  sealed_ticket_ = std::move(ticket);
+  ac_id_ = ac_id;
+  ac_node_ = msg.from;
+  area_group_ = group;
+  keys_.clear();
+  keys_.install(path);
+  network().join_group(group, id());
+  joined_ = true;
+  join_in_progress_ = false;
+  last_heard_ac_ = network().now();
+  join_latency_ = network().now() - join_started_;
+}
+
+void Member::rejoin(AcId target_ac) {
+  if (sealed_ticket_.empty()) throw ProtocolError("rejoin without a ticket");
+  const AcInfo* info = directory_.find(target_ac);
+  if (info == nullptr) throw ProtocolError("rejoin target not in directory");
+  rejoin_target_ = target_ac;
+  rejoin_in_progress_ = true;
+  rejoin_started_ = network().now();
+  nonce_cb_ = prng_.next_u64();
+
+  // Subscribe early (see handle_join_step5 for why).
+  network().join_group(info->group, id());
+
+  // Rejoin step 1: {Nonce_CB; NIC id; ticket; MAC}_Pub_ac_b.
+  WireWriter w;
+  w.u64(nonce_cb_);
+  w.u64(nic_id_);
+  w.bytes(sealed_ticket_);
+  crypto::RsaPublicKey pub = crypto::RsaPublicKey::deserialize(info->pubkey);
+  network().unicast(id(), info->node, kLabelRejoin,
+                    envelope(MsgType::kRejoinStep1,
+                             crypto::pk_encrypt(pub, with_mac(w.data()),
+                                                prng_)));
+}
+
+void Member::handle_rejoin_step2(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  std::uint64_t challenge_response = r.u64();
+  std::uint64_t nonce_bc = r.u64();
+  r.expect_done();
+  if (challenge_response != nonce_cb_ + 1)
+    throw AuthError("rejoin AC failed the nonce challenge");
+  nonce_bc_ = nonce_bc;
+
+  const AcInfo* info = directory_.find(rejoin_target_);
+  if (info == nullptr) return;
+  crypto::RsaPublicKey pub = crypto::RsaPublicKey::deserialize(info->pubkey);
+  // Step 3: {Nonce_BC+1; MAC}_Pub_ac_b — proves we own the ticket's key.
+  WireWriter w;
+  w.u64(nonce_bc_ + 1);
+  network().unicast(id(), info->node, kLabelRejoin,
+                    envelope(MsgType::kRejoinStep3,
+                             crypto::pk_encrypt(pub, with_mac(w.data()),
+                                                prng_)));
+}
+
+void Member::handle_rejoin_step6(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  if (!directory_.verify(rejoin_target_, env.box, env.sig)) return;
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  Bytes ticket = r.bytes();
+  AcId ac_id = r.u64();
+  net::GroupId group = r.u32();
+  std::vector<lkh::PathKey> path = lkh::deserialize_path(r.bytes());
+  r.expect_done();
+
+  if (joined_ && area_group_ != group)
+    network().leave_group(area_group_, id());
+  sealed_ticket_ = std::move(ticket);
+  ac_id_ = ac_id;
+  ac_node_ = msg.from;
+  area_group_ = group;
+  keys_.clear();
+  keys_.install(path);
+  network().join_group(group, id());
+  joined_ = true;
+  rejoin_in_progress_ = false;
+  last_heard_ac_ = network().now();
+  rejoin_latency_ = network().now() - rejoin_started_;
+}
+
+void Member::leave() {
+  if (!joined_) return;
+  WireWriter w;
+  w.u64(nic_id_);
+  network().unicast(id(), ac_node_, kLabelJoin,
+                    envelope(MsgType::kLeaveRequest, w.data()));
+  network().leave_group(area_group_, id());
+  keys_.clear();
+  joined_ = false;
+}
+
+void Member::send_data(ByteView payload) {
+  if (!joined_) throw ProtocolError("send_data before join completed");
+  // Iolus-style data path (Section III): random K_d, payload under K_d,
+  // K_d under the area key; one multicast carries both.
+  crypto::SymmetricKey data_key = crypto::SymmetricKey::random(prng_);
+  std::uint64_t msg_id = prng_.next_u64();
+  seen_data_.insert(msg_id);
+  WireWriter w;
+  w.u64(msg_id);
+  w.u64(nic_id_);
+  w.bytes(crypto::sym_seal(keys_.group_key(), data_key.bytes(), prng_));
+  w.bytes(crypto::sym_seal(data_key, payload, prng_));
+  network().multicast(id(), area_group_, kLabelData,
+                      envelope(MsgType::kData, w.data()));
+  last_sent_ac_ = network().now();  // the AC hears area traffic
+}
+
+void Member::handle_rekey(const net::Message& msg) {
+  if (!joined_ || msg.group != area_group_) return;
+  Envelope env = parse_envelope(msg.payload);
+  // Key update messages are signed by the area controller (Section III-E).
+  if (!directory_.verify(ac_id_, env.box, env.sig)) return;
+  keys_.apply(lkh::RekeyMessage::deserialize(env.box));
+}
+
+void Member::handle_split_update(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  keys_.install(lkh::deserialize_path(inner));
+}
+
+void Member::handle_data(const net::Message& msg) {
+  if (!joined_ || msg.group != area_group_) return;
+  Envelope env = parse_envelope(msg.payload);
+  WireReader r(env.box);
+  std::uint64_t msg_id = r.u64();
+  (void)r.u64();  // sender
+  Bytes key_box = r.bytes();
+  Bytes payload_box = r.bytes();
+  r.expect_done();
+  if (!seen_data_.insert(msg_id).second) return;
+
+  auto open_key = [&]() -> std::optional<crypto::SymmetricKey> {
+    try {
+      return crypto::SymmetricKey(crypto::sym_open(keys_.group_key(), key_box));
+    } catch (const AuthError&) {
+    }
+    if (keys_.previous_group_key()) {
+      try {
+        return crypto::SymmetricKey(
+            crypto::sym_open(*keys_.previous_group_key(), key_box));
+      } catch (const AuthError&) {
+      }
+    }
+    return std::nullopt;
+  };
+
+  auto data_key = open_key();
+  if (!data_key) {
+    ++undecryptable_count_;
+    return;
+  }
+  received_data_.push_back(crypto::sym_open(*data_key, payload_box));
+}
+
+void Member::handle_takeover(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(env.box);
+  WireReader r(inner);
+  AcId who = r.u64();
+  net::NodeId new_node = r.u32();
+  (void)r.u64();  // ts; the watchdog covers staleness here
+  r.expect_done();
+  if (!directory_.verify(who, env.box, env.sig)) return;
+  directory_.promote_backup(who);
+  if (who == ac_id_) {
+    ac_node_ = new_node;
+    last_heard_ac_ = network().now();
+  }
+}
+
+void Member::trigger_mobility_rejoin() {
+  if (sealed_ticket_.empty() || rejoin_in_progress_) return;
+  // Choose a preferred AC that is not the silent one.
+  for (const AcInfo& e : directory_.entries()) {
+    if (e.ac_id == ac_id_) continue;
+    ++watchdog_rejoins_;
+    joined_ = false;  // we are cut off; stop claiming membership
+    rejoin(e.ac_id);
+    return;
+  }
+}
+
+void Member::on_timer(std::uint64_t token) {
+  switch (token) {
+    case kTimerAlive: {
+      net::SimTime now = network().now();
+      if (joined_ && now - last_sent_ac_ >= config_.t_active) {
+        WireWriter w;
+        w.u8(kAliveFromMember);
+        w.u64(nic_id_);
+        network().unicast(id(), ac_node_, kLabelAlive,
+                          envelope(MsgType::kAlive, w.data()));
+        last_sent_ac_ = now;
+      }
+      network().set_timer(id(), config_.t_active, kTimerAlive);
+      return;
+    }
+    case kTimerWatchdog: {
+      net::SimTime now = network().now();
+      if (join_in_progress_ && !joined_) {
+        // A lossy network can eat any of the seven join messages; restart
+        // the handshake with fresh nonces.
+        if (now - join_started_ > config_.rejoin_retry_interval)
+          join(rs_node_, requested_duration_);
+      } else if (rejoin_in_progress_) {
+        // Denied or lost: try again (the old AC's silence clock keeps
+        // running, so a mobile client is eventually confirmed gone).
+        if (now - rejoin_started_ > config_.rejoin_retry_interval)
+          rejoin(rejoin_target_);
+      } else if (joined_ && now - last_heard_ac_ > config_.ac_silence_limit()) {
+        trigger_mobility_rejoin();
+      }
+      network().set_timer(id(), config_.t_idle, kTimerWatchdog);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void Member::on_message(const net::Message& msg) {
+  if (msg.from == ac_node_) last_heard_ac_ = network().now();
+
+  Envelope env;
+  try {
+    env = parse_envelope(msg.payload);
+  } catch (const Error&) {
+    return;
+  }
+  try {
+    switch (env.type) {
+      case MsgType::kJoinStep2:
+        handle_join_step2(msg);
+        break;
+      case MsgType::kJoinStep5:
+        handle_join_step5(msg);
+        break;
+      case MsgType::kJoinStep7:
+        handle_join_step7(msg);
+        break;
+      case MsgType::kRejoinStep2:
+        handle_rejoin_step2(msg);
+        break;
+      case MsgType::kRejoinStep6:
+        handle_rejoin_step6(msg);
+        break;
+      case MsgType::kRekey:
+        handle_rekey(msg);
+        break;
+      case MsgType::kSplitUpdate:
+        handle_split_update(msg);
+        break;
+      case MsgType::kData:
+        handle_data(msg);
+        break;
+      case MsgType::kTakeOver:
+        handle_takeover(msg);
+        break;
+      default:
+        break;
+    }
+  } catch (const Error&) {
+    // Hostile or stale input: drop. Clients must be unconditionally robust
+    // to network garbage.
+  }
+}
+
+}  // namespace mykil::core

@@ -1,0 +1,140 @@
+// Mykil group member (client).
+//
+// Drives the client half of the join protocol (steps 1, 3, 6 of Fig. 3)
+// and the rejoin protocol (steps 1, 3 of Fig. 7), sends and receives
+// encrypted multicast data, follows rekeys, and runs the paper's failure
+// detection: periodic alive messages toward its AC (T_active) and a
+// disconnection watchdog (5 x T_idle of AC silence) that triggers an
+// automatic ticket-rejoin at another area controller.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "crypto/prng.h"
+#include "crypto/rsa.h"
+#include "lkh/member_state.h"
+#include "mykil/config.h"
+#include "mykil/directory.h"
+#include "mykil/ticket.h"
+#include "mykil/wire.h"
+#include "net/network.h"
+
+namespace mykil::core {
+
+class Member : public net::Node {
+ public:
+  Member(ClientId nic_id, MykilConfig config, crypto::RsaKeyPair keypair,
+         crypto::RsaPublicKey rs_pub, crypto::Prng prng);
+
+  /// Begin the full 7-step registration+join via the registration server.
+  void join(net::NodeId rs_node, net::SimDuration requested_duration);
+  /// Begin a ticket rejoin at the given AC (requires a ticket from a
+  /// previous join). Used for mobility and after disconnection.
+  void rejoin(AcId target_ac);
+  /// Voluntary leave: informs the AC and drops all keys.
+  void leave();
+  /// Encrypt and multicast application data into the current area.
+  void send_data(ByteView payload);
+  /// Arm alive/watchdog timers (call once after Network::attach).
+  void start_timers();
+
+  void on_message(const net::Message& msg) override;
+  void on_timer(std::uint64_t token) override;
+
+  // ---- introspection ----
+  [[nodiscard]] ClientId client_id() const { return nic_id_; }
+  [[nodiscard]] bool joined() const { return joined_; }
+  [[nodiscard]] AcId current_ac() const { return ac_id_; }
+  [[nodiscard]] const lkh::MemberKeyState& keys() const { return keys_; }
+  [[nodiscard]] const std::vector<Bytes>& received_data() const {
+    return received_data_;
+  }
+  [[nodiscard]] std::size_t undecryptable_count() const {
+    return undecryptable_count_;
+  }
+  [[nodiscard]] const Bytes& sealed_ticket() const { return sealed_ticket_; }
+  [[nodiscard]] const AcDirectory& directory() const { return directory_; }
+  /// Timing of the last completed join / rejoin (for the V-D benchmark).
+  [[nodiscard]] std::optional<net::SimDuration> last_join_latency() const {
+    return join_latency_;
+  }
+  [[nodiscard]] std::optional<net::SimDuration> last_rejoin_latency() const {
+    return rejoin_latency_;
+  }
+  /// Number of automatic rejoins triggered by the disconnection watchdog.
+  [[nodiscard]] std::uint64_t watchdog_rejoins() const {
+    return watchdog_rejoins_;
+  }
+
+  /// Simulate a malicious cohort: copy this member's credentials (ticket +
+  /// keypair) into another Member instance. Test-support API.
+  void clone_credentials_into(Member& other) const {
+    other.sealed_ticket_ = sealed_ticket_;
+    other.keypair_ = keypair_;
+    other.directory_ = directory_;
+  }
+  /// Simulate a wire thief: the ticket and directory leak, but NOT the
+  /// private key. Test-support API.
+  void leak_ticket_to(Member& other) const {
+    other.sealed_ticket_ = sealed_ticket_;
+    other.directory_ = directory_;
+  }
+
+ private:
+  void handle_join_step2(const net::Message& msg);
+  void handle_join_step5(const net::Message& msg);
+  void handle_join_step7(const net::Message& msg);
+  void handle_rejoin_step2(const net::Message& msg);
+  void handle_rejoin_step6(const net::Message& msg);
+  void handle_rekey(const net::Message& msg);
+  void handle_split_update(const net::Message& msg);
+  void handle_data(const net::Message& msg);
+  void handle_takeover(const net::Message& msg);
+  void trigger_mobility_rejoin();
+
+  ClientId nic_id_;
+  MykilConfig config_;
+  crypto::RsaKeyPair keypair_;
+  crypto::RsaPublicKey rs_pub_;
+  crypto::Prng prng_;
+
+  // join/rejoin session state
+  std::uint64_t nonce_cw_ = 0;
+  std::uint64_t nonce_wc_ = 0;
+  std::uint64_t nonce_ac_ = 0;
+  std::uint64_t nonce_ca_ = 0;
+  std::uint64_t nonce_cb_ = 0;
+  std::uint64_t nonce_bc_ = 0;
+  net::NodeId rs_node_ = net::kNoNode;
+  bool join_in_progress_ = false;
+  net::SimDuration requested_duration_ = 0;
+  AcId rejoin_target_ = kNoAc;
+  net::SimTime join_started_ = 0;
+  net::SimTime rejoin_started_ = 0;
+  std::optional<net::SimDuration> join_latency_;
+  std::optional<net::SimDuration> rejoin_latency_;
+
+  // membership state
+  bool joined_ = false;
+  AcId ac_id_ = kNoAc;
+  net::NodeId ac_node_ = net::kNoNode;
+  net::GroupId area_group_ = 0;
+  lkh::MemberKeyState keys_;
+  Bytes sealed_ticket_;
+  AcDirectory directory_;
+
+  // liveness
+  net::SimTime last_heard_ac_ = 0;
+  net::SimTime last_sent_ac_ = 0;
+  bool rejoin_in_progress_ = false;
+  std::uint64_t watchdog_rejoins_ = 0;
+
+  std::vector<Bytes> received_data_;
+  std::set<std::uint64_t> seen_data_;
+  std::size_t undecryptable_count_ = 0;
+};
+
+}  // namespace mykil::core

@@ -1,0 +1,165 @@
+#include "mykil/registration_server.h"
+
+#include "common/error.h"
+#include "crypto/sealed.h"
+
+namespace mykil::core {
+
+namespace {
+constexpr const char* kLabelJoin = "mykil-join";
+}
+
+RegistrationServer::RegistrationServer(MykilConfig config,
+                                       crypto::RsaKeyPair keypair,
+                                       crypto::Prng prng)
+    : config_(config), keypair_(std::move(keypair)), prng_(std::move(prng)) {}
+
+void RegistrationServer::authorize(ClientId client, net::SimDuration duration) {
+  auth_db_[client] = duration;
+}
+
+void RegistrationServer::revoke(ClientId client) { auth_db_.erase(client); }
+
+void RegistrationServer::on_message(const net::Message& msg) {
+  Envelope env;
+  try {
+    env = parse_envelope(msg.payload);
+  } catch (const WireError&) {
+    ++rejected_;
+    return;
+  }
+  try {
+    switch (env.type) {
+      case MsgType::kJoinStep1:
+        handle_step1(msg);
+        break;
+      case MsgType::kJoinStep3:
+        handle_step3(msg);
+        break;
+      default:
+        break;  // not for the RS
+    }
+  } catch (const Error&) {
+    // Malformed, unauthentic, or replayed input: drop, never crash.
+    ++rejected_;
+  }
+}
+
+void RegistrationServer::handle_step1(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  // Step 1: {[auth-info]; Pub_k; Nonce_CW; MAC}_Pub_rs
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  ClientId client_id = r.u64();
+  net::SimDuration requested = r.u64();
+  Bytes client_pub = r.bytes();
+  std::uint64_t nonce_cw = r.u64();
+  r.expect_done();
+
+  auto auth = auth_db_.find(client_id);
+  if (auth == auth_db_.end()) {
+    ++rejected_;
+    return;  // not eligible; silently ignore (no oracle for attackers)
+  }
+  net::SimDuration granted = std::min(requested, auth->second);
+
+  Session s;
+  s.client_node = msg.from;
+  s.client_id = client_id;
+  s.client_pubkey = client_pub;
+  s.nonce_cw = nonce_cw;
+  s.nonce_wc = prng_.next_u64();
+  s.duration = granted;
+  pending_[s.nonce_wc + 1] = s;
+
+  // Step 2: {Nonce_CW+1; Nonce_WC; MAC}_Pub_k
+  WireWriter w;
+  w.u64(nonce_cw + 1);
+  w.u64(s.nonce_wc);
+  crypto::RsaPublicKey pub = crypto::RsaPublicKey::deserialize(client_pub);
+  network().unicast(id(), msg.from, kLabelJoin,
+                    envelope(MsgType::kJoinStep2,
+                             crypto::pk_encrypt(pub, with_mac(w.data()), prng_)));
+}
+
+const AcInfo& RegistrationServer::pick_area() {
+  if (directory_.empty())
+    throw ProtocolError("registration server has no registered areas");
+  // Round-robin ("load balancing"), skipping areas at the configured cap
+  // (Section V-A limits areas to "about 5000 members"). If every area is
+  // full, fall back to plain round-robin — denial would strand authorized
+  // clients.
+  for (std::size_t tries = 0; tries < directory_.size(); ++tries) {
+    const AcInfo& info =
+        directory_.entries()[next_area_ % directory_.size()];
+    ++next_area_;
+    if (config_.max_area_members == 0 ||
+        assigned_[info.ac_id] < config_.max_area_members) {
+      ++assigned_[info.ac_id];
+      return info;
+    }
+  }
+  const AcInfo& info = directory_.entries()[next_area_ % directory_.size()];
+  ++next_area_;
+  ++assigned_[info.ac_id];
+  return info;
+}
+
+void RegistrationServer::handle_step3(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  // Step 3: {Nonce_WC+1; MAC}_Pub_rs — authenticates the client.
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  std::uint64_t response = r.u64();
+  r.expect_done();
+
+  auto it = pending_.find(response);
+  if (it == pending_.end()) {
+    ++rejected_;
+    return;  // wrong challenge answer or replay
+  }
+  Session s = it->second;
+  pending_.erase(it);
+
+  const AcInfo& area = pick_area();
+  std::uint64_t nonce_ac = prng_.next_u64();
+  net::SimTime now = network().now();
+
+  // Step 4 (RS -> AC): {Nonce_AC; K_id; ts; Pub_k; duration; MAC}_Pub_ac,
+  // signed by the RS.
+  {
+    WireWriter w;
+    w.u64(nonce_ac);
+    w.u64(s.client_id);
+    w.u64(now);
+    w.bytes(s.client_pubkey);
+    w.u64(s.duration);
+    crypto::RsaPublicKey ac_pub = crypto::RsaPublicKey::deserialize(area.pubkey);
+    network().unicast(
+        id(), area.node, kLabelJoin,
+        signed_envelope(MsgType::kJoinStep4,
+                        crypto::pk_encrypt(ac_pub, with_mac(w.data()), prng_),
+                        keypair_.priv));
+  }
+
+  // Step 5 (RS -> client): {Nonce_AC+1; AC info; directory; MAC}_Pub_k,
+  // signed by the RS.
+  {
+    WireWriter w;
+    w.u64(nonce_ac + 1);
+    w.u64(area.ac_id);
+    w.u32(area.node);
+    w.bytes(area.pubkey);
+    w.bytes(directory_.serialize());
+    crypto::RsaPublicKey client_pub =
+        crypto::RsaPublicKey::deserialize(s.client_pubkey);
+    network().unicast(
+        id(), s.client_node, kLabelJoin,
+        signed_envelope(MsgType::kJoinStep5,
+                        crypto::pk_encrypt(client_pub, with_mac(w.data()), prng_),
+                        keypair_.priv));
+  }
+  ++completed_;
+}
+
+}  // namespace mykil::core

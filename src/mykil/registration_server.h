@@ -1,0 +1,85 @@
+// Registration server: steps 1–5 of the join protocol (Fig. 3).
+//
+// Holds the authorization database (who may join and for how long — the
+// paper's credit-card stand-in), mutually authenticates clients with a
+// challenge-response over nonces, picks an area for each admitted client,
+// and introduces the client to that area's controller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "crypto/prng.h"
+#include "crypto/rsa.h"
+#include "mykil/config.h"
+#include "mykil/directory.h"
+#include "mykil/wire.h"
+#include "net/network.h"
+
+namespace mykil::core {
+
+class RegistrationServer : public net::Node {
+ public:
+  RegistrationServer(MykilConfig config, crypto::RsaKeyPair keypair,
+                     crypto::Prng prng);
+
+  /// Authorization database: allow `client` to join for `duration`.
+  void authorize(ClientId client, net::SimDuration duration);
+  void revoke(ClientId client);
+  [[nodiscard]] bool is_authorized(ClientId client) const {
+    return auth_db_.contains(client);
+  }
+
+  /// Register an area controller (and optional backup) in the directory.
+  void register_ac(AcInfo info) { directory_.add(std::move(info)); }
+  [[nodiscard]] const AcDirectory& directory() const { return directory_; }
+  /// Local bookkeeping after a takeover announcement reaches the operator.
+  void note_takeover(AcId ac_id) { directory_.promote_backup(ac_id); }
+
+  [[nodiscard]] const crypto::RsaPublicKey& public_key() const {
+    return keypair_.pub;
+  }
+
+  void on_message(const net::Message& msg) override;
+
+  /// Number of join registrations completed (step 4+5 sent).
+  [[nodiscard]] std::uint64_t completed_registrations() const {
+    return completed_;
+  }
+  /// Join attempts rejected (bad auth, bad nonce, replay).
+  [[nodiscard]] std::uint64_t rejected_registrations() const {
+    return rejected_;
+  }
+
+ private:
+  struct Session {
+    net::NodeId client_node = net::kNoNode;
+    ClientId client_id = 0;
+    Bytes client_pubkey;  // serialized
+    std::uint64_t nonce_cw = 0;
+    std::uint64_t nonce_wc = 0;
+    net::SimDuration duration = 0;
+  };
+
+  void handle_step1(const net::Message& msg);
+  void handle_step3(const net::Message& msg);
+  /// Round-robin area placement ("proximity to the client, load balancing,
+  /// etc." — we rotate, which is load balancing).
+  const AcInfo& pick_area();
+
+  MykilConfig config_;
+  crypto::RsaKeyPair keypair_;
+  crypto::Prng prng_;
+  std::map<ClientId, net::SimDuration> auth_db_;
+  AcDirectory directory_;
+  /// Members assigned per area (the RS's load-balancing estimate, used to
+  /// enforce config.max_area_members).
+  std::map<AcId, std::size_t> assigned_;
+  /// Sessions awaiting step 3, keyed by the expected Nonce_WC + 1.
+  std::map<std::uint64_t, Session> pending_;
+  std::size_t next_area_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace mykil::core

@@ -1,0 +1,61 @@
+#include "mykil/wire.h"
+
+#include "common/error.h"
+#include "crypto/sealed.h"
+#include "crypto/sha256.h"
+
+namespace mykil::core {
+
+Bytes with_mac(ByteView fields) {
+  Bytes out(fields.begin(), fields.end());
+  append(out, crypto::Sha256::digest(fields));
+  return out;
+}
+
+Bytes strip_mac(ByteView blob) {
+  constexpr std::size_t kMacLen = crypto::Sha256::kDigestSize;
+  if (blob.size() < kMacLen) throw AuthError("message shorter than its MAC");
+  ByteView fields(blob.data(), blob.size() - kMacLen);
+  ByteView mac(blob.data() + blob.size() - kMacLen, kMacLen);
+  if (!ct_equal(crypto::Sha256::digest(fields), mac))
+    throw AuthError("message MAC mismatch");
+  return Bytes(fields.begin(), fields.end());
+}
+
+Bytes envelope(MsgType type, ByteView box) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(0);  // unsigned
+  w.bytes(box);
+  return w.take();
+}
+
+Bytes signed_envelope(MsgType type, ByteView box,
+                      const crypto::RsaPrivateKey& signer) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(1);  // signed
+  w.bytes(box);
+  crypto::pk_count_sign();
+  w.bytes(crypto::rsa_sign(signer, box));
+  return w.take();
+}
+
+Envelope parse_envelope(ByteView packet) {
+  WireReader r(packet);
+  Envelope env;
+  env.type = static_cast<MsgType>(r.u8());
+  bool is_signed = r.u8() != 0;
+  env.box = r.bytes();
+  if (is_signed) env.sig = r.bytes();
+  r.expect_done();
+  return env;
+}
+
+bool verify_envelope(const Envelope& env, const crypto::RsaPublicKey& pub) {
+  if (env.sig.empty()) return false;
+  crypto::pk_count_verify();
+  return crypto::rsa_verify(pub, env.box, env.sig);
+}
+
+}  // namespace mykil::core

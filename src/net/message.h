@@ -1,0 +1,34 @@
+// Message envelope carried by the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace mykil::net {
+
+/// Node address. Dense small integers assigned by Network::attach.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFFFFFF;
+
+/// Multicast group handle.
+using GroupId = std::uint32_t;
+
+/// A message in flight. `label` names the traffic class ("join", "rekey",
+/// "data", "alive", ...) purely for bandwidth accounting — protocols put
+/// their real message-type tag inside `payload`.
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;       ///< kNoNode when delivered via multicast
+  GroupId group = 0xFFFFFFFF; ///< group it was multicast to, if any
+  std::string label;
+  Bytes payload;
+
+  /// Bytes this message occupies on the wire. The simulator charges only
+  /// payload bytes so measurements line up with the paper's key-byte
+  /// accounting; transport headers are a constant factor either way.
+  [[nodiscard]] std::size_t wire_size() const { return payload.size(); }
+};
+
+}  // namespace mykil::net

@@ -1,0 +1,213 @@
+#include "net/network.h"
+
+#include "common/error.h"
+
+namespace mykil::net {
+
+Network& Node::network() const {
+  if (network_ == nullptr) throw SimError("node not attached to a network");
+  return *network_;
+}
+
+Network::Network(NetworkConfig config)
+    : config_(config), prng_(config.seed) {}
+
+NodeId Network::attach(Node& node) {
+  if (node.attached()) throw SimError("node already attached");
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(&node);
+  up_.push_back(true);
+  partition_.push_back(0);
+  node.network_ = this;
+  node.id_ = id;
+  return id;
+}
+
+void Network::crash(NodeId node) {
+  if (node >= nodes_.size()) throw SimError("crash: unknown node");
+  if (!up_[node]) return;
+  up_[node] = false;
+  nodes_[node]->on_crash();
+}
+
+void Network::recover(NodeId node) {
+  if (node >= nodes_.size()) throw SimError("recover: unknown node");
+  if (up_[node]) return;
+  up_[node] = true;
+  nodes_[node]->on_recover();
+}
+
+bool Network::is_up(NodeId node) const {
+  if (node >= nodes_.size()) throw SimError("is_up: unknown node");
+  return up_[node];
+}
+
+void Network::set_partition(NodeId node, std::uint32_t partition) {
+  if (node >= nodes_.size()) throw SimError("set_partition: unknown node");
+  partition_[node] = partition;
+}
+
+void Network::heal_partitions() {
+  for (auto& p : partition_) p = 0;
+}
+
+std::uint32_t Network::partition_of(NodeId node) const {
+  if (node >= nodes_.size()) throw SimError("partition_of: unknown node");
+  return partition_[node];
+}
+
+void Network::block_link(NodeId from, NodeId to) {
+  blocked_links_.insert({from, to});
+}
+
+void Network::unblock_link(NodeId from, NodeId to) {
+  blocked_links_.erase({from, to});
+}
+
+GroupId Network::create_group() {
+  groups_.emplace_back();
+  return static_cast<GroupId>(groups_.size() - 1);
+}
+
+void Network::join_group(GroupId group, NodeId node) {
+  if (group >= groups_.size()) throw SimError("join_group: unknown group");
+  groups_[group].insert(node);
+}
+
+void Network::leave_group(GroupId group, NodeId node) {
+  if (group >= groups_.size()) throw SimError("leave_group: unknown group");
+  groups_[group].erase(node);
+}
+
+std::size_t Network::group_size(GroupId group) const {
+  if (group >= groups_.size()) throw SimError("group_size: unknown group");
+  return groups_[group].size();
+}
+
+bool Network::deliverable(NodeId from, NodeId to) const {
+  if (to >= nodes_.size()) return false;
+  if (!up_[to]) return false;
+  if (from < nodes_.size() && partition_[from] != partition_[to]) return false;
+  if (blocked_links_.contains({from, to})) return false;
+  return true;
+}
+
+SimDuration Network::delivery_latency(std::size_t bytes) {
+  SimDuration jitter =
+      config_.jitter == 0 ? 0 : prng_.uniform(config_.jitter);
+  return config_.base_latency +
+         static_cast<SimDuration>(config_.per_byte_latency_us *
+                                  static_cast<double>(bytes)) +
+         jitter;
+}
+
+void Network::queue_delivery(Message msg, NodeId to) {
+  if (config_.drop_probability > 0.0 &&
+      prng_.uniform_double() < config_.drop_probability) {
+    stats_.record_drop(msg);
+    return;
+  }
+  Event ev;
+  ev.at = now_ + delivery_latency(msg.wire_size());
+  ev.seq = next_seq_++;
+  ev.kind = Event::Kind::kDeliver;
+  ev.deliver_to = to;
+  ev.msg = std::move(msg);
+  events_.push(std::move(ev));
+}
+
+void Network::unicast(NodeId from, NodeId to, std::string label, Bytes payload) {
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.label = std::move(label);
+  msg.payload = std::move(payload);
+  stats_.record_send(msg);
+  if (!deliverable(from, to)) {
+    stats_.record_drop(msg);
+    return;
+  }
+  queue_delivery(std::move(msg), to);
+}
+
+void Network::multicast(NodeId from, GroupId group, std::string label,
+                        Bytes payload) {
+  if (group >= groups_.size()) throw SimError("multicast: unknown group");
+  Message proto;
+  proto.from = from;
+  proto.group = group;
+  proto.label = std::move(label);
+  proto.payload = std::move(payload);
+  // One send on the wire (IP multicast model) regardless of fan-out.
+  stats_.record_send(proto);
+  for (NodeId member : groups_[group]) {
+    if (member == from) continue;
+    if (!deliverable(from, member)) {
+      stats_.record_drop(proto);
+      continue;
+    }
+    Message copy = proto;
+    copy.to = member;
+    queue_delivery(std::move(copy), member);
+  }
+}
+
+Network::TimerId Network::set_timer(NodeId node, SimDuration delay,
+                                    std::uint64_t token) {
+  if (node >= nodes_.size()) throw SimError("set_timer: unknown node");
+  Event ev;
+  ev.at = now_ + delay;
+  ev.seq = next_seq_++;
+  ev.kind = Event::Kind::kTimer;
+  ev.timer_node = node;
+  ev.timer_token = token;
+  ev.timer_id = next_timer_id_++;
+  TimerId id = ev.timer_id;
+  events_.push(std::move(ev));
+  return id;
+}
+
+void Network::cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
+
+bool Network::step() {
+  if (events_.empty()) return false;
+  Event ev = events_.top();
+  events_.pop();
+  now_ = ev.at;
+  switch (ev.kind) {
+    case Event::Kind::kDeliver: {
+      NodeId to = ev.deliver_to;
+      // Re-check liveness/partition at delivery time: a message in flight
+      // to a node that crashed or got partitioned meanwhile is lost.
+      if (!deliverable(ev.msg.from, to)) {
+        stats_.record_drop(ev.msg);
+        break;
+      }
+      stats_.record_delivery(ev.msg, to);
+      nodes_[to]->on_message(ev.msg);
+      break;
+    }
+    case Event::Kind::kTimer: {
+      if (cancelled_timers_.erase(ev.timer_id) > 0) break;
+      if (!up_[ev.timer_node]) break;  // crashed node: timer suppressed
+      nodes_[ev.timer_node]->on_timer(ev.timer_token);
+      break;
+    }
+  }
+  return true;
+}
+
+std::size_t Network::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Network::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!events_.empty() && events_.top().at <= deadline && step()) ++n;
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace mykil::net

@@ -1,0 +1,156 @@
+// Deterministic discrete-event network simulator.
+//
+// Substitutes for the paper's testbed (a LAN of Linux workstations with
+// TCP between area controllers and IP multicast within areas). The
+// simulator provides:
+//   - unicast and multicast delivery with a configurable latency model,
+//   - crash-stop node failures (paper's fault model, Section IV) and
+//     recovery,
+//   - network partitions (any grouping of nodes; messages cross partition
+//     boundaries only if explicitly allowed),
+//   - per-node timers for protocol timeouts (T_idle, T_active, heartbeats),
+//   - byte/message accounting per traffic class for the figure benchmarks.
+//
+// Determinism: every run with the same seed and the same sequence of API
+// calls delivers events in the same order. Ties in delivery time are broken
+// by event sequence number.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "crypto/prng.h"
+#include "net/message.h"
+#include "net/node.h"
+#include "net/sim_time.h"
+#include "net/stats.h"
+
+namespace mykil::net {
+
+struct NetworkConfig {
+  /// Fixed one-way latency added to every delivery.
+  SimDuration base_latency = usec(200);
+  /// Additional latency per payload byte (models serialization/bandwidth).
+  double per_byte_latency_us = 0.001;  // ~1 GB/s links
+  /// Uniform jitter in [0, jitter) added per delivery.
+  SimDuration jitter = usec(50);
+  /// Seed for the network's internal randomness (jitter, drop decisions).
+  std::uint64_t seed = 1;
+  /// Probability in [0,1) that any given delivery is silently dropped
+  /// (packet loss injection; 0 for the protocol benchmarks).
+  double drop_probability = 0.0;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig config = {});
+
+  // ---- topology ----
+
+  /// Register a node; assigns its NodeId. The node must outlive the network.
+  NodeId attach(Node& node);
+
+  /// Crash-stop failure: the node receives nothing (messages addressed to
+  /// it are dropped) and its timers are suppressed until recover().
+  void crash(NodeId node);
+  void recover(NodeId node);
+  [[nodiscard]] bool is_up(NodeId node) const;
+
+  /// Assign nodes to named partitions. By default every node is in
+  /// partition 0. A message is deliverable only when sender and receiver
+  /// are in the same partition.
+  void set_partition(NodeId node, std::uint32_t partition);
+  void heal_partitions();  ///< everyone back to partition 0
+  [[nodiscard]] std::uint32_t partition_of(NodeId node) const;
+
+  /// Block/unblock a specific directed link regardless of partitions
+  /// (fine-grained failure injection).
+  void block_link(NodeId from, NodeId to);
+  void unblock_link(NodeId from, NodeId to);
+
+  // ---- multicast groups ----
+
+  GroupId create_group();
+  void join_group(GroupId group, NodeId node);
+  void leave_group(GroupId group, NodeId node);
+  [[nodiscard]] std::size_t group_size(GroupId group) const;
+
+  // ---- sending ----
+
+  /// Queue a unicast message for delivery (callable from node callbacks).
+  void unicast(NodeId from, NodeId to, std::string label, Bytes payload);
+
+  /// Queue one multicast: delivered to every current group member except
+  /// the sender. Accounting charges one send (the paper's model: a single
+  /// multicast message) and one delivery per receiver.
+  void multicast(NodeId from, GroupId group, std::string label, Bytes payload);
+
+  // ---- timers ----
+
+  using TimerId = std::uint64_t;
+  TimerId set_timer(NodeId node, SimDuration delay, std::uint64_t token);
+  void cancel_timer(TimerId id);
+
+  // ---- running ----
+
+  /// Process events until the queue is empty or `max_events` processed.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+  /// Process events with time <= deadline.
+  std::size_t run_until(SimTime deadline);
+  /// Advance over one event. Returns false if queue empty.
+  bool step();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool idle() const { return events_.empty(); }
+
+  NetStats& stats() { return stats_; }
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break
+    enum class Kind { kDeliver, kTimer } kind;
+    // deliver
+    Message msg;
+    NodeId deliver_to = kNoNode;
+    // timer
+    NodeId timer_node = kNoNode;
+    std::uint64_t timer_token = 0;
+    TimerId timer_id = 0;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void queue_delivery(Message msg, NodeId to);
+  [[nodiscard]] bool deliverable(NodeId from, NodeId to) const;
+  SimDuration delivery_latency(std::size_t bytes);
+
+  NetworkConfig config_;
+  crypto::Prng prng_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  TimerId next_timer_id_ = 1;
+
+  std::vector<Node*> nodes_;
+  std::vector<bool> up_;
+  std::vector<std::uint32_t> partition_;
+  std::set<std::pair<NodeId, NodeId>> blocked_links_;
+  std::vector<std::set<NodeId>> groups_;
+  std::set<TimerId> cancelled_timers_;
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  NetStats stats_;
+};
+
+}  // namespace mykil::net

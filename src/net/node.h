@@ -1,0 +1,46 @@
+// Base class for entities attached to the simulated network.
+#pragma once
+
+#include <cstdint>
+
+#include "net/message.h"
+#include "net/sim_time.h"
+
+namespace mykil::net {
+
+class Network;
+
+/// A protocol entity (member, area controller, registration server, ...).
+///
+/// Lifecycle: construct, then Network::attach() assigns the id and network
+/// pointer. After attach, the node receives on_message / on_timer callbacks
+/// while the simulation runs. Nodes send through the protected helpers.
+class Node {
+ public:
+  Node() = default;
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// A message addressed to this node (unicast or via a subscribed group).
+  virtual void on_message(const Message& msg) = 0;
+  /// A timer set via set_timer fired. `token` is the caller's cookie.
+  virtual void on_timer(std::uint64_t token) { (void)token; }
+  /// This node just crashed (cleared state hooks) / recovered.
+  virtual void on_crash() {}
+  virtual void on_recover() {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] bool attached() const { return network_ != nullptr; }
+
+ protected:
+  [[nodiscard]] Network& network() const;
+
+ private:
+  friend class Network;
+  Network* network_ = nullptr;
+  NodeId id_ = kNoNode;
+};
+
+}  // namespace mykil::net

@@ -1,0 +1,24 @@
+// Virtual time for the discrete-event simulator.
+//
+// The unit is microseconds. Protocol timeouts in the paper (T_idle,
+// T_active, heartbeat intervals) are expressed in these units via the
+// helper constructors below.
+#pragma once
+
+#include <cstdint>
+
+namespace mykil::net {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+/// A duration, same unit.
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration usec(std::uint64_t n) { return n; }
+constexpr SimDuration msec(std::uint64_t n) { return n * 1000; }
+constexpr SimDuration sec(std::uint64_t n) { return n * 1000 * 1000; }
+
+/// Pretty seconds for reports.
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace mykil::net

@@ -1,0 +1,74 @@
+// Bandwidth and message accounting for the simulated network.
+//
+// Every delivered (and every sent) message is charged to its traffic-class
+// label and to the sending/receiving nodes. The figure benchmarks read
+// these counters: e.g. Fig 8 is "bytes of `rekey`-labelled traffic received
+// by members during one leave event".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/message.h"
+
+namespace mykil::net {
+
+struct Counter {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  void add(std::size_t n) {
+    ++messages;
+    bytes += n;
+  }
+};
+
+class NetStats {
+ public:
+  void record_send(const Message& m) {
+    sent_total_.add(m.wire_size());
+    sent_by_label_[m.label].add(m.wire_size());
+    sent_by_node_[m.from].add(m.wire_size());
+  }
+
+  void record_delivery(const Message& m, NodeId to) {
+    recv_total_.add(m.wire_size());
+    recv_by_label_[m.label].add(m.wire_size());
+    recv_by_node_[to].add(m.wire_size());
+  }
+
+  void record_drop(const Message& m) { dropped_.add(m.wire_size()); }
+
+  [[nodiscard]] const Counter& sent_total() const { return sent_total_; }
+  [[nodiscard]] const Counter& recv_total() const { return recv_total_; }
+  [[nodiscard]] const Counter& dropped() const { return dropped_; }
+
+  /// Zero counter returned for labels/nodes never seen.
+  [[nodiscard]] Counter sent_by_label(const std::string& label) const {
+    auto it = sent_by_label_.find(label);
+    return it == sent_by_label_.end() ? Counter{} : it->second;
+  }
+  [[nodiscard]] Counter recv_by_label(const std::string& label) const {
+    auto it = recv_by_label_.find(label);
+    return it == recv_by_label_.end() ? Counter{} : it->second;
+  }
+  [[nodiscard]] Counter sent_by_node(NodeId n) const {
+    auto it = sent_by_node_.find(n);
+    return it == sent_by_node_.end() ? Counter{} : it->second;
+  }
+  [[nodiscard]] Counter recv_by_node(NodeId n) const {
+    auto it = recv_by_node_.find(n);
+    return it == recv_by_node_.end() ? Counter{} : it->second;
+  }
+
+  /// Reset all counters (benchmarks call this between measured phases).
+  void reset() { *this = NetStats{}; }
+
+ private:
+  Counter sent_total_, recv_total_, dropped_;
+  std::map<std::string, Counter> sent_by_label_, recv_by_label_;
+  std::map<NodeId, Counter> sent_by_node_, recv_by_node_;
+};
+
+}  // namespace mykil::net

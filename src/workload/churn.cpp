@@ -1,0 +1,80 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+
+namespace mykil::workload {
+
+namespace {
+
+void add_poisson(std::vector<Event>& out, net::SimDuration duration,
+                 double rate_per_sec, EventKind kind, crypto::Prng& prng) {
+  if (rate_per_sec <= 0) return;
+  double mean_gap_us = 1e6 / rate_per_sec;
+  double t = 0;
+  for (;;) {
+    t += prng.exponential(mean_gap_us);
+    if (t >= static_cast<double>(duration)) break;
+    out.push_back({static_cast<net::SimTime>(t), kind});
+  }
+}
+
+}  // namespace
+
+void ChurnSchedule::sort_events() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+}
+
+std::size_t ChurnSchedule::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+ChurnSchedule ChurnSchedule::poisson(net::SimDuration duration,
+                                     double join_rate, double leave_rate,
+                                     double data_rate, double move_rate,
+                                     crypto::Prng& prng) {
+  ChurnSchedule s;
+  add_poisson(s.events_, duration, join_rate, EventKind::kJoin, prng);
+  add_poisson(s.events_, duration, leave_rate, EventKind::kLeave, prng);
+  add_poisson(s.events_, duration, data_rate, EventKind::kData, prng);
+  add_poisson(s.events_, duration, move_rate, EventKind::kMove, prng);
+  s.sort_events();
+  return s;
+}
+
+ChurnSchedule ChurnSchedule::flash_crowd(net::SimDuration duration,
+                                         std::size_t crowd,
+                                         net::SimDuration ramp,
+                                         double data_rate, double leave_rate,
+                                         crypto::Prng& prng) {
+  ChurnSchedule s;
+  for (std::size_t i = 0; i < crowd; ++i) {
+    s.events_.push_back({prng.uniform(ramp), EventKind::kJoin});
+  }
+  add_poisson(s.events_, duration, data_rate, EventKind::kData, prng);
+  add_poisson(s.events_, duration, leave_rate, EventKind::kLeave, prng);
+  s.sort_events();
+  return s;
+}
+
+ChurnSchedule ChurnSchedule::end_of_show(net::SimDuration duration,
+                                         std::size_t wave,
+                                         net::SimDuration wave_window,
+                                         double data_rate,
+                                         crypto::Prng& prng) {
+  ChurnSchedule s;
+  add_poisson(s.events_, duration, data_rate, EventKind::kData, prng);
+  net::SimTime wave_start = duration > wave_window ? duration - wave_window : 0;
+  for (std::size_t i = 0; i < wave; ++i) {
+    s.events_.push_back({wave_start + prng.uniform(wave_window),
+                         EventKind::kLeave});
+  }
+  s.sort_events();
+  return s;
+}
+
+}  // namespace mykil::workload

@@ -1,0 +1,62 @@
+// Deterministic workload generation for churn experiments.
+//
+// The paper motivates Mykil with "large multicast groups with frequent
+// membership changes" — pay-per-view subscriptions, discussion forums —
+// whose churn has recognizable shapes: Poisson background churn, flash
+// crowds at the start of an event, and synchronized cancellation waves at
+// its end ("members cancelling their cable memberships at the end of a
+// month", Section III-E). This module turns those shapes into reproducible
+// event schedules, and ChurnRunner drives a full MykilGroup with them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prng.h"
+#include "net/sim_time.h"
+
+namespace mykil::workload {
+
+enum class EventKind : std::uint8_t {
+  kJoin = 0,   ///< a new or returning member joins
+  kLeave = 1,  ///< a joined member leaves
+  kData = 2,   ///< a joined member multicasts a data packet
+  kMove = 3,   ///< a joined member rejoins a different area (mobility)
+};
+
+struct Event {
+  net::SimTime at = 0;
+  EventKind kind = EventKind::kData;
+};
+
+/// A time-ordered, reproducible schedule of events.
+class ChurnSchedule {
+ public:
+  /// Independent Poisson processes for joins, leaves, data, and moves.
+  /// Rates are events per simulated second; 0 disables a process.
+  static ChurnSchedule poisson(net::SimDuration duration, double join_rate,
+                               double leave_rate, double data_rate,
+                               double move_rate, crypto::Prng& prng);
+
+  /// Flash crowd: `crowd` joins in the first `ramp`, then Poisson data and
+  /// a small leave trickle for the remainder.
+  static ChurnSchedule flash_crowd(net::SimDuration duration,
+                                   std::size_t crowd, net::SimDuration ramp,
+                                   double data_rate, double leave_rate,
+                                   crypto::Prng& prng);
+
+  /// End-of-show: steady data, then `wave` leaves packed into the final
+  /// `wave_window` — the aggregation-friendly cancellation burst.
+  static ChurnSchedule end_of_show(net::SimDuration duration, std::size_t wave,
+                                   net::SimDuration wave_window,
+                                   double data_rate, crypto::Prng& prng);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+
+ private:
+  void sort_events();
+  std::vector<Event> events_;
+};
+
+}  // namespace mykil::workload

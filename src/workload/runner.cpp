@@ -1,0 +1,106 @@
+#include "workload/runner.h"
+
+namespace mykil::workload {
+
+ChurnRunner::ChurnRunner(core::MykilGroup& group, std::uint64_t seed)
+    : group_(group), prng_(seed) {}
+
+core::Member* ChurnRunner::random_joined() {
+  if (members_.empty()) return nullptr;
+  std::size_t start = prng_.uniform(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    core::Member* m = members_[(start + i) % members_.size()].get();
+    if (m->joined()) return m;
+  }
+  return nullptr;
+}
+
+core::Member* ChurnRunner::random_left_with_ticket() {
+  if (members_.empty()) return nullptr;
+  std::size_t start = prng_.uniform(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    core::Member* m = members_[(start + i) % members_.size()].get();
+    if (!m->joined() && !m->sealed_ticket().empty()) return m;
+  }
+  return nullptr;
+}
+
+RunReport ChurnRunner::run(const ChurnSchedule& schedule,
+                           net::SimDuration settle_tail) {
+  RunReport report;
+  net::Network& net = group_.network();
+  net.stats().reset();
+  net::SimTime base = net.now();
+
+  for (const Event& ev : schedule.events()) {
+    net.run_until(base + ev.at);
+    switch (ev.kind) {
+      case EventKind::kJoin: {
+        // Prefer re-joining a departed member (cheap, ticket-based) over
+        // registering a brand new one, mirroring subscriber behaviour.
+        if (core::Member* back = random_left_with_ticket();
+            back != nullptr && prng_.uniform(100) < 50) {
+          back->rejoin(back->current_ac());
+        } else {
+          members_.push_back(
+              group_.make_member(next_client_++, net::sec(360000)));
+          members_.back()->join(group_.rs().id(), net::sec(360000));
+        }
+        ++report.joins_attempted;
+        break;
+      }
+      case EventKind::kLeave: {
+        if (core::Member* m = random_joined()) {
+          m->leave();
+          ++report.leaves_attempted;
+        }
+        break;
+      }
+      case EventKind::kData: {
+        if (core::Member* m = random_joined()) {
+          m->send_data(to_bytes("workload-payload"));
+          ++report.data_sent;
+        }
+        break;
+      }
+      case EventKind::kMove: {
+        core::Member* m = random_joined();
+        if (m != nullptr && group_.area_count() > 1) {
+          // Pick a different area, round-robin from a random start.
+          std::size_t start = prng_.uniform(group_.area_count());
+          for (std::size_t i = 0; i < group_.area_count(); ++i) {
+            std::size_t a = (start + i) % group_.area_count();
+            if (group_.ac(a).ac_id() != m->current_ac()) {
+              m->rejoin(group_.ac(a).ac_id());
+              ++report.moves_attempted;
+              break;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  group_.settle(settle_tail);
+
+  for (auto& m : members_) {
+    if (!m->joined()) continue;
+    ++report.final_members;
+    for (std::size_t a = 0; a < group_.area_count(); ++a) {
+      if (group_.ac(a).ac_id() != m->current_ac()) continue;
+      if (m->keys().group_key() == group_.ac(a).tree().root_key()) {
+        ++report.in_sync;
+      } else {
+        ++report.out_of_sync;
+      }
+    }
+  }
+
+  report.rekey_multicasts = net.stats().sent_by_label("mykil-rekey").messages;
+  report.rekey_bytes = net.stats().sent_by_label("mykil-rekey").bytes;
+  report.data_bytes = net.stats().sent_by_label("mykil-data").bytes;
+  report.alive_bytes = net.stats().sent_by_label("mykil-alive").bytes;
+  return report;
+}
+
+}  // namespace mykil::workload

@@ -1,0 +1,54 @@
+// Drives a full MykilGroup with a ChurnSchedule and collects the outcome.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mykil/group.h"
+#include "workload/churn.h"
+
+namespace mykil::workload {
+
+struct RunReport {
+  std::size_t joins_attempted = 0;
+  std::size_t leaves_attempted = 0;
+  std::size_t moves_attempted = 0;
+  std::size_t data_sent = 0;
+  std::size_t final_members = 0;  ///< joined members at the end
+  std::uint64_t rekey_multicasts = 0;
+  std::uint64_t rekey_bytes = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t alive_bytes = 0;
+  /// Members whose key state matches their AC's area key at the end.
+  std::size_t in_sync = 0;
+  std::size_t out_of_sync = 0;
+};
+
+/// Applies a schedule to a group. Joins draw fresh members from an
+/// internal pool (authorized on demand); leaves/moves/data pick random
+/// joined members. All randomness comes from the seed, so runs reproduce.
+class ChurnRunner {
+ public:
+  ChurnRunner(core::MykilGroup& group, std::uint64_t seed);
+
+  /// Run the schedule to completion (plus a settling tail), collecting
+  /// traffic counters from the network's stats.
+  RunReport run(const ChurnSchedule& schedule,
+                net::SimDuration settle_tail = net::sec(2));
+
+  [[nodiscard]] const std::vector<std::unique_ptr<core::Member>>& members()
+      const {
+    return members_;
+  }
+
+ private:
+  core::Member* random_joined();
+  core::Member* random_left_with_ticket();
+
+  core::MykilGroup& group_;
+  crypto::Prng prng_;
+  std::vector<std::unique_ptr<core::Member>> members_;
+  core::ClientId next_client_ = 1;
+};
+
+}  // namespace mykil::workload

@@ -1,0 +1,199 @@
+// Analytical cost models against the paper's printed constants (Section V)
+// and against measurements from the real KeyTree implementation.
+#include <gtest/gtest.h>
+
+#include "analysis/models.h"
+#include "crypto/prng.h"
+#include "lkh/key_tree.h"
+
+namespace mykil::analysis {
+namespace {
+
+ProtocolParams paper_params() {
+  ProtocolParams p;  // 100,000 members, 20 areas, 128-bit keys, binary
+  return p;
+}
+
+TEST(AnalysisDepth, TreeDepthCeiling) {
+  EXPECT_EQ(tree_depth(1, 2), 0u);
+  EXPECT_EQ(tree_depth(2, 2), 1u);
+  EXPECT_EQ(tree_depth(3, 2), 2u);
+  EXPECT_EQ(tree_depth(100000, 2), 17u);
+  EXPECT_EQ(tree_depth(100000, 4), 9u);
+  EXPECT_EQ(tree_depth(5000, 2), 13u);
+}
+
+TEST(AnalysisStorage, MemberBytesMatchPaperTable) {
+  ProtocolParams p = paper_params();
+  // Section V-A: "32 bytes in Iolus, 272 bytes in LKH" per member.
+  EXPECT_EQ(member_storage_iolus(p), 32u);
+  EXPECT_EQ(member_storage_lkh(p), 272u);
+  // Paper prints 176 B (11 keys) for Mykil; its own depth arithmetic
+  // (12 levels at 5000-member areas) gives 192 B. We implement the formula.
+  EXPECT_EQ(member_storage_mykil(p), 192u);
+}
+
+TEST(AnalysisStorage, ControllerBytesMatchPaperOrder) {
+  ProtocolParams p = paper_params();
+  // Iolus ~80 KB, LKH ~4 MB, Mykil ~132 KB.
+  EXPECT_NEAR(static_cast<double>(controller_storage_iolus(p)), 80000.0, 3000.0);
+  EXPECT_NEAR(static_cast<double>(controller_storage_lkh(p)), 4.19e6, 0.1e6);
+  EXPECT_NEAR(static_cast<double>(controller_storage_mykil(p)), 136000.0, 8000.0);
+  // Ordering claim: Iolus < Mykil << LKH.
+  EXPECT_LT(controller_storage_iolus(p), controller_storage_mykil(p));
+  EXPECT_LT(controller_storage_mykil(p), controller_storage_lkh(p) / 10);
+}
+
+TEST(AnalysisCpu, LkhDistributionMatchesPaper) {
+  ProtocolParams p = paper_params();
+  auto dist = leave_update_distribution_lkh(p);
+  // "50,000 members will update one key, 25,000 members will update two
+  // keys, 12,500 members will update three keys, ..."
+  ASSERT_GE(dist.size(), 4u);
+  EXPECT_EQ(dist[0].keys_updated, 1u);
+  EXPECT_EQ(dist[0].member_count, 50000u);
+  EXPECT_EQ(dist[1].member_count, 25000u);
+  EXPECT_EQ(dist[2].member_count, 12500u);
+  EXPECT_EQ(dist[3].member_count, 6250u);
+}
+
+TEST(AnalysisCpu, MykilDistributionMatchesPaper) {
+  ProtocolParams p = paper_params();
+  auto dist = leave_update_distribution_mykil(p);
+  // "2500 members will update one key, 1250 members will update two keys,
+  // 625 members will update three keys, 313 members four, ..."
+  ASSERT_GE(dist.size(), 4u);
+  EXPECT_EQ(dist[0].member_count, 2500u);
+  EXPECT_EQ(dist[1].member_count, 1250u);
+  EXPECT_EQ(dist[2].member_count, 625u);
+}
+
+TEST(AnalysisCpu, AverageOrdering) {
+  ProtocolParams p = paper_params();
+  // Iolus minimum, Mykil a bit more per affected member but fewer affected,
+  // LKH the most: averaged over the whole group.
+  double iolus = avg_keys_updated_iolus(p);
+  double mykil = avg_keys_updated_mykil(p);
+  double lkh = avg_keys_updated_lkh(p);
+  EXPECT_LT(mykil, lkh);
+  EXPECT_LT(iolus, lkh);
+  // Iolus: 5000 members x 1 key / 100k = 0.05.
+  EXPECT_NEAR(iolus, 0.05, 1e-9);
+  // LKH averages ~2 keys over all members (sum i/2^i).
+  EXPECT_NEAR(lkh, 2.0, 0.1);
+}
+
+TEST(AnalysisBandwidth, LeaveEventMatchesPaperConstants) {
+  ProtocolParams p = paper_params();
+  // Section V-C: 80,000 B (Iolus), 544 B (LKH), 384 B (Mykil).
+  EXPECT_EQ(leave_bandwidth_iolus(p), 80000u);
+  EXPECT_EQ(leave_bandwidth_lkh(p), 544u);
+  EXPECT_EQ(leave_bandwidth_mykil(p), 384u);
+}
+
+TEST(AnalysisBandwidth, JoinUnicastMatchesPaper) {
+  ProtocolParams p = paper_params();
+  // "16*17 = 272 bytes" for LKH. (Paper prints "16*12 = 172" for Mykil —
+  // arithmetically 192; we return the formula value.)
+  EXPECT_EQ(join_unicast_lkh(p), 272u);
+  EXPECT_EQ(join_unicast_mykil(p), 192u);
+}
+
+TEST(AnalysisBandwidth, Figure8ShapeAcrossAreaCounts) {
+  // Iolus falls steeply with more areas; Mykil falls gently; LKH constant.
+  std::size_t prev_iolus = SIZE_MAX, prev_mykil = SIZE_MAX;
+  for (std::size_t areas : {1u, 2u, 4u, 8u, 16u, 20u}) {
+    ProtocolParams p = paper_params();
+    p.num_areas = areas;
+    std::size_t iolus = leave_bandwidth_iolus(p);
+    std::size_t mykil = leave_bandwidth_mykil(p);
+    EXPECT_LE(iolus, prev_iolus);
+    EXPECT_LE(mykil, prev_mykil);
+    EXPECT_EQ(leave_bandwidth_lkh(p), 544u);  // independent of areas
+    // Mykil and LKH are orders of magnitude below Iolus beyond 1 area.
+    if (areas > 1) {
+      EXPECT_LT(mykil * 20, iolus);
+    }
+    prev_iolus = iolus;
+    prev_mykil = mykil;
+  }
+  // At one area Mykil degenerates to LKH.
+  ProtocolParams one = paper_params();
+  one.num_areas = 1;
+  EXPECT_EQ(leave_bandwidth_mykil(one), leave_bandwidth_lkh(one));
+}
+
+TEST(AnalysisBandwidth, Figure10AggregationSavesBandwidth) {
+  ProtocolParams p = paper_params();
+  std::size_t serial = serial_leave_bandwidth_mykil(p, 10);
+  std::size_t worst = aggregated_leave_bandwidth_mykil(p, 10, false);
+  std::size_t best = aggregated_leave_bandwidth_mykil(p, 10, true);
+  EXPECT_LT(worst, serial);
+  EXPECT_LT(best, worst);
+  EXPECT_GT(best, 0u);
+  // The paper claims 40-60% savings from batching; the worst case should
+  // save at least ~20% and the best case well over 50%.
+  EXPECT_LT(static_cast<double>(best), 0.5 * static_cast<double>(serial));
+}
+
+TEST(AnalysisBandwidth, Figure10EdgeCases) {
+  ProtocolParams p = paper_params();
+  EXPECT_EQ(aggregated_leave_bandwidth_mykil(p, 0, true), 0u);
+  // One leave aggregated == one leave plain (same union).
+  EXPECT_EQ(aggregated_leave_bandwidth_mykil(p, 1, true),
+            aggregated_leave_bandwidth_mykil(p, 1, false));
+}
+
+TEST(AnalysisVsImplementation, SingleLeaveEntryCountMatchesKeyTree) {
+  // The model's per-leave entry count (f x levels - 1 vacated entry) should
+  // track what the real KeyTree emits for a full binary tree.
+  lkh::KeyTree::Config cfg;
+  cfg.fanout = 2;
+  lkh::KeyTree tree(cfg, crypto::Prng(3));
+  for (lkh::MemberId m = 0; m < 256; ++m) tree.join(m);
+  lkh::RekeyMessage msg = tree.leave(77);
+
+  ProtocolParams p;
+  p.group_size = 256;
+  p.num_areas = 1;
+  // Model bytes = f*levels*kb; entries = f*levels (model counts the vacated
+  // leaf slot too — the paper's formula does not subtract it).
+  std::size_t model_entries = leave_bandwidth_lkh(p) / p.key_bytes;
+  // Real tree: 8 levels x 2 children - 1 vacated leaf = 15 entries.
+  EXPECT_EQ(msg.entries.size(), 15u);
+  EXPECT_EQ(model_entries, 16u);  // paper formula, off by the vacated slot
+}
+
+TEST(AnalysisVsImplementation, AggregatedModelTracksKeyTreeBatch) {
+  // Compare the Fig-10 worst-case (spread leaves) model against a real
+  // batched leave. Creation-order members end up SPREAD across the real
+  // tree (splits relocate early members), so the spread model applies.
+  lkh::KeyTree::Config cfg;
+  cfg.fanout = 2;
+  lkh::KeyTree tree(cfg, crypto::Prng(4));
+  for (lkh::MemberId m = 0; m < 1024; ++m) tree.join(m);
+
+  std::vector<lkh::MemberId> victims;
+  for (lkh::MemberId m = 0; m < 10; ++m) victims.push_back(m);
+  lkh::RekeyMessage msg = tree.leave_batch(victims);
+
+  ProtocolParams p;
+  p.group_size = 1024;
+  p.num_areas = 1;
+  std::size_t model_entries =
+      aggregated_leave_bandwidth_mykil(p, 10, false) / p.key_bytes;
+  double real = static_cast<double>(msg.entries.size());
+  double model = static_cast<double>(model_entries);
+  EXPECT_NEAR(real, model, model * 0.3);
+
+  // And the batch is cheaper than ten serial leaves in the real tree too.
+  lkh::KeyTree tree2(cfg, crypto::Prng(4));
+  for (lkh::MemberId m = 0; m < 1024; ++m) tree2.join(m);
+  std::size_t serial_entries = 0;
+  for (lkh::MemberId m = 0; m < 10; ++m)
+    serial_entries += tree2.leave(m).entries.size();
+  EXPECT_LT(msg.entries.size(), serial_entries);
+}
+
+}  // namespace
+}  // namespace mykil::analysis

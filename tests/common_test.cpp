@@ -1,0 +1,157 @@
+// Tests for the common substrate: bytes helpers, hex, wire serialization.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/hex.h"
+#include "common/wire.h"
+
+namespace mykil {
+namespace {
+
+TEST(Bytes, ToBytesRoundTrip) {
+  Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, ConcatJoinsBuffersInOrder) {
+  Bytes a = to_bytes("ab");
+  Bytes b = to_bytes("cd");
+  Bytes c = to_bytes("e");
+  EXPECT_EQ(to_string(concat(a, b, c)), "abcde");
+}
+
+TEST(Bytes, ConcatEmpty) {
+  Bytes empty;
+  EXPECT_TRUE(concat(empty, empty).empty());
+}
+
+TEST(Bytes, CtEqualMatches) {
+  Bytes a = to_bytes("secret");
+  Bytes b = to_bytes("secret");
+  EXPECT_TRUE(ct_equal(a, b));
+}
+
+TEST(Bytes, CtEqualDetectsDifference) {
+  EXPECT_FALSE(ct_equal(to_bytes("secret"), to_bytes("secreT")));
+  EXPECT_FALSE(ct_equal(to_bytes("short"), to_bytes("longer")));
+}
+
+TEST(Bytes, SecureWipeClears) {
+  Bytes key = to_bytes("topsecretkey");
+  secure_wipe(key);
+  EXPECT_TRUE(key.empty());
+}
+
+TEST(Bytes, XorInto) {
+  Bytes a = {0xFF, 0x00, 0xAA};
+  Bytes b = {0x0F, 0xF0, 0xAA};
+  xor_into(a, b);
+  EXPECT_EQ(a, (Bytes{0xF0, 0xF0, 0x00}));
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xAB, 0xFF};
+  std::string h = hex_encode(data);
+  EXPECT_EQ(h, "0001abff");
+  EXPECT_EQ(hex_decode(h), data);
+}
+
+TEST(Hex, DecodeUppercase) {
+  EXPECT_EQ(hex_decode("ABFF"), (Bytes{0xAB, 0xFF}));
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_THROW(hex_decode("abc"), WireError);
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_THROW(hex_decode("zz"), WireError);
+}
+
+TEST(Hex, EmptyString) {
+  EXPECT_TRUE(hex_decode("").empty());
+  EXPECT_EQ(hex_encode(Bytes{}), "");
+}
+
+TEST(Wire, IntegerRoundTrip) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+
+  WireReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, BigEndianLayout) {
+  WireWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(Wire, BytesAndStringRoundTrip) {
+  WireWriter w;
+  w.bytes(to_bytes("blob"));
+  w.str("text");
+  WireReader r(w.data());
+  EXPECT_EQ(to_string(r.bytes()), "blob");
+  EXPECT_EQ(r.str(), "text");
+  r.expect_done();
+}
+
+TEST(Wire, EmptyBytesField) {
+  WireWriter w;
+  w.bytes(Bytes{});
+  WireReader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, TruncatedIntegerThrows) {
+  Bytes short_buf = {0x01, 0x02};
+  WireReader r(short_buf);
+  EXPECT_THROW(r.u32(), WireError);
+}
+
+TEST(Wire, TruncatedBytesThrows) {
+  WireWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  WireReader r(w.data());
+  EXPECT_THROW(r.bytes(), WireError);
+}
+
+TEST(Wire, LengthHeaderOverflowRejected) {
+  // A length prefix of 0xFFFFFFFF must not wrap any internal arithmetic.
+  WireWriter w;
+  w.u32(0xFFFFFFFF);
+  w.raw(to_bytes("tiny"));
+  WireReader r(w.data());
+  EXPECT_THROW(r.bytes(), WireError);
+}
+
+TEST(Wire, ExpectDoneRejectsTrailingGarbage) {
+  WireWriter w;
+  w.u8(1);
+  w.u8(2);
+  WireReader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), WireError);
+}
+
+TEST(Wire, RawFixedWidthField) {
+  WireWriter w;
+  w.raw(to_bytes("12345678"));
+  WireReader r(w.data());
+  EXPECT_EQ(to_string(r.raw(8)), "12345678");
+  EXPECT_THROW(r.raw(1), WireError);
+}
+
+}  // namespace
+}  // namespace mykil

@@ -1,0 +1,237 @@
+// BigUInt arithmetic: unit cases, algebraic property sweeps, primality.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "crypto/bignum.h"
+#include "crypto/prng.h"
+
+namespace mykil::crypto {
+namespace {
+
+TEST(BigUInt, ZeroBasics) {
+  BigUInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(z.is_even());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_decimal(), "0");
+  EXPECT_EQ(z, BigUInt(0));
+}
+
+TEST(BigUInt, U64RoundTrip) {
+  BigUInt v(0x0123456789ABCDEFull);
+  EXPECT_EQ(v.low_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(v.bit_length(), 57u);
+}
+
+TEST(BigUInt, BytesRoundTrip) {
+  Bytes raw = hex_decode("00ff01020304050607");
+  BigUInt v = BigUInt::from_bytes_be(raw);
+  // Leading zero stripped on re-encode.
+  EXPECT_EQ(hex_encode(v.to_bytes_be()), "ff01020304050607");
+  // Padding restores it.
+  EXPECT_EQ(hex_encode(v.to_bytes_be(9)), "00ff01020304050607");
+}
+
+TEST(BigUInt, DecimalRoundTrip) {
+  const std::string big = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigUInt::from_decimal(big).to_decimal(), big);
+}
+
+TEST(BigUInt, DecimalRejectsGarbage) {
+  EXPECT_THROW(BigUInt::from_decimal(""), CryptoError);
+  EXPECT_THROW(BigUInt::from_decimal("12a3"), CryptoError);
+}
+
+TEST(BigUInt, AdditionCarriesAcrossLimbs) {
+  BigUInt a = BigUInt::from_bytes_be(hex_decode("ffffffffffffffff"));
+  BigUInt one(1);
+  EXPECT_EQ(hex_encode((a + one).to_bytes_be()), "010000000000000000");
+}
+
+TEST(BigUInt, SubtractionBorrows) {
+  BigUInt a = BigUInt::from_bytes_be(hex_decode("010000000000000000"));
+  BigUInt one(1);
+  EXPECT_EQ(hex_encode((a - one).to_bytes_be()), "ffffffffffffffff");
+}
+
+TEST(BigUInt, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUInt(1) - BigUInt(2), CryptoError);
+}
+
+TEST(BigUInt, MultiplicationKnownProduct) {
+  BigUInt a = BigUInt::from_decimal("123456789123456789");
+  BigUInt b = BigUInt::from_decimal("987654321987654321");
+  EXPECT_EQ((a * b).to_decimal(), "121932631356500531347203169112635269");
+}
+
+TEST(BigUInt, MultiplyByZero) {
+  BigUInt a = BigUInt::from_decimal("999999999999999999999");
+  EXPECT_TRUE((a * BigUInt()).is_zero());
+}
+
+TEST(BigUInt, ShiftLeftRightInverse) {
+  BigUInt v = BigUInt::from_decimal("987654321987654321987654321");
+  for (std::size_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ((v << s) >> s, v) << "shift=" << s;
+  }
+}
+
+TEST(BigUInt, ShiftEquivalentToMultiplyByPowerOfTwo) {
+  BigUInt v(12345);
+  EXPECT_EQ(v << 10, v * BigUInt(1024));
+}
+
+TEST(BigUInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUInt(1) / BigUInt(), CryptoError);
+}
+
+TEST(BigUInt, DivModSmallDivisor) {
+  auto [q, r] = BigUInt::divmod(BigUInt::from_decimal("1000000000000000000007"),
+                                BigUInt(7));
+  EXPECT_EQ(q.to_decimal(), "142857142857142857143");
+  EXPECT_EQ(r.to_decimal(), "6");
+}
+
+TEST(BigUInt, DivModKnuthCase) {
+  // Multi-limb divisor exercising Algorithm D.
+  BigUInt a = BigUInt::from_decimal("340282366920938463463374607431768211457");
+  BigUInt b = BigUInt::from_decimal("18446744073709551629");
+  auto [q, r] = BigUInt::divmod(a, b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+}
+
+// Property sweep: (a*b+c) divmod b returns (a + c/b, c%b) for random values.
+class BigUIntDivisionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigUIntDivisionProperty, DivModInvariantRandom) {
+  Prng prng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    std::size_t abits = 32 + prng.uniform(512);
+    std::size_t bbits = 32 + prng.uniform(256);
+    BigUInt a = BigUInt::random_with_bits(abits, prng);
+    BigUInt b = BigUInt::random_with_bits(bbits, prng);
+    auto [q, r] = BigUInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST_P(BigUIntDivisionProperty, AddSubInverse) {
+  Prng prng(GetParam() + 1000);
+  for (int i = 0; i < 40; ++i) {
+    BigUInt a = BigUInt::random_with_bits(1 + prng.uniform(300), prng);
+    BigUInt b = BigUInt::random_with_bits(1 + prng.uniform(300), prng);
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+TEST_P(BigUIntDivisionProperty, MulDistributesOverAdd) {
+  Prng prng(GetParam() + 2000);
+  for (int i = 0; i < 20; ++i) {
+    BigUInt a = BigUInt::random_with_bits(1 + prng.uniform(200), prng);
+    BigUInt b = BigUInt::random_with_bits(1 + prng.uniform(200), prng);
+    BigUInt c = BigUInt::random_with_bits(1 + prng.uniform(200), prng);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigUIntDivisionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BigUInt, ModExpSmallKnown) {
+  // 4^13 mod 497 = 445.
+  EXPECT_EQ(BigUInt::mod_exp(BigUInt(4), BigUInt(13), BigUInt(497)),
+            BigUInt(445));
+}
+
+TEST(BigUInt, ModExpFermat) {
+  // Fermat's little theorem: a^(p-1) = 1 mod p for prime p, gcd(a,p)=1.
+  BigUInt p = BigUInt::from_decimal("1000000007");
+  for (std::uint64_t a : {2ull, 12345ull, 999999ull}) {
+    EXPECT_EQ(BigUInt::mod_exp(BigUInt(a), p - BigUInt(1), p), BigUInt(1));
+  }
+}
+
+TEST(BigUInt, ModExpZeroExponent) {
+  EXPECT_EQ(BigUInt::mod_exp(BigUInt(5), BigUInt(0), BigUInt(7)), BigUInt(1));
+}
+
+TEST(BigUInt, ModExpModulusOne) {
+  EXPECT_TRUE(BigUInt::mod_exp(BigUInt(5), BigUInt(3), BigUInt(1)).is_zero());
+}
+
+TEST(BigUInt, GcdKnown) {
+  EXPECT_EQ(BigUInt::gcd(BigUInt(48), BigUInt(36)), BigUInt(12));
+  EXPECT_EQ(BigUInt::gcd(BigUInt(17), BigUInt(13)), BigUInt(1));
+  EXPECT_EQ(BigUInt::gcd(BigUInt(0), BigUInt(5)), BigUInt(5));
+}
+
+TEST(BigUInt, ModInverseKnown) {
+  // 3 * 4 = 12 = 1 mod 11.
+  EXPECT_EQ(BigUInt::mod_inverse(BigUInt(3), BigUInt(11)), BigUInt(4));
+}
+
+TEST(BigUInt, ModInverseProperty) {
+  Prng prng(31);
+  BigUInt m = BigUInt::from_decimal("1000000007");  // prime modulus
+  for (int i = 0; i < 25; ++i) {
+    BigUInt a = BigUInt(1) + BigUInt::random_below(m - BigUInt(1), prng);
+    BigUInt inv = BigUInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigUInt(1));
+  }
+}
+
+TEST(BigUInt, ModInverseNotCoprimeThrows) {
+  EXPECT_THROW(BigUInt::mod_inverse(BigUInt(4), BigUInt(8)), CryptoError);
+}
+
+TEST(BigUInt, RandomWithBitsExactLength) {
+  Prng prng(37);
+  for (std::size_t bits : {8u, 9u, 31u, 32u, 33u, 64u, 127u, 512u}) {
+    BigUInt v = BigUInt::random_with_bits(bits, prng);
+    EXPECT_EQ(v.bit_length(), bits);
+  }
+}
+
+TEST(BigUInt, RandomBelowInRange) {
+  Prng prng(41);
+  BigUInt bound = BigUInt::from_decimal("1000000");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigUInt::random_below(bound, prng), bound);
+  }
+}
+
+TEST(BigUInt, KnownPrimesPassMillerRabin) {
+  Prng prng(43);
+  for (std::uint64_t p : {2ull, 3ull, 65537ull, 1000000007ull, 2147483647ull}) {
+    EXPECT_TRUE(BigUInt::is_probable_prime(BigUInt(p), 20, prng)) << p;
+  }
+}
+
+TEST(BigUInt, KnownCompositesFailMillerRabin) {
+  Prng prng(47);
+  // Includes Carmichael numbers 561, 41041 that fool Fermat-only tests.
+  for (std::uint64_t c : {1ull, 4ull, 561ull, 41041ull, 1000000006ull}) {
+    EXPECT_FALSE(BigUInt::is_probable_prime(BigUInt(c), 20, prng)) << c;
+  }
+}
+
+TEST(BigUInt, GeneratePrimeHasRequestedBits) {
+  Prng prng(53);
+  BigUInt p = BigUInt::generate_prime(96, prng);
+  EXPECT_EQ(p.bit_length(), 96u);
+  EXPECT_TRUE(BigUInt::is_probable_prime(p, 30, prng));
+}
+
+TEST(BigUInt, ComparisonOrdering) {
+  BigUInt small(5), large = BigUInt::from_decimal("99999999999999999999");
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, small);
+  EXPECT_EQ(small, BigUInt(5));
+  EXPECT_LE(small, BigUInt(5));
+}
+
+}  // namespace
+}  // namespace mykil::crypto

@@ -1,0 +1,87 @@
+// HMAC-SHA256 against RFC 4231 test vectors.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/hmac.h"
+
+namespace mykil::crypto {
+namespace {
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_encode(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hex_encode(hmac_sha256(to_bytes("Jefe"),
+                                   to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_encode(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  // Key longer than one block must be hashed first.
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      hex_encode(hmac_sha256(
+          key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, Rfc4231Case7LongKeyAndData) {
+  Bytes key(131, 0xaa);
+  Bytes data = to_bytes(
+      "This is a test using a larger than block-size key and a larger than "
+      "block-size data. The key needs to be hashed before being used by the "
+      "HMAC algorithm.");
+  EXPECT_EQ(hex_encode(hmac_sha256(key, data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(Hmac, VerifyAcceptsCorrectTag) {
+  Bytes key = to_bytes("key");
+  Bytes msg = to_bytes("message");
+  Bytes tag = hmac_sha256(key, msg);
+  EXPECT_TRUE(hmac_verify(key, msg, tag));
+}
+
+TEST(Hmac, VerifyAcceptsTruncatedTag) {
+  Bytes key = to_bytes("key");
+  Bytes msg = to_bytes("message");
+  Bytes tag = hmac_sha256_trunc(key, msg, 16);
+  EXPECT_EQ(tag.size(), 16u);
+  EXPECT_TRUE(hmac_verify(key, msg, tag));
+}
+
+TEST(Hmac, VerifyRejectsFlippedBit) {
+  Bytes key = to_bytes("key");
+  Bytes msg = to_bytes("message");
+  Bytes tag = hmac_sha256(key, msg);
+  tag[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(key, msg, tag));
+}
+
+TEST(Hmac, VerifyRejectsWrongKey) {
+  Bytes msg = to_bytes("message");
+  Bytes tag = hmac_sha256(to_bytes("key1"), msg);
+  EXPECT_FALSE(hmac_verify(to_bytes("key2"), msg, tag));
+}
+
+TEST(Hmac, VerifyRejectsEmptyTag) {
+  EXPECT_FALSE(hmac_verify(to_bytes("k"), to_bytes("m"), Bytes{}));
+}
+
+TEST(Hmac, DifferentMessagesDifferentTags) {
+  Bytes key = to_bytes("key");
+  EXPECT_NE(hmac_sha256(key, to_bytes("a")), hmac_sha256(key, to_bytes("b")));
+}
+
+}  // namespace
+}  // namespace mykil::crypto

@@ -1,0 +1,71 @@
+// RC4 against RFC 6229 keystream vectors.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "crypto/rc4.h"
+
+namespace mykil::crypto {
+namespace {
+
+// RFC 6229, key = 0x0102030405 (40-bit): first 16 keystream bytes.
+TEST(Rc4, Rfc6229Key40FirstBytes) {
+  Rc4 rc4(hex_decode("0102030405"));
+  Bytes zeros(16, 0);
+  EXPECT_EQ(hex_encode(rc4.process(zeros)), "b2396305f03dc027ccc3524a0a1118a8");
+}
+
+// RFC 6229, key = 0x0102030405060708 (64-bit).
+TEST(Rc4, Rfc6229Key64FirstBytes) {
+  Rc4 rc4(hex_decode("0102030405060708"));
+  Bytes zeros(16, 0);
+  EXPECT_EQ(hex_encode(rc4.process(zeros)), "97ab8a1bf0afb96132f2f67258da15a8");
+}
+
+// RFC 6229, key = 0x0102030405060708090a0b0c0d0e0f10 (128-bit).
+TEST(Rc4, Rfc6229Key128FirstBytes) {
+  Rc4 rc4(hex_decode("0102030405060708090a0b0c0d0e0f10"));
+  Bytes zeros(16, 0);
+  EXPECT_EQ(hex_encode(rc4.process(zeros)), "9ac7cc9a609d1ef7b2932899cde41b97");
+}
+
+TEST(Rc4, StreamContinuesAcrossCalls) {
+  // Two 8-byte calls must equal one 16-byte call.
+  Rc4 a(hex_decode("0102030405"));
+  Rc4 b(hex_decode("0102030405"));
+  Bytes zeros8(8, 0), zeros16(16, 0);
+  Bytes part = a.process(zeros8);
+  append(part, a.process(zeros8));
+  EXPECT_EQ(part, b.process(zeros16));
+}
+
+TEST(Rc4, EncryptDecryptRoundTrip) {
+  Bytes key = to_bytes("rc4-test-key");
+  Bytes msg = to_bytes("the handheld device encrypts multicast payloads");
+  Rc4 enc(key);
+  Bytes ct = enc.process(msg);
+  EXPECT_NE(ct, msg);
+  Rc4 dec(key);
+  EXPECT_EQ(dec.process(ct), msg);
+}
+
+TEST(Rc4, InplaceMatchesAllocating) {
+  Bytes key = to_bytes("k");
+  Bytes msg = to_bytes("same bytes either way");
+  Rc4 a(key), b(key);
+  Bytes copy = msg;
+  b.process_inplace(copy);
+  EXPECT_EQ(copy, a.process(msg));
+}
+
+TEST(Rc4, EmptyKeyThrows) {
+  EXPECT_THROW(Rc4{Bytes{}}, CryptoError);
+}
+
+TEST(Rc4, OversizeKeyThrows) {
+  Bytes key(257, 1);
+  EXPECT_THROW(Rc4{key}, CryptoError);
+}
+
+}  // namespace
+}  // namespace mykil::crypto

@@ -1,0 +1,212 @@
+// RSA keygen, OAEP encryption, and signatures.
+//
+// Tests use 512–768-bit keys for speed; key size does not change the code
+// paths (the bignum layer is size-generic, verified separately).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/prng.h"
+#include "crypto/rsa.h"
+
+namespace mykil::crypto {
+namespace {
+
+// Shared fixture: keygen is the slow part, do it once per suite.
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    prng_ = new Prng(1234);
+    kp_ = new RsaKeyPair(rsa_generate(768, *prng_));
+  }
+  static void TearDownTestSuite() {
+    delete kp_;
+    delete prng_;
+    kp_ = nullptr;
+    prng_ = nullptr;
+  }
+
+  static Prng* prng_;
+  static RsaKeyPair* kp_;
+};
+
+Prng* RsaTest::prng_ = nullptr;
+RsaKeyPair* RsaTest::kp_ = nullptr;
+
+TEST_F(RsaTest, ModulusHasRequestedBits) {
+  EXPECT_EQ(kp_->pub.n.bit_length(), 768u);
+  EXPECT_EQ(kp_->pub.modulus_bytes(), 96u);
+}
+
+TEST_F(RsaTest, PublicExponentIsF4) {
+  EXPECT_EQ(kp_->pub.e, BigUInt(65537));
+}
+
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+  Bytes msg = to_bytes("attack at dawn");
+  Bytes ct = rsa_encrypt(kp_->pub, msg, *prng_);
+  EXPECT_EQ(ct.size(), kp_->pub.modulus_bytes());
+  EXPECT_EQ(rsa_decrypt(kp_->priv, ct), msg);
+}
+
+TEST_F(RsaTest, EncryptionIsRandomized) {
+  Bytes msg = to_bytes("same message");
+  Bytes ct1 = rsa_encrypt(kp_->pub, msg, *prng_);
+  Bytes ct2 = rsa_encrypt(kp_->pub, msg, *prng_);
+  EXPECT_NE(ct1, ct2);  // OAEP seeds differ
+  EXPECT_EQ(rsa_decrypt(kp_->priv, ct1), msg);
+  EXPECT_EQ(rsa_decrypt(kp_->priv, ct2), msg);
+}
+
+TEST_F(RsaTest, EmptyMessage) {
+  Bytes ct = rsa_encrypt(kp_->pub, ByteView{}, *prng_);
+  EXPECT_TRUE(rsa_decrypt(kp_->priv, ct).empty());
+}
+
+TEST_F(RsaTest, MaxLengthMessage) {
+  // 768-bit key, SHA-256 OAEP: 96 - 66 = 30 bytes of capacity.
+  Bytes msg(kp_->pub.max_plaintext(), 0x5A);
+  Bytes ct = rsa_encrypt(kp_->pub, msg, *prng_);
+  EXPECT_EQ(rsa_decrypt(kp_->priv, ct), msg);
+  EXPECT_THROW(rsa_encrypt(kp_->pub, Bytes(kp_->pub.max_plaintext() + 1, 0), *prng_),
+               CryptoError);
+}
+
+TEST(RsaSmallKey, TooSmallForOaepThrows) {
+  // A 512-bit modulus (64 bytes) cannot carry SHA-256 OAEP (needs 66).
+  Prng prng(888);
+  RsaKeyPair kp = rsa_generate(512, prng);
+  EXPECT_EQ(kp.pub.max_plaintext(), 0u);
+  EXPECT_THROW(rsa_encrypt(kp.pub, ByteView{}, prng), CryptoError);
+  // Signatures still work at this size.
+  Bytes sig = rsa_sign(kp.priv, to_bytes("m"));
+  EXPECT_TRUE(rsa_verify(kp.pub, to_bytes("m"), sig));
+}
+
+TEST_F(RsaTest, TamperedCiphertextRejected) {
+  Bytes ct = rsa_encrypt(kp_->pub, to_bytes("msg"), *prng_);
+  ct[ct.size() / 2] ^= 0x01;
+  EXPECT_THROW(rsa_decrypt(kp_->priv, ct), CryptoError);
+}
+
+TEST_F(RsaTest, WrongLengthCiphertextRejected) {
+  Bytes short_ct(10, 0);
+  EXPECT_THROW(rsa_decrypt(kp_->priv, short_ct), CryptoError);
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  Bytes msg = to_bytes("key update: area key v17");
+  Bytes sig = rsa_sign(kp_->priv, msg);
+  EXPECT_EQ(sig.size(), kp_->pub.modulus_bytes());
+  EXPECT_TRUE(rsa_verify(kp_->pub, msg, sig));
+}
+
+TEST_F(RsaTest, SignatureRejectsModifiedMessage) {
+  Bytes msg = to_bytes("original");
+  Bytes sig = rsa_sign(kp_->priv, msg);
+  EXPECT_FALSE(rsa_verify(kp_->pub, to_bytes("modified"), sig));
+}
+
+TEST_F(RsaTest, SignatureRejectsModifiedSignature) {
+  Bytes msg = to_bytes("original");
+  Bytes sig = rsa_sign(kp_->priv, msg);
+  sig[0] ^= 1;
+  EXPECT_FALSE(rsa_verify(kp_->pub, msg, sig));
+}
+
+TEST_F(RsaTest, SignatureRejectsWrongKey) {
+  Prng other_prng(777);
+  RsaKeyPair other = rsa_generate(512, other_prng);
+  Bytes msg = to_bytes("original");
+  Bytes sig = rsa_sign(kp_->priv, msg);
+  EXPECT_FALSE(rsa_verify(other.pub, msg, sig));
+}
+
+TEST_F(RsaTest, WrongSizeSignatureRejected) {
+  EXPECT_FALSE(rsa_verify(kp_->pub, to_bytes("m"), Bytes(8, 0)));
+}
+
+TEST_F(RsaTest, PublicKeySerializationRoundTrip) {
+  Bytes ser = kp_->pub.serialize();
+  RsaPublicKey back = RsaPublicKey::deserialize(ser);
+  EXPECT_EQ(back, kp_->pub);
+}
+
+TEST_F(RsaTest, FingerprintStableAndShort) {
+  EXPECT_EQ(kp_->pub.fingerprint().size(), 8u);
+  EXPECT_EQ(kp_->pub.fingerprint(), kp_->pub.fingerprint());
+}
+
+TEST(RsaLarger, Bits768CarriesOaepPayload) {
+  // 768-bit modulus: 96 bytes, max_plaintext = 96 - 66 = 30.
+  Prng prng(555);
+  RsaKeyPair kp = rsa_generate(768, prng);
+  EXPECT_EQ(kp.pub.max_plaintext(), 30u);
+  Bytes msg(30, 0xA7);
+  EXPECT_EQ(rsa_decrypt(kp.priv, rsa_encrypt(kp.pub, msg, prng)), msg);
+  EXPECT_THROW(rsa_encrypt(kp.pub, Bytes(31, 0), prng), CryptoError);
+}
+
+TEST(RsaKeygen, DistinctKeysFromDistinctSeeds) {
+  Prng p1(1), p2(2);
+  RsaKeyPair k1 = rsa_generate(512, p1);
+  RsaKeyPair k2 = rsa_generate(512, p2);
+  EXPECT_NE(k1.pub.n, k2.pub.n);
+}
+
+TEST(RsaKeygen, DeterministicFromSeed) {
+  Prng p1(99), p2(99);
+  EXPECT_EQ(rsa_generate(512, p1).pub.n, rsa_generate(512, p2).pub.n);
+}
+
+class RsaBlindingGuard {
+ public:
+  RsaBlindingGuard() { rsa_set_blinding(true); }
+  ~RsaBlindingGuard() { rsa_set_blinding(false); }
+};
+
+TEST(RsaBlinding, DecryptionUnchangedUnderBlinding) {
+  Prng prng(606);
+  RsaKeyPair kp = rsa_generate(768, prng);
+  Bytes msg = to_bytes("blinded payloads match");
+  Bytes ct = rsa_encrypt(kp.pub, msg, prng);
+  Bytes plain_off = rsa_decrypt(kp.priv, ct);
+  {
+    RsaBlindingGuard guard;
+    EXPECT_TRUE(rsa_blinding_enabled());
+    EXPECT_EQ(rsa_decrypt(kp.priv, ct), plain_off);
+    // Several rounds: each uses a fresh blinding factor.
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(rsa_decrypt(kp.priv, ct), msg);
+  }
+  EXPECT_FALSE(rsa_blinding_enabled());
+}
+
+TEST(RsaBlinding, SignaturesUnchangedUnderBlinding) {
+  Prng prng(607);
+  RsaKeyPair kp = rsa_generate(768, prng);
+  Bytes msg = to_bytes("sign me");
+  Bytes sig_plain = rsa_sign(kp.priv, msg);
+  RsaBlindingGuard guard;
+  Bytes sig_blind = rsa_sign(kp.priv, msg);
+  // RSA signatures are deterministic, so blinding must not change them.
+  EXPECT_EQ(sig_blind, sig_plain);
+  EXPECT_TRUE(rsa_verify(kp.pub, msg, sig_blind));
+}
+
+TEST(RsaBlinding, PrivateKeyCarriesPublicExponent) {
+  Prng prng(608);
+  RsaKeyPair kp = rsa_generate(512, prng);
+  EXPECT_EQ(kp.priv.e, BigUInt(65537));
+}
+
+TEST(Mgf1, LengthAndDeterminism) {
+  Bytes seed = to_bytes("seed");
+  Bytes m1 = mgf1_sha256(seed, 100);
+  EXPECT_EQ(m1.size(), 100u);
+  EXPECT_EQ(m1, mgf1_sha256(seed, 100));
+  // A prefix relationship holds for the same seed.
+  Bytes m2 = mgf1_sha256(seed, 50);
+  EXPECT_TRUE(std::equal(m2.begin(), m2.end(), m1.begin()));
+}
+
+}  // namespace
+}  // namespace mykil::crypto

@@ -1,0 +1,86 @@
+// SHA-256 against FIPS 180-4 / NIST CAVP test vectors.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "crypto/sha256.h"
+
+namespace mykil::crypto {
+namespace {
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(hex_encode(Sha256::digest(ByteView{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_encode(Sha256::digest(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex_encode(Sha256::digest(
+          to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Bytes input(1000000, 'a');
+  EXPECT_EQ(hex_encode(Sha256::digest(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes = exactly one block; padding spills to a second block.
+  Bytes input(64, 'x');
+  Bytes d1 = Sha256::digest(input);
+  Sha256 h;
+  h.update(ByteView(input.data(), 30));
+  h.update(ByteView(input.data() + 30, 34));
+  EXPECT_EQ(h.finish(), d1);
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes: padding fits in one block; 56 bytes: it does not. Both are
+  // classic boundary cases for the length-encoding logic.
+  Bytes in55(55, 'q');
+  Bytes in56(56, 'q');
+  EXPECT_NE(Sha256::digest(in55), Sha256::digest(in56));
+  // Regression check vs a reference implementation.
+  EXPECT_EQ(hex_encode(Sha256::digest(Bytes(55, 0))),
+            "02779466cdec163811d078815c633f21901413081449002f24aa3e80f0b88ef7");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes data = to_bytes("the quick brown fox jumps over the lazy dog repeatedly");
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    Sha256 h;
+    h.update(ByteView(data.data(), split));
+    h.update(ByteView(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), Sha256::digest(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ByteWiseIncremental) {
+  Bytes data = to_bytes("incremental one byte at a time");
+  Sha256 h;
+  for (std::uint8_t b : data) h.update(ByteView(&b, 1));
+  EXPECT_EQ(h.finish(), Sha256::digest(data));
+}
+
+TEST(Sha256, FinishTwiceThrows) {
+  Sha256 h;
+  h.update(to_bytes("x"));
+  h.finish();
+  EXPECT_THROW(h.finish(), CryptoError);
+}
+
+TEST(Sha256, UpdateAfterFinishThrows) {
+  Sha256 h;
+  h.finish();
+  EXPECT_THROW(h.update(to_bytes("x")), CryptoError);
+}
+
+}  // namespace
+}  // namespace mykil::crypto

@@ -1,0 +1,132 @@
+// Iolus under failures: the baseline's weaknesses the paper contrasts
+// Mykil against — no controller replication, no re-parenting — plus the
+// things it does survive (member crashes, partitions within a subgroup).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "iolus/iolus.h"
+
+namespace mykil::iolus {
+namespace {
+
+const crypto::RsaKeyPair& shared_keypair() {
+  static const crypto::RsaKeyPair kp = [] {
+    crypto::Prng prng(9002);
+    return crypto::rsa_generate(768, prng);
+  }();
+  return kp;
+}
+
+net::NetworkConfig quiet_config() {
+  net::NetworkConfig cfg;
+  cfg.jitter = 0;
+  return cfg;
+}
+
+struct TwoSubgroupWorld {
+  TwoSubgroupWorld()
+      : net(quiet_config()),
+        gsa_a(1000, shared_keypair(), crypto::Prng(1)),
+        gsa_b(1001, shared_keypair(), crypto::Prng(2)) {
+    net.attach(gsa_a);
+    net.attach(gsa_b);
+    gsa_a.open_subgroup(net);
+    gsa_b.open_subgroup(net);
+    gsa_b.connect_to_parent(gsa_a.id());
+    net.run();
+    for (MemberId i = 0; i < 4; ++i) {
+      members.push_back(std::make_unique<IolusMember>(i, shared_keypair(),
+                                                      crypto::Prng(100 + i)));
+      net.attach(*members.back());
+      members.back()->join(i < 2 ? gsa_a.id() : gsa_b.id());
+      net.run();
+    }
+  }
+  net::Network net;
+  Gsa gsa_a, gsa_b;
+  std::vector<std::unique_ptr<IolusMember>> members;
+};
+
+TEST(IolusFault, GsaCrashKillsCrossSubgroupForwarding) {
+  // The single-point-of-failure property Mykil fixes with replication:
+  // when the bridging GSA dies, cross-subgroup traffic stops entirely.
+  TwoSubgroupWorld w;
+  w.net.crash(w.gsa_b.id());
+  w.members[0]->send_data(to_bytes("lost at the boundary"));
+  w.net.run();
+  EXPECT_EQ(w.members[1]->received_data().size(), 1u);  // same subgroup: fine
+  EXPECT_TRUE(w.members[2]->received_data().empty());
+  EXPECT_TRUE(w.members[3]->received_data().empty());
+}
+
+TEST(IolusFault, IntraSubgroupSurvivesOtherSubgroupCrash) {
+  // Decentralization works in Iolus too: a crash in B leaves A operating.
+  TwoSubgroupWorld w;
+  w.net.crash(w.gsa_b.id());
+  w.net.crash(w.members[2]->id());
+  w.members[0]->send_data(to_bytes("business as usual in A"));
+  w.net.run();
+  ASSERT_EQ(w.members[1]->received_data().size(), 1u);
+  EXPECT_EQ(to_string(w.members[1]->received_data()[0]),
+            "business as usual in A");
+}
+
+TEST(IolusFault, PartitionIsolatesSubgroups) {
+  TwoSubgroupWorld w;
+  // Partition subgroup B (GSA + members) away.
+  w.net.set_partition(w.gsa_b.id(), 1);
+  w.net.set_partition(w.members[2]->id(), 1);
+  w.net.set_partition(w.members[3]->id(), 1);
+
+  w.members[2]->send_data(to_bytes("b-local"));
+  w.net.run();
+  EXPECT_EQ(w.members[3]->received_data().size(), 1u);
+  EXPECT_TRUE(w.members[0]->received_data().empty());
+
+  // Heal: traffic crosses again.
+  w.net.heal_partitions();
+  w.members[2]->send_data(to_bytes("b-global"));
+  w.net.run();
+  ASSERT_FALSE(w.members[0]->received_data().empty());
+  EXPECT_EQ(to_string(w.members[0]->received_data().back()), "b-global");
+}
+
+TEST(IolusFault, CrashedMemberMissesRekeysPermanently) {
+  // Iolus leave-rekeys are pairwise UNICASTS: a member that was down
+  // during one cannot decrypt anything afterwards (no catch-up protocol) —
+  // one more robustness gap Mykil's tree + signed multicast closes only
+  // partially, but its rejoin protocol closes completely.
+  TwoSubgroupWorld w;
+  w.net.crash(w.members[1]->id());
+  w.members[0]->leave(w.gsa_a.id());  // triggers pairwise rekey while 1 down
+  w.net.run();
+  w.net.recover(w.members[1]->id());
+
+  w.members[2]->send_data(to_bytes("post-rekey data"));
+  w.net.run();
+  // Member 1 is alive again but holds the old subgroup key: the packet is
+  // undecryptable noise to it.
+  EXPECT_GE(w.members[1]->undecryptable_count(), 1u);
+  for (const Bytes& d : w.members[1]->received_data())
+    EXPECT_NE(to_string(d), "post-rekey data");
+}
+
+TEST(IolusFault, GarbageTrafficIgnored) {
+  TwoSubgroupWorld w;
+  crypto::Prng fuzz(5);
+  for (int i = 0; i < 100; ++i) {
+    w.net.unicast(w.members[0]->id(), w.gsa_a.id(), "fuzz",
+                  fuzz.bytes(fuzz.uniform(80)));
+    w.net.multicast(w.members[0]->id(), w.gsa_a.subgroup(), "fuzz",
+                    fuzz.bytes(fuzz.uniform(80)));
+  }
+  EXPECT_NO_THROW(w.net.run());
+  w.members[0]->send_data(to_bytes("still standing"));
+  w.net.run();
+  EXPECT_FALSE(w.members[3]->received_data().empty());
+}
+
+}  // namespace
+}  // namespace mykil::iolus

@@ -1,0 +1,243 @@
+// Iolus baseline: subgroup membership, O(m) leave rekey, cross-subgroup
+// data forwarding through GSAs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "iolus/iolus.h"
+
+namespace mykil::iolus {
+namespace {
+
+const crypto::RsaKeyPair& shared_keypair() {
+  static const crypto::RsaKeyPair kp = [] {
+    crypto::Prng prng(9002);
+    return crypto::rsa_generate(768, prng);
+  }();
+  return kp;
+}
+
+net::NetworkConfig quiet_config() {
+  net::NetworkConfig cfg;
+  cfg.jitter = 0;
+  return cfg;
+}
+
+/// Two subgroups: gsa_b is a child of gsa_a. Members split across them.
+struct IolusWorld {
+  IolusWorld(std::size_t members_a, std::size_t members_b)
+      : net(quiet_config()),
+        gsa_a(1000, shared_keypair(), crypto::Prng(1)),
+        gsa_b(1001, shared_keypair(), crypto::Prng(2)) {
+    net.attach(gsa_a);
+    net.attach(gsa_b);
+    gsa_a.open_subgroup(net);
+    gsa_b.open_subgroup(net);
+    gsa_b.connect_to_parent(gsa_a.id());
+    net.run();
+    for (std::size_t i = 0; i < members_a + members_b; ++i) {
+      members.push_back(std::make_unique<IolusMember>(
+          static_cast<MemberId>(i), shared_keypair(), crypto::Prng(100 + i)));
+      net.attach(*members.back());
+    }
+    for (std::size_t i = 0; i < members_a + members_b; ++i) {
+      members[i]->join(i < members_a ? gsa_a.id() : gsa_b.id());
+      net.run();
+    }
+  }
+
+  net::Network net;
+  Gsa gsa_a, gsa_b;
+  std::vector<std::unique_ptr<IolusMember>> members;
+};
+
+TEST(Iolus, MembersJoinTheirSubgroups) {
+  IolusWorld w(3, 2);
+  EXPECT_EQ(w.gsa_a.member_count(), 4u);  // 3 members + child GSA b
+  EXPECT_EQ(w.gsa_b.member_count(), 2u);
+  for (auto& m : w.members) EXPECT_TRUE(m->joined());
+  EXPECT_TRUE(w.gsa_b.uplink_ready());
+}
+
+TEST(Iolus, MembersHoldTwoKeys) {
+  IolusWorld w(1, 0);
+  EXPECT_EQ(w.members[0]->keys_held(), 2u);  // pairwise + subgroup (V-A)
+}
+
+TEST(Iolus, SubgroupKeyMatchesGsaAfterJoins) {
+  IolusWorld w(3, 0);
+  for (auto& m : w.members)
+    EXPECT_TRUE(m->subgroup_key() == w.gsa_a.subgroup_key());
+}
+
+TEST(Iolus, DataReachesSameSubgroup) {
+  IolusWorld w(3, 0);
+  w.members[0]->send_data(to_bytes("local news"));
+  w.net.run();
+  for (std::size_t i = 1; i < 3; ++i) {
+    ASSERT_EQ(w.members[i]->received_data().size(), 1u);
+    EXPECT_EQ(to_string(w.members[i]->received_data()[0]), "local news");
+  }
+}
+
+TEST(Iolus, DataCrossesSubgroupBoundaryViaGsa) {
+  IolusWorld w(2, 2);
+  // Member 0 is in subgroup A; members 2,3 in subgroup B.
+  w.members[0]->send_data(to_bytes("cross-subgroup bulletin"));
+  w.net.run();
+  for (std::size_t i : {1u, 2u, 3u}) {
+    ASSERT_EQ(w.members[i]->received_data().size(), 1u) << "member " << i;
+    EXPECT_EQ(to_string(w.members[i]->received_data()[0]),
+              "cross-subgroup bulletin");
+  }
+}
+
+TEST(Iolus, DataFlowsUpwardFromChildSubgroup) {
+  IolusWorld w(2, 2);
+  w.members[3]->send_data(to_bytes("from the leaf subgroup"));
+  w.net.run();
+  for (std::size_t i : {0u, 1u, 2u}) {
+    ASSERT_EQ(w.members[i]->received_data().size(), 1u) << "member " << i;
+  }
+}
+
+TEST(Iolus, NoDuplicateDeliveryThroughForwarding) {
+  IolusWorld w(2, 2);
+  w.members[0]->send_data(to_bytes("once only"));
+  w.net.run();
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_EQ(w.members[i]->received_data().size(), 1u) << "member " << i;
+}
+
+TEST(Iolus, LeaveUsesOneUnicastPerRemainingMember) {
+  IolusWorld w(6, 0);
+  w.net.stats().reset();
+  w.members[0]->leave(w.gsa_a.id());
+  w.net.run();
+  // 5 remaining members + the child GSA (a member of A): 6 unicasts.
+  EXPECT_EQ(w.net.stats().sent_by_label("iolus-rekey").messages, 6u);
+}
+
+TEST(Iolus, LeaveRekeyCostScalesLinearly) {
+  auto rekey_msgs = [](std::size_t n) {
+    IolusWorld w(n, 0);
+    w.net.stats().reset();
+    w.members[0]->leave(w.gsa_a.id());
+    w.net.run();
+    return w.net.stats().sent_by_label("iolus-rekey").messages;
+  };
+  // Exactly (m-1) members + 1 child GSA = m unicasts: the O(m) Iolus leave.
+  EXPECT_EQ(rekey_msgs(4), 4u);
+  EXPECT_EQ(rekey_msgs(8), 8u);
+}
+
+TEST(Iolus, EvictedMemberCannotReadNewData) {
+  IolusWorld w(4, 0);
+  w.members[3]->leave(w.gsa_a.id());
+  w.net.run();
+  w.members[0]->send_data(to_bytes("post-eviction secret"));
+  w.net.run();
+  EXPECT_TRUE(w.members[3]->received_data().empty());
+  for (std::size_t i : {1u, 2u})
+    EXPECT_EQ(w.members[i]->received_data().size(), 1u);
+}
+
+TEST(Iolus, LateJoinerDoesNotSeeEarlierData) {
+  IolusWorld w(2, 0);
+  w.members[0]->send_data(to_bytes("early data"));
+  w.net.run();
+  auto late = std::make_unique<IolusMember>(500, shared_keypair(),
+                                            crypto::Prng(999));
+  w.net.attach(*late);
+  late->join(w.gsa_a.id());
+  w.net.run();
+  EXPECT_TRUE(late->joined());
+  EXPECT_TRUE(late->received_data().empty());
+  // But new data reaches everyone including the late joiner.
+  w.members[1]->send_data(to_bytes("new data"));
+  w.net.run();
+  EXPECT_EQ(late->received_data().size(), 1u);
+}
+
+TEST(Iolus, JoinRotatesSubgroupKey) {
+  IolusWorld w(1, 0);
+  crypto::SymmetricKey before = w.gsa_a.subgroup_key();
+  auto extra = std::make_unique<IolusMember>(600, shared_keypair(),
+                                             crypto::Prng(1000));
+  w.net.attach(*extra);
+  extra->join(w.gsa_a.id());
+  w.net.run();
+  EXPECT_FALSE(before == w.gsa_a.subgroup_key());
+  // Existing member followed the rotation via the join-rekey multicast.
+  EXPECT_TRUE(w.members[0]->subgroup_key() == w.gsa_a.subgroup_key());
+}
+
+TEST(Iolus, ChildGsaFollowsParentLeaveRekey) {
+  IolusWorld w(2, 1);
+  // A member of subgroup A leaves: parent GSA rekeys with unicasts; the
+  // child GSA (a member of A) must keep forwarding across the boundary.
+  w.members[0]->leave(w.gsa_a.id());
+  w.net.run();
+  w.members[1]->send_data(to_bytes("still crossing"));
+  w.net.run();
+  ASSERT_EQ(w.members[2]->received_data().size(), 1u);
+  EXPECT_EQ(to_string(w.members[2]->received_data()[0]), "still crossing");
+}
+
+TEST(Iolus, DuplicateLeaveIgnored) {
+  IolusWorld w(3, 0);
+  w.members[0]->leave(w.gsa_a.id());
+  w.net.run();
+  w.net.stats().reset();
+  // Replay the leave request.
+  w.members[0]->leave(w.gsa_a.id());
+  EXPECT_NO_THROW(w.net.run());
+  EXPECT_EQ(w.net.stats().sent_by_label("iolus-rekey").messages, 0u);
+}
+
+TEST(Iolus, SendBeforeJoinThrows) {
+  net::Network net(quiet_config());
+  IolusMember m(1, shared_keypair(), crypto::Prng(5));
+  net.attach(m);
+  EXPECT_THROW(m.send_data(to_bytes("x")), ProtocolError);
+}
+
+TEST(Iolus, ThreeLevelChainForwardsBothWays) {
+  // A <- B <- C chain: data from C's subgroup must reach A's and vice versa.
+  net::Network net(quiet_config());
+  Gsa a(1, shared_keypair(), crypto::Prng(11));
+  Gsa b(2, shared_keypair(), crypto::Prng(12));
+  Gsa c(3, shared_keypair(), crypto::Prng(13));
+  net.attach(a);
+  net.attach(b);
+  net.attach(c);
+  a.open_subgroup(net);
+  b.open_subgroup(net);
+  c.open_subgroup(net);
+  b.connect_to_parent(a.id());
+  net.run();
+  c.connect_to_parent(b.id());
+  net.run();
+
+  IolusMember ma(10, shared_keypair(), crypto::Prng(21));
+  IolusMember mc(11, shared_keypair(), crypto::Prng(22));
+  net.attach(ma);
+  net.attach(mc);
+  ma.join(a.id());
+  mc.join(c.id());
+  net.run();
+
+  ma.send_data(to_bytes("down the chain"));
+  net.run();
+  ASSERT_EQ(mc.received_data().size(), 1u);
+  EXPECT_EQ(to_string(mc.received_data()[0]), "down the chain");
+
+  mc.send_data(to_bytes("up the chain"));
+  net.run();
+  ASSERT_EQ(ma.received_data().size(), 1u);
+  EXPECT_EQ(to_string(ma.received_data()[0]), "up the chain");
+}
+
+}  // namespace
+}  // namespace mykil::iolus

@@ -1,0 +1,238 @@
+// Fault tolerance (Section IV): alive-message failure detection, unilateral
+// eviction, AC parent switching, and primary-backup takeover.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "mykil/group.h"
+
+namespace mykil::core {
+namespace {
+
+net::NetworkConfig quiet_net() {
+  net::NetworkConfig cfg;
+  cfg.jitter = 0;
+  return cfg;
+}
+
+MykilConfig fast_config() {
+  MykilConfig c;
+  c.batching = false;
+  c.t_idle = net::msec(100);
+  c.t_active = net::msec(200);
+  c.rekey_interval = net::msec(500);
+  c.rejoin_check_timeout = net::msec(300);
+  c.rejoin_retry_interval = net::msec(600);
+  c.heartbeat_interval = net::msec(100);
+  c.heartbeat_misses = 3;
+  return c;
+}
+
+GroupOptions fast_options(std::uint64_t seed = 1) {
+  GroupOptions o;
+  o.seed = seed;
+  o.config = fast_config();
+  return o;
+}
+
+struct World {
+  explicit World(std::size_t n_areas, GroupOptions opts = fast_options())
+      : net(quiet_net()), group(net, opts) {
+    group.add_area();
+    for (std::size_t i = 1; i < n_areas; ++i) group.add_area(0);
+    group.finalize();
+  }
+  net::Network net;
+  MykilGroup group;
+};
+
+TEST(MykilFault, AcMulticastsAliveWhenIdle) {
+  World w(1);
+  auto m = w.group.make_member(1, net::sec(3600));
+  w.group.join_member(*m, net::sec(3600));
+  w.net.stats().reset();
+  w.group.settle(net::sec(2));  // idle: no data traffic at all
+  // T_idle = 100 ms, so ~20 alive multicasts in 2 s of silence.
+  std::uint64_t alives = w.net.stats().sent_by_label("mykil-alive").messages;
+  EXPECT_GE(alives, 10u);
+}
+
+TEST(MykilFault, MemberSendsAliveTowardAc) {
+  World w(1);
+  auto m = w.group.make_member(1, net::sec(3600));
+  w.group.join_member(*m, net::sec(3600));
+  w.net.stats().reset();
+  w.group.settle(net::sec(2));
+  // Member alive unicasts every T_active = 200 ms: ~10 in 2 s.
+  std::uint64_t from_member =
+      w.net.stats().sent_by_node(m->id()).messages;
+  EXPECT_GE(from_member, 5u);
+}
+
+TEST(MykilFault, CrashedMemberIsEvicted) {
+  World w(1);
+  auto a = w.group.make_member(1, net::sec(3600));
+  auto b = w.group.make_member(2, net::sec(3600));
+  w.group.join_member(*a, net::sec(3600));
+  w.group.join_member(*b, net::sec(3600));
+  ASSERT_EQ(w.group.ac(0).member_count(), 2u);
+
+  w.net.crash(b->id());
+  // Silence limit = 5 x 200 ms = 1 s; give the scan time to fire.
+  w.group.settle(net::sec(3));
+  EXPECT_EQ(w.group.ac(0).member_count(), 1u);
+  EXPECT_GE(w.group.ac(0).counters().evictions, 1u);
+
+  // The survivor still has the (rotated) area key and can keep working.
+  EXPECT_TRUE(a->keys().group_key() == w.group.ac(0).tree().root_key());
+}
+
+TEST(MykilFault, MembershipExpiryEvicts) {
+  World w(1);
+  auto m = w.group.make_member(1, net::sec(1));  // 1 s membership
+  w.group.join_member(*m, net::sec(1));
+  ASSERT_TRUE(m->joined());
+  w.group.settle(net::sec(3));
+  EXPECT_EQ(w.group.ac(0).member_count(), 0u);
+}
+
+TEST(MykilFault, ChildAcStaysLinkedViaAliveTraffic) {
+  World w(2);
+  // Child AC must not be evicted from the parent area during long idles.
+  w.group.settle(net::sec(5));
+  EXPECT_TRUE(w.group.ac(1).uplink_ready());
+  EXPECT_TRUE(w.group.ac(0).has_member(w.group.ac(1).ac_id()));
+}
+
+TEST(MykilFault, ChildSwitchesParentWhenParentDies) {
+  // Three areas: 1 and 2 are children of 0. Kill 0; area 1 must re-parent
+  // to area 2 (the only other entry in its preferred list).
+  World w(3);
+  auto m1 = w.group.make_member(1, net::sec(3600));
+  auto m2 = w.group.make_member(2, net::sec(3600));
+  // Put one member in each child area (skip root, index 0 = first pick).
+  w.group.join_member(*m1, net::sec(3600));  // area 0 by round robin
+  w.group.join_member(*m2, net::sec(3600));  // area 1
+  auto m3 = w.group.make_member(3, net::sec(3600));
+  w.group.join_member(*m3, net::sec(3600));  // area 2
+
+  w.net.crash(w.group.ac(0).id());
+  w.group.settle(net::sec(4));
+
+  EXPECT_GE(w.group.ac(1).counters().parent_switches +
+                w.group.ac(2).counters().parent_switches,
+            1u);
+  // The two surviving areas re-linked (one became the other's parent).
+  bool linked = (w.group.ac(1).parent_ac() == w.group.ac(2).ac_id() &&
+                 w.group.ac(1).uplink_ready()) ||
+                (w.group.ac(2).parent_ac() == w.group.ac(1).ac_id() &&
+                 w.group.ac(2).uplink_ready());
+  EXPECT_TRUE(linked);
+
+  // Data still crosses between the surviving areas.
+  m2->send_data(to_bytes("after the root died"));
+  w.group.settle(net::sec(1));
+  ASSERT_GE(m3->received_data().size(), 1u);
+  EXPECT_EQ(to_string(m3->received_data().back()), "after the root died");
+}
+
+TEST(MykilFault, DisconnectedAreaKeepsWorkingLocally) {
+  // "As long as a member can contact its area controller, it can continue
+  // to multicast data ... with in the same partition" (Section IV).
+  World w(2);
+  auto a = w.group.make_member(1, net::sec(3600));
+  auto b = w.group.make_member(2, net::sec(3600));
+  auto c = w.group.make_member(3, net::sec(3600));
+  auto d = w.group.make_member(4, net::sec(3600));
+  for (auto* m : {a.get(), b.get(), c.get(), d.get()})
+    w.group.join_member(*m, net::sec(3600));
+  // Round robin: a,c in area 0; b,d in area 1.
+
+  // Partition area 1 (its AC + members) from area 0.
+  w.net.set_partition(w.group.ac(1).id(), 1);
+  w.net.set_partition(b->id(), 1);
+  w.net.set_partition(d->id(), 1);
+
+  b->send_data(to_bytes("intra-partition"));
+  w.group.settle(net::sec(1));
+  ASSERT_GE(d->received_data().size(), 1u);
+  EXPECT_EQ(to_string(d->received_data().back()), "intra-partition");
+  EXPECT_TRUE(a->received_data().empty());  // cannot cross the partition
+}
+
+class TakeoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GroupOptions o = fast_options(11);
+    o.with_backups = true;
+    world_ = std::make_unique<World>(2, o);
+    m1_ = world_->group.make_member(1, net::sec(3600));
+    m2_ = world_->group.make_member(2, net::sec(3600));
+    world_->group.join_member(*m1_, net::sec(3600));
+    world_->group.join_member(*m2_, net::sec(3600));
+  }
+  std::unique_ptr<World> world_;
+  std::unique_ptr<Member> m1_, m2_;
+};
+
+TEST_F(TakeoverTest, BackupReceivesStateSyncs) {
+  // The backup of area 0 has at least the two admissions synced.
+  ASSERT_NE(world_->group.backup(0), nullptr);
+  world_->group.settle(net::sec(1));
+  // Backups are passive: verified indirectly via successful takeover below.
+  SUCCEED();
+}
+
+TEST_F(TakeoverTest, BackupTakesOverAfterPrimaryCrash) {
+  std::size_t area = m1_->current_ac() == world_->group.ac(0).ac_id() ? 0 : 1;
+  AreaController* backup = world_->group.backup(area);
+  ASSERT_NE(backup, nullptr);
+  ASSERT_EQ(backup->role(), AreaController::Role::kBackup);
+
+  world_->net.crash(world_->group.ac(area).id());
+  world_->group.settle(net::sec(3));
+
+  EXPECT_EQ(backup->role(), AreaController::Role::kPrimary);
+  EXPECT_EQ(backup->counters().takeovers, 1u);
+  // The replicated tree carried over the member.
+  EXPECT_TRUE(backup->has_member(m1_->client_id()));
+}
+
+TEST_F(TakeoverTest, MembersFollowTakeoverAndKeepWorking) {
+  std::size_t area = m1_->current_ac() == world_->group.ac(0).ac_id() ? 0 : 1;
+  AreaController* backup = world_->group.backup(area);
+  world_->net.crash(world_->group.ac(area).id());
+  world_->group.settle(net::sec(3));
+  ASSERT_EQ(backup->role(), AreaController::Role::kPrimary);
+
+  // A leave AFTER takeover: the new primary can still rekey because it has
+  // the complete auxiliary tree.
+  Member* in_area = m1_->current_ac() == backup->ac_id() ? m1_.get() : m2_.get();
+  Member* other = in_area == m1_.get() ? m2_.get() : m1_.get();
+  (void)other;
+  std::uint64_t rekeys_before = backup->counters().rekey_multicasts;
+  in_area->leave();
+  world_->group.settle(net::sec(1));
+  EXPECT_GT(backup->counters().rekey_multicasts, rekeys_before);
+  EXPECT_FALSE(backup->has_member(in_area->client_id()));
+}
+
+TEST_F(TakeoverTest, CrossAreaDataFlowsAfterTakeover) {
+  // Crash the ROOT area's primary; its backup must re-link the tree so
+  // cross-area forwarding keeps working.
+  AreaController* backup = world_->group.backup(0);
+  world_->net.crash(world_->group.ac(0).id());
+  world_->group.settle(net::sec(4));
+  ASSERT_EQ(backup->role(), AreaController::Role::kPrimary);
+
+  // m1 and m2 are in different areas (round robin).
+  ASSERT_NE(m1_->current_ac(), m2_->current_ac());
+  std::size_t before = m2_->received_data().size();
+  m1_->send_data(to_bytes("across the rebuilt bridge"));
+  world_->group.settle(net::sec(1));
+  EXPECT_GT(m2_->received_data().size(), before);
+}
+
+}  // namespace
+}  // namespace mykil::core

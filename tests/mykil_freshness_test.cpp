@@ -1,0 +1,139 @@
+// Periodic key freshness (Section III-E condition 2 / Section II property
+// 1) and the area-size cap (Section V-A).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mykil/group.h"
+
+namespace mykil::core {
+namespace {
+
+net::NetworkConfig quiet_net() {
+  net::NetworkConfig cfg;
+  cfg.jitter = 0;
+  return cfg;
+}
+
+TEST(Freshness, PeriodicRekeyRotatesIdleAreaKey) {
+  net::Network net(quiet_net());
+  GroupOptions o;
+  o.seed = 5;
+  o.config.enable_timers = true;
+  o.config.batching = true;
+  o.config.periodic_fresh_rekey = true;
+  o.config.rekey_interval = net::sec(1);
+  o.config.t_idle = net::msec(300);
+  o.config.t_active = net::sec(2);
+  MykilGroup group(net, o);
+  group.add_area();
+  group.finalize();
+
+  auto m = group.make_member(1, net::sec(3600));
+  group.join_member(*m, net::sec(3600));
+  crypto::SymmetricKey k0 = group.ac(0).tree().root_key();
+
+  // Pure idle: no joins, no leaves, no data — the key must still rotate,
+  // and the member must follow. (Settle to an instant strictly between
+  // rotations so no rekey multicast is in flight at comparison time.)
+  group.settle(net::msec(5300));
+  EXPECT_FALSE(group.ac(0).tree().root_key() == k0);
+  EXPECT_GE(group.ac(0).counters().rekey_multicasts, 3u);
+  EXPECT_TRUE(m->keys().group_key() == group.ac(0).tree().root_key());
+}
+
+TEST(Freshness, NoPeriodicRekeyByDefault) {
+  net::Network net(quiet_net());
+  GroupOptions o;
+  o.seed = 6;
+  o.config.enable_timers = true;
+  o.config.batching = true;
+  o.config.rekey_interval = net::sec(1);
+  o.config.t_idle = net::msec(300);
+  o.config.t_active = net::sec(2);
+  MykilGroup group(net, o);
+  group.add_area();
+  group.finalize();
+
+  auto m = group.make_member(1, net::sec(3600));
+  group.join_member(*m, net::sec(3600));
+  group.ac(0).flush_rekeys();  // clear the join rotation
+  group.settle();
+  std::uint64_t rekeys = group.ac(0).counters().rekey_multicasts;
+  crypto::SymmetricKey k0 = group.ac(0).tree().root_key();
+
+  group.settle(net::sec(5));
+  EXPECT_EQ(group.ac(0).counters().rekey_multicasts, rekeys);
+  EXPECT_TRUE(group.ac(0).tree().root_key() == k0);
+}
+
+TEST(Freshness, PeriodicRekeyDoesNotFireOnEmptyArea) {
+  net::Network net(quiet_net());
+  GroupOptions o;
+  o.seed = 7;
+  o.config.enable_timers = true;
+  o.config.periodic_fresh_rekey = true;
+  o.config.rekey_interval = net::msec(500);
+  MykilGroup group(net, o);
+  group.add_area();
+  group.finalize();
+  group.settle(net::sec(3));
+  EXPECT_EQ(group.ac(0).counters().rekey_multicasts, 0u);
+}
+
+TEST(AreaCap, RegistrationSkipsFullAreas) {
+  net::Network net(quiet_net());
+  GroupOptions o;
+  o.seed = 8;
+  o.config.enable_timers = false;
+  o.config.batching = false;
+  o.config.max_area_members = 2;
+  MykilGroup group(net, o);
+  group.add_area();
+  group.add_area(0);
+  group.add_area(0);
+  group.finalize();
+
+  std::vector<std::unique_ptr<Member>> members;
+  for (ClientId c = 1; c <= 6; ++c) {
+    members.push_back(group.make_member(c, net::sec(3600)));
+    group.join_member(*members.back(), net::sec(3600));
+  }
+  for (auto& m : members) ASSERT_TRUE(m->joined());
+  // Cap 2: exactly two CLIENTS per area (child ACs don't count against the
+  // RS's assignment estimate).
+  std::size_t clients_in[3] = {};
+  for (auto& m : members) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      if (m->current_ac() == group.ac(a).ac_id()) ++clients_in[a];
+    }
+  }
+  EXPECT_EQ(clients_in[0], 2u);
+  EXPECT_EQ(clients_in[1], 2u);
+  EXPECT_EQ(clients_in[2], 2u);
+}
+
+TEST(AreaCap, OverflowFallsBackToRoundRobin) {
+  net::Network net(quiet_net());
+  GroupOptions o;
+  o.seed = 9;
+  o.config.enable_timers = false;
+  o.config.batching = false;
+  o.config.max_area_members = 1;
+  MykilGroup group(net, o);
+  group.add_area();
+  group.finalize();
+
+  // Cap 1, one area, three members: all must still be admitted (the cap
+  // balances; it must not deny authorized clients).
+  std::vector<std::unique_ptr<Member>> members;
+  for (ClientId c = 1; c <= 3; ++c) {
+    members.push_back(group.make_member(c, net::sec(3600)));
+    group.join_member(*members.back(), net::sec(3600));
+  }
+  for (auto& m : members) EXPECT_TRUE(m->joined());
+  EXPECT_EQ(group.ac(0).member_count(), 3u);
+}
+
+}  // namespace
+}  // namespace mykil::core

@@ -1,0 +1,231 @@
+// Robustness under imperfect networks: jitter (reordering), packet loss,
+// and hostile/garbage input. The protocol machines must degrade gracefully
+// — drop and recover — never crash or corrupt state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "mykil/group.h"
+
+namespace mykil::core {
+namespace {
+
+GroupOptions fast_options(std::uint64_t seed) {
+  GroupOptions o;
+  o.seed = seed;
+  o.config.enable_timers = true;
+  o.config.batching = true;
+  o.config.t_idle = net::msec(200);
+  o.config.t_active = net::msec(400);
+  o.config.rekey_interval = net::msec(800);
+  o.config.rejoin_retry_interval = net::sec(1);
+  return o;
+}
+
+TEST(MykilRobustness, JoinsSucceedDespiteJitter) {
+  net::NetworkConfig ncfg;
+  ncfg.jitter = net::msec(5);  // heavy reordering relative to latency
+  ncfg.seed = 3;
+  net::Network net(ncfg);
+  MykilGroup group(net, fast_options(3));
+  group.add_area();
+  group.add_area(0);
+  group.finalize();
+
+  std::vector<std::unique_ptr<Member>> members;
+  for (ClientId c = 1; c <= 8; ++c) {
+    members.push_back(group.make_member(c, net::sec(3600)));
+    members.back()->join(group.rs().id(), net::sec(3600));
+  }
+  group.settle(net::sec(5));
+  for (auto& m : members) EXPECT_TRUE(m->joined());
+
+  members[0]->send_data(to_bytes("jittery but intact"));
+  group.settle(net::sec(2));
+  std::size_t got = 0;
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    if (!members[i]->received_data().empty()) ++got;
+  }
+  EXPECT_EQ(got, 7u);
+}
+
+TEST(MykilRobustness, SystemSurvivesPacketLoss) {
+  // 10% loss: individual operations may fail, but nothing crashes, and
+  // retried/periodic machinery keeps the group functional.
+  net::NetworkConfig ncfg;
+  ncfg.jitter = 0;
+  ncfg.drop_probability = 0.10;
+  ncfg.seed = 11;
+  net::Network net(ncfg);
+  MykilGroup group(net, fast_options(11));
+  group.add_area();
+  group.finalize();
+
+  std::vector<std::unique_ptr<Member>> members;
+  for (ClientId c = 1; c <= 10; ++c) {
+    members.push_back(group.make_member(c, net::sec(3600)));
+    members.back()->join(group.rs().id(), net::sec(3600));
+  }
+  EXPECT_NO_THROW(group.settle(net::sec(10)));
+
+  std::size_t joined = 0;
+  for (auto& m : members) {
+    if (m->joined()) ++joined;
+  }
+  // With 10% loss some 4-message handshakes fail; most should succeed.
+  EXPECT_GE(joined, 6u);
+
+  // Traffic keeps flowing among those who made it.
+  for (auto& m : members) {
+    if (m->joined()) {
+      EXPECT_NO_THROW(m->send_data(to_bytes("lossy hello")));
+      break;
+    }
+  }
+  EXPECT_NO_THROW(group.settle(net::sec(2)));
+}
+
+TEST(MykilRobustness, GarbageTrafficNeverCrashesAnyone) {
+  net::NetworkConfig ncfg;
+  ncfg.jitter = 0;
+  net::Network net(ncfg);
+  GroupOptions o = fast_options(17);
+  o.config.enable_timers = false;
+  MykilGroup group(net, o);
+  group.add_area();
+  group.finalize();
+  auto m = group.make_member(1, net::sec(3600));
+  group.join_member(*m, net::sec(3600));
+  ASSERT_TRUE(m->joined());
+
+  crypto::Prng fuzz(999);
+  // Random byte blobs of assorted sizes at every entity, unicast and
+  // multicast, including truncated/empty payloads.
+  for (int round = 0; round < 200; ++round) {
+    Bytes junk = fuzz.bytes(fuzz.uniform(120));
+    net::NodeId target;
+    switch (round % 3) {
+      case 0:
+        target = group.rs().id();
+        break;
+      case 1:
+        target = group.ac(0).id();
+        break;
+      default:
+        target = m->id();
+        break;
+    }
+    net.unicast(m->id(), target, "fuzz", junk);
+    if (round % 5 == 0)
+      net.multicast(m->id(), group.ac(0).area_group(), "fuzz", junk);
+  }
+  EXPECT_NO_THROW(group.settle(net::sec(1)));
+
+  // Semi-valid garbage: correct envelope framing, nonsense boxes.
+  for (std::uint8_t type = 1; type <= 32; ++type) {
+    Bytes junk_box = fuzz.bytes(64);
+    WireWriter w;
+    w.u8(type);
+    w.u8(0);
+    w.bytes(junk_box);
+    net.unicast(m->id(), group.ac(0).id(), "fuzz", w.take());
+    WireWriter w2;
+    w2.u8(type);
+    w2.u8(1);
+    w2.bytes(junk_box);
+    w2.bytes(fuzz.bytes(96));  // junk "signature"
+    net.unicast(m->id(), group.rs().id(), "fuzz", w2.take());
+  }
+  EXPECT_NO_THROW(group.settle(net::sec(1)));
+
+  // The group still works.
+  auto m2 = group.make_member(2, net::sec(3600));
+  group.join_member(*m2, net::sec(3600));
+  EXPECT_TRUE(m2->joined());
+  m->send_data(to_bytes("still alive"));
+  group.settle();
+  ASSERT_EQ(m2->received_data().size(), 1u);
+}
+
+TEST(MykilRobustness, ChurnStormConvergesCleanly) {
+  // 3 areas, 15 members, aggressive interleaved join/leave/rejoin/data
+  // with timers on; at the end every surviving member holds the live area
+  // key of its AC.
+  net::NetworkConfig ncfg;
+  ncfg.jitter = net::usec(500);
+  ncfg.seed = 29;
+  net::Network net(ncfg);
+  GroupOptions o = fast_options(29);
+  o.config.skip_cohort_check = true;  // instant mobility for the storm
+  MykilGroup group(net, o);
+  group.add_area();
+  group.add_area(0);
+  group.add_area(0);
+  group.finalize();
+
+  std::vector<std::unique_ptr<Member>> members;
+  for (ClientId c = 1; c <= 15; ++c) {
+    members.push_back(group.make_member(c, net::sec(3600)));
+    group.join_member(*members.back(), net::sec(3600));
+  }
+
+  crypto::Prng storm(1234);
+  for (int step = 0; step < 120; ++step) {
+    Member& m = *members[storm.uniform(members.size())];
+    switch (storm.uniform(4)) {
+      case 0:
+        if (m.joined()) m.leave();
+        break;
+      case 1:
+        if (!m.joined() && !m.sealed_ticket().empty()) {
+          m.rejoin(group.ac(storm.uniform(3)).ac_id());
+        }
+        break;
+      case 2:
+        if (m.joined()) m.send_data(to_bytes("storm"));
+        break;
+      default:
+        group.settle(net::msec(50));
+        break;
+    }
+  }
+  group.settle(net::sec(8));
+
+  std::size_t joined = 0;
+  for (auto& m : members) {
+    if (!m->joined()) continue;
+    ++joined;
+    // The member's AC must actually list it...
+    bool listed = false;
+    for (std::size_t a = 0; a < 3; ++a) {
+      if (group.ac(a).ac_id() == m->current_ac()) {
+        EXPECT_TRUE(group.ac(a).has_member(m->client_id()))
+            << "member " << m->client_id();
+        listed = true;
+        // ...and after a final flush its key must match the area key.
+        group.ac(a).flush_rekeys();
+      }
+    }
+    EXPECT_TRUE(listed);
+  }
+  group.settle(net::sec(1));
+  for (auto& m : members) {
+    if (!m->joined()) continue;
+    for (std::size_t a = 0; a < 3; ++a) {
+      if (group.ac(a).ac_id() == m->current_ac()) {
+        EXPECT_TRUE(m->keys().group_key() == group.ac(a).tree().root_key())
+            << "member " << m->client_id() << " out of sync";
+      }
+    }
+  }
+  EXPECT_GE(joined, 1u);
+
+  // Structural integrity after the storm.
+  for (std::size_t a = 0; a < 3; ++a)
+    EXPECT_NO_THROW(group.ac(a).tree().check_invariants());
+}
+
+}  // namespace
+}  // namespace mykil::core

@@ -1,0 +1,137 @@
+// Simulator edge cases: stepping control, event budgets, group dynamics.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/network.h"
+
+namespace mykil::net {
+namespace {
+
+class Counter : public Node {
+ public:
+  void on_message(const Message&) override { ++messages; }
+  void on_timer(std::uint64_t) override { ++timers; }
+  int messages = 0;
+  int timers = 0;
+};
+
+NetworkConfig quiet() {
+  NetworkConfig cfg;
+  cfg.jitter = 0;
+  return cfg;
+}
+
+TEST(NetworkEdge, RunHonoursEventBudget) {
+  Network net(quiet());
+  Counter a, b;
+  net.attach(a);
+  net.attach(b);
+  for (int i = 0; i < 10; ++i) net.unicast(a.id(), b.id(), "t", Bytes(1, 0));
+  EXPECT_EQ(net.run(4), 4u);
+  EXPECT_EQ(b.messages, 4);
+  EXPECT_EQ(net.run(), 6u);
+  EXPECT_EQ(b.messages, 10);
+}
+
+TEST(NetworkEdge, StepReturnsFalseWhenIdle) {
+  Network net(quiet());
+  Counter a;
+  net.attach(a);
+  EXPECT_FALSE(net.step());
+  EXPECT_TRUE(net.idle());
+  net.set_timer(a.id(), msec(1), 0);
+  EXPECT_FALSE(net.idle());
+  EXPECT_TRUE(net.step());
+  EXPECT_FALSE(net.step());
+}
+
+TEST(NetworkEdge, RunUntilAdvancesClockEvenWithoutEvents) {
+  Network net(quiet());
+  EXPECT_EQ(net.now(), 0u);
+  net.run_until(sec(10));
+  EXPECT_EQ(net.now(), sec(10));
+}
+
+TEST(NetworkEdge, ClockNeverMovesBackward) {
+  Network net(quiet());
+  Counter a;
+  net.attach(a);
+  net.run_until(sec(5));
+  net.set_timer(a.id(), msec(1), 0);
+  net.run();
+  EXPECT_EQ(net.now(), sec(5) + msec(1));
+}
+
+TEST(NetworkEdge, SelfUnicastDelivers) {
+  Network net(quiet());
+  Counter a;
+  net.attach(a);
+  net.unicast(a.id(), a.id(), "self", Bytes(1, 0));
+  net.run();
+  EXPECT_EQ(a.messages, 1);
+}
+
+TEST(NetworkEdge, MulticastToEmptyGroupIsNoop) {
+  Network net(quiet());
+  Counter a;
+  net.attach(a);
+  GroupId g = net.create_group();
+  net.multicast(a.id(), g, "mc", Bytes(10, 0));
+  net.run();
+  EXPECT_EQ(net.stats().recv_total().messages, 0u);
+  // The send itself is still accounted (it went out on the wire).
+  EXPECT_EQ(net.stats().sent_total().messages, 1u);
+}
+
+TEST(NetworkEdge, DoubleJoinGroupIsIdempotent) {
+  Network net(quiet());
+  Counter a, b;
+  net.attach(a);
+  net.attach(b);
+  GroupId g = net.create_group();
+  net.join_group(g, b.id());
+  net.join_group(g, b.id());
+  EXPECT_EQ(net.group_size(g), 1u);
+  net.multicast(a.id(), g, "mc", Bytes(1, 0));
+  net.run();
+  EXPECT_EQ(b.messages, 1);  // exactly one delivery
+}
+
+TEST(NetworkEdge, CrashRecoverIdempotent) {
+  Network net(quiet());
+  Counter a;
+  net.attach(a);
+  net.crash(a.id());
+  net.crash(a.id());  // second crash: no-op
+  net.recover(a.id());
+  net.recover(a.id());  // second recover: no-op
+  EXPECT_TRUE(net.is_up(a.id()));
+}
+
+TEST(NetworkEdge, TimerDuringCrashSuppressedButLaterTimersFire) {
+  Network net(quiet());
+  Counter a;
+  net.attach(a);
+  net.set_timer(a.id(), msec(1), 1);
+  net.crash(a.id());
+  net.run();
+  EXPECT_EQ(a.timers, 0);
+  net.recover(a.id());
+  net.set_timer(a.id(), msec(1), 2);
+  net.run();
+  EXPECT_EQ(a.timers, 1);
+}
+
+TEST(NetworkEdge, ZeroByteMessageDelivered) {
+  Network net(quiet());
+  Counter a, b;
+  net.attach(a);
+  net.attach(b);
+  net.unicast(a.id(), b.id(), "empty", Bytes{});
+  net.run();
+  EXPECT_EQ(b.messages, 1);
+  EXPECT_EQ(net.stats().recv_total().bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mykil::net

@@ -1,0 +1,385 @@
+// Discrete-event network simulator: delivery, ordering, failures,
+// partitions, multicast, timers, accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "net/network.h"
+
+namespace mykil::net {
+namespace {
+
+/// Records everything it receives.
+class Recorder : public Node {
+ public:
+  void on_message(const Message& msg) override { messages.push_back(msg); }
+  void on_timer(std::uint64_t token) override { timers.push_back(token); }
+  void on_crash() override { ++crashes; }
+  void on_recover() override { ++recoveries; }
+
+  std::vector<Message> messages;
+  std::vector<std::uint64_t> timers;
+  int crashes = 0;
+  int recoveries = 0;
+};
+
+NetworkConfig quiet_config() {
+  NetworkConfig cfg;
+  cfg.jitter = 0;  // deterministic latency for ordering assertions
+  return cfg;
+}
+
+TEST(Network, AttachAssignsSequentialIds) {
+  Network net(quiet_config());
+  Recorder a, b, c;
+  EXPECT_EQ(net.attach(a), 0u);
+  EXPECT_EQ(net.attach(b), 1u);
+  EXPECT_EQ(net.attach(c), 2u);
+  EXPECT_TRUE(a.attached());
+}
+
+TEST(Network, DoubleAttachThrows) {
+  Network net(quiet_config());
+  Recorder a;
+  net.attach(a);
+  EXPECT_THROW(net.attach(a), SimError);
+}
+
+TEST(Network, UnicastDelivers) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.unicast(a.id(), b.id(), "test", to_bytes("hello"));
+  net.run();
+  ASSERT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(b.messages[0].from, a.id());
+  EXPECT_EQ(b.messages[0].label, "test");
+  EXPECT_EQ(to_string(b.messages[0].payload), "hello");
+}
+
+TEST(Network, TimeAdvancesWithLatency) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  EXPECT_EQ(net.now(), 0u);
+  net.unicast(a.id(), b.id(), "t", Bytes(1000, 0));
+  net.run();
+  // base 200us + 1000 bytes * 0.001us = 201us
+  EXPECT_EQ(net.now(), 201u);
+}
+
+TEST(Network, FifoOrderForEqualTimes) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.unicast(a.id(), b.id(), "t", to_bytes("1"));
+  net.unicast(a.id(), b.id(), "t", to_bytes("2"));
+  net.unicast(a.id(), b.id(), "t", to_bytes("3"));
+  net.run();
+  ASSERT_EQ(b.messages.size(), 3u);
+  EXPECT_EQ(to_string(b.messages[0].payload), "1");
+  EXPECT_EQ(to_string(b.messages[1].payload), "2");
+  EXPECT_EQ(to_string(b.messages[2].payload), "3");
+}
+
+TEST(Network, CrashedNodeReceivesNothing) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.crash(b.id());
+  EXPECT_EQ(b.crashes, 1);
+  EXPECT_FALSE(net.is_up(b.id()));
+  net.unicast(a.id(), b.id(), "t", to_bytes("x"));
+  net.run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(net.stats().dropped().messages, 1u);
+}
+
+TEST(Network, MessageInFlightToCrashingNodeIsLost) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.unicast(a.id(), b.id(), "t", to_bytes("x"));
+  net.crash(b.id());  // crash after send, before delivery
+  net.run();
+  EXPECT_TRUE(b.messages.empty());
+}
+
+TEST(Network, RecoveredNodeReceivesAgain) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.crash(b.id());
+  net.recover(b.id());
+  EXPECT_EQ(b.recoveries, 1);
+  net.unicast(a.id(), b.id(), "t", to_bytes("x"));
+  net.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(Network, PartitionBlocksCrossTraffic) {
+  Network net(quiet_config());
+  Recorder a, b, c;
+  net.attach(a);
+  net.attach(b);
+  net.attach(c);
+  net.set_partition(c.id(), 1);
+  net.unicast(a.id(), b.id(), "t", to_bytes("same"));
+  net.unicast(a.id(), c.id(), "t", to_bytes("cross"));
+  net.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+  EXPECT_TRUE(c.messages.empty());
+}
+
+TEST(Network, HealPartitionsRestoresTraffic) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.set_partition(b.id(), 7);
+  net.heal_partitions();
+  net.unicast(a.id(), b.id(), "t", to_bytes("x"));
+  net.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(Network, PartitionAppliedToInFlightMessages) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.unicast(a.id(), b.id(), "t", to_bytes("x"));
+  net.set_partition(b.id(), 3);  // partition forms while in flight
+  net.run();
+  EXPECT_TRUE(b.messages.empty());
+}
+
+TEST(Network, BlockedLinkIsDirectional) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.block_link(a.id(), b.id());
+  net.unicast(a.id(), b.id(), "t", to_bytes("blocked"));
+  net.unicast(b.id(), a.id(), "t", to_bytes("open"));
+  net.run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(a.messages.size(), 1u);
+  net.unblock_link(a.id(), b.id());
+  net.unicast(a.id(), b.id(), "t", to_bytes("now open"));
+  net.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(Network, MulticastReachesAllMembersExceptSender) {
+  Network net(quiet_config());
+  Recorder a, b, c, d;
+  net.attach(a);
+  net.attach(b);
+  net.attach(c);
+  net.attach(d);
+  GroupId g = net.create_group();
+  net.join_group(g, a.id());
+  net.join_group(g, b.id());
+  net.join_group(g, c.id());
+  // d not in group
+  net.multicast(a.id(), g, "mc", to_bytes("to the group"));
+  net.run();
+  EXPECT_TRUE(a.messages.empty());  // sender excluded
+  EXPECT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(c.messages.size(), 1u);
+  EXPECT_TRUE(d.messages.empty());
+  EXPECT_EQ(b.messages[0].group, g);
+}
+
+TEST(Network, MulticastChargedAsSingleSend) {
+  Network net(quiet_config());
+  Recorder a, b, c;
+  net.attach(a);
+  net.attach(b);
+  net.attach(c);
+  GroupId g = net.create_group();
+  net.join_group(g, a.id());
+  net.join_group(g, b.id());
+  net.join_group(g, c.id());
+  net.multicast(a.id(), g, "mc", Bytes(100, 0));
+  net.run();
+  EXPECT_EQ(net.stats().sent_total().messages, 1u);
+  EXPECT_EQ(net.stats().sent_total().bytes, 100u);
+  EXPECT_EQ(net.stats().recv_total().messages, 2u);
+  EXPECT_EQ(net.stats().recv_total().bytes, 200u);
+}
+
+TEST(Network, LeaveGroupStopsDelivery) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  GroupId g = net.create_group();
+  net.join_group(g, a.id());
+  net.join_group(g, b.id());
+  net.leave_group(g, b.id());
+  EXPECT_EQ(net.group_size(g), 1u);
+  net.multicast(a.id(), g, "mc", to_bytes("x"));
+  net.run();
+  EXPECT_TRUE(b.messages.empty());
+}
+
+TEST(Network, MulticastRespectsPartitions) {
+  Network net(quiet_config());
+  Recorder a, b, c;
+  net.attach(a);
+  net.attach(b);
+  net.attach(c);
+  GroupId g = net.create_group();
+  for (NodeId n : {a.id(), b.id(), c.id()}) net.join_group(g, n);
+  net.set_partition(c.id(), 1);
+  net.multicast(a.id(), g, "mc", to_bytes("x"));
+  net.run();
+  EXPECT_EQ(b.messages.size(), 1u);
+  EXPECT_TRUE(c.messages.empty());
+}
+
+TEST(Network, TimerFiresWithToken) {
+  Network net(quiet_config());
+  Recorder a;
+  net.attach(a);
+  net.set_timer(a.id(), msec(5), 42);
+  net.run();
+  ASSERT_EQ(a.timers.size(), 1u);
+  EXPECT_EQ(a.timers[0], 42u);
+  EXPECT_EQ(net.now(), msec(5));
+}
+
+TEST(Network, TimersFireInOrder) {
+  Network net(quiet_config());
+  Recorder a;
+  net.attach(a);
+  net.set_timer(a.id(), msec(10), 2);
+  net.set_timer(a.id(), msec(5), 1);
+  net.set_timer(a.id(), msec(20), 3);
+  net.run();
+  EXPECT_EQ(a.timers, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Network, CancelledTimerDoesNotFire) {
+  Network net(quiet_config());
+  Recorder a;
+  net.attach(a);
+  auto id = net.set_timer(a.id(), msec(5), 1);
+  net.cancel_timer(id);
+  net.run();
+  EXPECT_TRUE(a.timers.empty());
+}
+
+TEST(Network, CrashedNodeTimersSuppressed) {
+  Network net(quiet_config());
+  Recorder a;
+  net.attach(a);
+  net.set_timer(a.id(), msec(5), 1);
+  net.crash(a.id());
+  net.run();
+  EXPECT_TRUE(a.timers.empty());
+}
+
+TEST(Network, RunUntilStopsAtDeadline) {
+  Network net(quiet_config());
+  Recorder a;
+  net.attach(a);
+  net.set_timer(a.id(), msec(5), 1);
+  net.set_timer(a.id(), msec(50), 2);
+  net.run_until(msec(10));
+  EXPECT_EQ(a.timers, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(net.now(), msec(10));
+  net.run();
+  EXPECT_EQ(a.timers, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(Network, StatsByLabelAndNode) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.unicast(a.id(), b.id(), "rekey", Bytes(100, 0));
+  net.unicast(a.id(), b.id(), "data", Bytes(50, 0));
+  net.run();
+  EXPECT_EQ(net.stats().sent_by_label("rekey").bytes, 100u);
+  EXPECT_EQ(net.stats().sent_by_label("data").bytes, 50u);
+  EXPECT_EQ(net.stats().sent_by_label("nothing").bytes, 0u);
+  EXPECT_EQ(net.stats().recv_by_node(b.id()).bytes, 150u);
+  EXPECT_EQ(net.stats().sent_by_node(a.id()).messages, 2u);
+  net.stats().reset();
+  EXPECT_EQ(net.stats().sent_total().messages, 0u);
+}
+
+TEST(Network, DropProbabilityLosesRoughlyExpectedFraction) {
+  NetworkConfig cfg = quiet_config();
+  cfg.drop_probability = 0.5;
+  cfg.seed = 7;
+  Network net(cfg);
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  for (int i = 0; i < 1000; ++i)
+    net.unicast(a.id(), b.id(), "t", Bytes(1, 0));
+  net.run();
+  EXPECT_GT(b.messages.size(), 350u);
+  EXPECT_LT(b.messages.size(), 650u);
+}
+
+TEST(Network, DeterministicAcrossRunsWithSameSeed) {
+  auto run_once = [] {
+    NetworkConfig cfg;
+    cfg.seed = 99;
+    cfg.jitter = usec(100);
+    Network net(cfg);
+    Recorder a, b;
+    net.attach(a);
+    net.attach(b);
+    for (int i = 0; i < 20; ++i)
+      net.unicast(a.id(), b.id(), "t", Bytes(static_cast<std::size_t>(i), 1));
+    net.run();
+    return net.now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Network, SendingFromWithinCallbackWorks) {
+  // A node that echoes back on receipt: exercises re-entrant queueing.
+  class Echo : public Node {
+   public:
+    void on_message(const Message& msg) override {
+      if (msg.label == "ping") {
+        network().unicast(id(), msg.from, "pong", msg.payload);
+      }
+    }
+  };
+  Network net(quiet_config());
+  Recorder a;
+  Echo e;
+  net.attach(a);
+  net.attach(e);
+  net.unicast(a.id(), e.id(), "ping", to_bytes("marco"));
+  net.run();
+  ASSERT_EQ(a.messages.size(), 1u);
+  EXPECT_EQ(a.messages[0].label, "pong");
+  EXPECT_EQ(to_string(a.messages[0].payload), "marco");
+}
+
+TEST(Network, UnknownNodeOperationsThrow) {
+  Network net(quiet_config());
+  EXPECT_THROW(net.crash(99), SimError);
+  EXPECT_THROW(net.set_partition(99, 1), SimError);
+  EXPECT_THROW(net.set_timer(99, msec(1), 0), SimError);
+  EXPECT_THROW(net.multicast(0, 99, "t", Bytes{}), SimError);
+}
+
+}  // namespace
+}  // namespace mykil::net

@@ -1,0 +1,133 @@
+// Workload generator: schedule shapes, determinism, and end-to-end runs.
+#include <gtest/gtest.h>
+
+#include "workload/runner.h"
+
+namespace mykil::workload {
+namespace {
+
+TEST(ChurnSchedule, PoissonRatesRoughlyHonoured) {
+  crypto::Prng prng(1);
+  ChurnSchedule s =
+      ChurnSchedule::poisson(net::sec(100), 2.0, 1.0, 5.0, 0.5, prng);
+  // 100 s at the given rates: expect ~200/~100/~500/~50 events (+-40%).
+  EXPECT_NEAR(static_cast<double>(s.count(EventKind::kJoin)), 200, 80);
+  EXPECT_NEAR(static_cast<double>(s.count(EventKind::kLeave)), 100, 40);
+  EXPECT_NEAR(static_cast<double>(s.count(EventKind::kData)), 500, 200);
+  EXPECT_NEAR(static_cast<double>(s.count(EventKind::kMove)), 50, 25);
+}
+
+TEST(ChurnSchedule, EventsAreTimeOrderedWithinDuration) {
+  crypto::Prng prng(2);
+  ChurnSchedule s = ChurnSchedule::poisson(net::sec(10), 5, 5, 5, 1, prng);
+  net::SimTime last = 0;
+  for (const Event& e : s.events()) {
+    EXPECT_GE(e.at, last);
+    EXPECT_LT(e.at, net::sec(10));
+    last = e.at;
+  }
+}
+
+TEST(ChurnSchedule, DeterministicFromSeed) {
+  crypto::Prng p1(7), p2(7);
+  ChurnSchedule a = ChurnSchedule::poisson(net::sec(30), 1, 1, 2, 0, p1);
+  ChurnSchedule b = ChurnSchedule::poisson(net::sec(30), 1, 1, 2, 0, p2);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+  }
+}
+
+TEST(ChurnSchedule, ZeroRatesProduceNothing) {
+  crypto::Prng prng(3);
+  ChurnSchedule s = ChurnSchedule::poisson(net::sec(100), 0, 0, 0, 0, prng);
+  EXPECT_TRUE(s.events().empty());
+}
+
+TEST(ChurnSchedule, FlashCrowdFrontLoadsJoins) {
+  crypto::Prng prng(4);
+  ChurnSchedule s =
+      ChurnSchedule::flash_crowd(net::sec(60), 50, net::sec(5), 1.0, 0.1, prng);
+  EXPECT_EQ(s.count(EventKind::kJoin), 50u);
+  for (const Event& e : s.events()) {
+    if (e.kind == EventKind::kJoin) {
+      EXPECT_LT(e.at, net::sec(5));
+    }
+  }
+}
+
+TEST(ChurnSchedule, EndOfShowBackLoadsLeaves) {
+  crypto::Prng prng(5);
+  ChurnSchedule s =
+      ChurnSchedule::end_of_show(net::sec(60), 30, net::sec(5), 1.0, prng);
+  EXPECT_EQ(s.count(EventKind::kLeave), 30u);
+  for (const Event& e : s.events()) {
+    if (e.kind == EventKind::kLeave) {
+      EXPECT_GE(e.at, net::sec(55));
+    }
+  }
+}
+
+TEST(ChurnRunner, PoissonChurnEndsConsistent) {
+  net::NetworkConfig ncfg;
+  ncfg.jitter = 0;
+  net::Network net(ncfg);
+  core::GroupOptions opts;
+  opts.seed = 13;
+  opts.config.enable_timers = true;
+  opts.config.batching = true;
+  opts.config.t_idle = net::msec(500);
+  opts.config.t_active = net::sec(2);
+  core::MykilGroup group(net, opts);
+  group.add_area();
+  group.add_area(0);
+  group.finalize();
+
+  ChurnRunner runner(group, 777);
+  crypto::Prng sprng(888);
+  ChurnSchedule sched =
+      ChurnSchedule::poisson(net::sec(20), 0.8, 0.3, 1.0, 0.0, sprng);
+  RunReport report = runner.run(sched, net::sec(5));
+
+  EXPECT_GT(report.joins_attempted, 0u);
+  EXPECT_GT(report.data_sent, 0u);
+  EXPECT_EQ(report.out_of_sync, 0u) << "members ended with stale keys";
+  EXPECT_EQ(report.final_members, report.in_sync);
+  for (std::size_t a = 0; a < group.area_count(); ++a)
+    EXPECT_NO_THROW(group.ac(a).tree().check_invariants());
+}
+
+TEST(ChurnRunner, EndOfShowWaveAggregates) {
+  net::NetworkConfig ncfg;
+  ncfg.jitter = 0;
+  net::Network net(ncfg);
+  core::GroupOptions opts;
+  opts.seed = 17;
+  opts.config.enable_timers = true;
+  opts.config.batching = true;
+  opts.config.rekey_interval = net::sec(3);
+  opts.config.t_idle = net::msec(500);
+  opts.config.t_active = net::sec(2);
+  core::MykilGroup group(net, opts);
+  group.add_area();
+  group.finalize();
+
+  ChurnRunner runner(group, 999);
+  // Build the audience first.
+  crypto::Prng sprng(111);
+  ChurnSchedule arrivals =
+      ChurnSchedule::flash_crowd(net::sec(10), 10, net::sec(5), 0.5, 0.0, sprng);
+  runner.run(arrivals, net::sec(3));
+
+  // Now the cancellation wave: 8 leaves within 1 s, sparse data.
+  ChurnSchedule wave =
+      ChurnSchedule::end_of_show(net::sec(10), 8, net::sec(1), 0.2, sprng);
+  RunReport report = runner.run(wave, net::sec(5));
+  EXPECT_GT(report.leaves_attempted, 4u);
+  // Batching collapses the wave: far fewer rekey multicasts than leaves.
+  EXPECT_LT(report.rekey_multicasts, report.leaves_attempted);
+}
+
+}  // namespace
+}  // namespace mykil::workload
