@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_noprune.dir/ablation_noprune.cpp.o"
+  "CMakeFiles/ablation_noprune.dir/ablation_noprune.cpp.o.d"
+  "ablation_noprune"
+  "ablation_noprune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noprune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rekey_interval.dir/ablation_rekey_interval.cpp.o"
+  "CMakeFiles/ablation_rekey_interval.dir/ablation_rekey_interval.cpp.o.d"
+  "ablation_rekey_interval"
+  "ablation_rekey_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rekey_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

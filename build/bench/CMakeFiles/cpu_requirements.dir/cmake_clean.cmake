@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_requirements.dir/cpu_requirements.cpp.o"
+  "CMakeFiles/cpu_requirements.dir/cpu_requirements.cpp.o.d"
+  "cpu_requirements"
+  "cpu_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

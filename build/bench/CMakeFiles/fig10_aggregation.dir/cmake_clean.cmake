@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_aggregation.dir/fig10_aggregation.cpp.o"
+  "CMakeFiles/fig10_aggregation.dir/fig10_aggregation.cpp.o.d"
+  "fig10_aggregation"
+  "fig10_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

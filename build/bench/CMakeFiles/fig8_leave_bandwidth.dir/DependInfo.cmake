@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_leave_bandwidth.cpp" "bench/CMakeFiles/fig8_leave_bandwidth.dir/fig8_leave_bandwidth.cpp.o" "gcc" "bench/CMakeFiles/fig8_leave_bandwidth.dir/fig8_leave_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mykil_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lkh/CMakeFiles/mykil_lkh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mykil_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mykil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mykil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_leave_bandwidth.dir/fig8_leave_bandwidth.cpp.o"
+  "CMakeFiles/fig8_leave_bandwidth.dir/fig8_leave_bandwidth.cpp.o.d"
+  "fig8_leave_bandwidth"
+  "fig8_leave_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_leave_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

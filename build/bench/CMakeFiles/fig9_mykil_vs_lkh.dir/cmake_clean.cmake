@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_mykil_vs_lkh.dir/fig9_mykil_vs_lkh.cpp.o"
+  "CMakeFiles/fig9_mykil_vs_lkh.dir/fig9_mykil_vs_lkh.cpp.o.d"
+  "fig9_mykil_vs_lkh"
+  "fig9_mykil_vs_lkh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mykil_vs_lkh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_mykil_vs_lkh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handheld_rc4.dir/handheld_rc4.cpp.o"
+  "CMakeFiles/handheld_rc4.dir/handheld_rc4.cpp.o.d"
+  "handheld_rc4"
+  "handheld_rc4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handheld_rc4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_rejoin_latency.dir/join_rejoin_latency.cpp.o"
+  "CMakeFiles/join_rejoin_latency.dir/join_rejoin_latency.cpp.o.d"
+  "join_rejoin_latency"
+  "join_rejoin_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_rejoin_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

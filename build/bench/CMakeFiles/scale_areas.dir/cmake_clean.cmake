@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_areas.dir/scale_areas.cpp.o"
+  "CMakeFiles/scale_areas.dir/scale_areas.cpp.o.d"
+  "scale_areas"
+  "scale_areas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_areas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

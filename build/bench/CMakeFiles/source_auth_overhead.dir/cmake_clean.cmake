@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_auth_overhead.dir/source_auth_overhead.cpp.o"
+  "CMakeFiles/source_auth_overhead.dir/source_auth_overhead.cpp.o.d"
+  "source_auth_overhead"
+  "source_auth_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_auth_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_requirements.dir/storage_requirements.cpp.o"
+  "CMakeFiles/storage_requirements.dir/storage_requirements.cpp.o.d"
+  "storage_requirements"
+  "storage_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_handoff.dir/mobile_handoff.cpp.o"
+  "CMakeFiles/mobile_handoff.dir/mobile_handoff.cpp.o.d"
+  "mobile_handoff"
+  "mobile_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mykil_sim.dir/mykil_sim.cpp.o"
+  "CMakeFiles/mykil_sim.dir/mykil_sim.cpp.o.d"
+  "mykil_sim"
+  "mykil_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mykil_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_failover.dir/partition_failover.cpp.o"
+  "CMakeFiles/partition_failover.dir/partition_failover.cpp.o.d"
+  "partition_failover"
+  "partition_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payperview.dir/payperview.cpp.o"
+  "CMakeFiles/payperview.dir/payperview.cpp.o.d"
+  "payperview"
+  "payperview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payperview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

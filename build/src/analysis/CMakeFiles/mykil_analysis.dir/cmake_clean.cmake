@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mykil_analysis.dir/models.cpp.o"
+  "CMakeFiles/mykil_analysis.dir/models.cpp.o.d"
+  "libmykil_analysis.a"
+  "libmykil_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mykil_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mykil_common.dir/hex.cpp.o"
+  "CMakeFiles/mykil_common.dir/hex.cpp.o.d"
+  "CMakeFiles/mykil_common.dir/wire.cpp.o"
+  "CMakeFiles/mykil_common.dir/wire.cpp.o.d"
+  "libmykil_common.a"
+  "libmykil_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mykil_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/mykil_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/mykil_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/hash_chain.cpp" "src/crypto/CMakeFiles/mykil_crypto.dir/hash_chain.cpp.o" "gcc" "src/crypto/CMakeFiles/mykil_crypto.dir/hash_chain.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/mykil_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/mykil_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/prng.cpp" "src/crypto/CMakeFiles/mykil_crypto.dir/prng.cpp.o" "gcc" "src/crypto/CMakeFiles/mykil_crypto.dir/prng.cpp.o.d"
+  "/root/repo/src/crypto/rc4.cpp" "src/crypto/CMakeFiles/mykil_crypto.dir/rc4.cpp.o" "gcc" "src/crypto/CMakeFiles/mykil_crypto.dir/rc4.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/mykil_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/mykil_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sealed.cpp" "src/crypto/CMakeFiles/mykil_crypto.dir/sealed.cpp.o" "gcc" "src/crypto/CMakeFiles/mykil_crypto.dir/sealed.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/mykil_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/mykil_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/speck.cpp" "src/crypto/CMakeFiles/mykil_crypto.dir/speck.cpp.o" "gcc" "src/crypto/CMakeFiles/mykil_crypto.dir/speck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mykil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

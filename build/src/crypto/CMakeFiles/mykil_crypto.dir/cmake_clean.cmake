@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mykil_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/mykil_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/mykil_crypto.dir/hash_chain.cpp.o"
+  "CMakeFiles/mykil_crypto.dir/hash_chain.cpp.o.d"
+  "CMakeFiles/mykil_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/mykil_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/mykil_crypto.dir/prng.cpp.o"
+  "CMakeFiles/mykil_crypto.dir/prng.cpp.o.d"
+  "CMakeFiles/mykil_crypto.dir/rc4.cpp.o"
+  "CMakeFiles/mykil_crypto.dir/rc4.cpp.o.d"
+  "CMakeFiles/mykil_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/mykil_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/mykil_crypto.dir/sealed.cpp.o"
+  "CMakeFiles/mykil_crypto.dir/sealed.cpp.o.d"
+  "CMakeFiles/mykil_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/mykil_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/mykil_crypto.dir/speck.cpp.o"
+  "CMakeFiles/mykil_crypto.dir/speck.cpp.o.d"
+  "libmykil_crypto.a"
+  "libmykil_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mykil_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mykil_iolus.dir/iolus.cpp.o"
+  "CMakeFiles/mykil_iolus.dir/iolus.cpp.o.d"
+  "libmykil_iolus.a"
+  "libmykil_iolus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mykil_iolus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mykil_iolus.
+# This may be replaced when dependencies are built.

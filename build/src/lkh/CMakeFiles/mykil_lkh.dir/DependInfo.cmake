@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lkh/key_tree.cpp" "src/lkh/CMakeFiles/mykil_lkh.dir/key_tree.cpp.o" "gcc" "src/lkh/CMakeFiles/mykil_lkh.dir/key_tree.cpp.o.d"
+  "/root/repo/src/lkh/member_state.cpp" "src/lkh/CMakeFiles/mykil_lkh.dir/member_state.cpp.o" "gcc" "src/lkh/CMakeFiles/mykil_lkh.dir/member_state.cpp.o.d"
+  "/root/repo/src/lkh/protocol.cpp" "src/lkh/CMakeFiles/mykil_lkh.dir/protocol.cpp.o" "gcc" "src/lkh/CMakeFiles/mykil_lkh.dir/protocol.cpp.o.d"
+  "/root/repo/src/lkh/rekey.cpp" "src/lkh/CMakeFiles/mykil_lkh.dir/rekey.cpp.o" "gcc" "src/lkh/CMakeFiles/mykil_lkh.dir/rekey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mykil_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mykil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mykil_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

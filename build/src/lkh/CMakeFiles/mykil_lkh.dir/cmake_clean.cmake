@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mykil_lkh.dir/key_tree.cpp.o"
+  "CMakeFiles/mykil_lkh.dir/key_tree.cpp.o.d"
+  "CMakeFiles/mykil_lkh.dir/member_state.cpp.o"
+  "CMakeFiles/mykil_lkh.dir/member_state.cpp.o.d"
+  "CMakeFiles/mykil_lkh.dir/protocol.cpp.o"
+  "CMakeFiles/mykil_lkh.dir/protocol.cpp.o.d"
+  "CMakeFiles/mykil_lkh.dir/rekey.cpp.o"
+  "CMakeFiles/mykil_lkh.dir/rekey.cpp.o.d"
+  "libmykil_lkh.a"
+  "libmykil_lkh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mykil_lkh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

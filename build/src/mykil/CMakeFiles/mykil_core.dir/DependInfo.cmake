@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mykil/area_controller.cpp" "src/mykil/CMakeFiles/mykil_core.dir/area_controller.cpp.o" "gcc" "src/mykil/CMakeFiles/mykil_core.dir/area_controller.cpp.o.d"
+  "/root/repo/src/mykil/directory.cpp" "src/mykil/CMakeFiles/mykil_core.dir/directory.cpp.o" "gcc" "src/mykil/CMakeFiles/mykil_core.dir/directory.cpp.o.d"
+  "/root/repo/src/mykil/group.cpp" "src/mykil/CMakeFiles/mykil_core.dir/group.cpp.o" "gcc" "src/mykil/CMakeFiles/mykil_core.dir/group.cpp.o.d"
+  "/root/repo/src/mykil/member.cpp" "src/mykil/CMakeFiles/mykil_core.dir/member.cpp.o" "gcc" "src/mykil/CMakeFiles/mykil_core.dir/member.cpp.o.d"
+  "/root/repo/src/mykil/registration_server.cpp" "src/mykil/CMakeFiles/mykil_core.dir/registration_server.cpp.o" "gcc" "src/mykil/CMakeFiles/mykil_core.dir/registration_server.cpp.o.d"
+  "/root/repo/src/mykil/source_auth.cpp" "src/mykil/CMakeFiles/mykil_core.dir/source_auth.cpp.o" "gcc" "src/mykil/CMakeFiles/mykil_core.dir/source_auth.cpp.o.d"
+  "/root/repo/src/mykil/ticket.cpp" "src/mykil/CMakeFiles/mykil_core.dir/ticket.cpp.o" "gcc" "src/mykil/CMakeFiles/mykil_core.dir/ticket.cpp.o.d"
+  "/root/repo/src/mykil/wire.cpp" "src/mykil/CMakeFiles/mykil_core.dir/wire.cpp.o" "gcc" "src/mykil/CMakeFiles/mykil_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mykil_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mykil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mykil_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lkh/CMakeFiles/mykil_lkh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mykil_core.dir/area_controller.cpp.o"
+  "CMakeFiles/mykil_core.dir/area_controller.cpp.o.d"
+  "CMakeFiles/mykil_core.dir/directory.cpp.o"
+  "CMakeFiles/mykil_core.dir/directory.cpp.o.d"
+  "CMakeFiles/mykil_core.dir/group.cpp.o"
+  "CMakeFiles/mykil_core.dir/group.cpp.o.d"
+  "CMakeFiles/mykil_core.dir/member.cpp.o"
+  "CMakeFiles/mykil_core.dir/member.cpp.o.d"
+  "CMakeFiles/mykil_core.dir/registration_server.cpp.o"
+  "CMakeFiles/mykil_core.dir/registration_server.cpp.o.d"
+  "CMakeFiles/mykil_core.dir/source_auth.cpp.o"
+  "CMakeFiles/mykil_core.dir/source_auth.cpp.o.d"
+  "CMakeFiles/mykil_core.dir/ticket.cpp.o"
+  "CMakeFiles/mykil_core.dir/ticket.cpp.o.d"
+  "CMakeFiles/mykil_core.dir/wire.cpp.o"
+  "CMakeFiles/mykil_core.dir/wire.cpp.o.d"
+  "libmykil_core.a"
+  "libmykil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mykil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

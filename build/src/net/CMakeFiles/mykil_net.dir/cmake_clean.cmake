@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mykil_net.dir/network.cpp.o"
+  "CMakeFiles/mykil_net.dir/network.cpp.o.d"
+  "libmykil_net.a"
+  "libmykil_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mykil_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/churn.cpp" "src/workload/CMakeFiles/mykil_workload.dir/churn.cpp.o" "gcc" "src/workload/CMakeFiles/mykil_workload.dir/churn.cpp.o.d"
+  "/root/repo/src/workload/runner.cpp" "src/workload/CMakeFiles/mykil_workload.dir/runner.cpp.o" "gcc" "src/workload/CMakeFiles/mykil_workload.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mykil/CMakeFiles/mykil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lkh/CMakeFiles/mykil_lkh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mykil_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mykil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mykil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

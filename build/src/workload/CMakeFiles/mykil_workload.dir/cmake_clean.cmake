@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mykil_workload.dir/churn.cpp.o"
+  "CMakeFiles/mykil_workload.dir/churn.cpp.o.d"
+  "CMakeFiles/mykil_workload.dir/runner.cpp.o"
+  "CMakeFiles/mykil_workload.dir/runner.cpp.o.d"
+  "libmykil_workload.a"
+  "libmykil_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mykil_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

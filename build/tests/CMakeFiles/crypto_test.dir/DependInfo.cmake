@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto_bignum_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_bignum_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_bignum_test.cpp.o.d"
+  "/root/repo/tests/crypto_hmac_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto_prng_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_prng_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_prng_test.cpp.o.d"
+  "/root/repo/tests/crypto_rc4_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_rc4_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_rc4_test.cpp.o.d"
+  "/root/repo/tests/crypto_rsa_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_rsa_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_rsa_test.cpp.o.d"
+  "/root/repo/tests/crypto_sealed_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_sealed_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_sealed_test.cpp.o.d"
+  "/root/repo/tests/crypto_sha256_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_sha256_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_sha256_test.cpp.o.d"
+  "/root/repo/tests/crypto_speck_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_speck_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_speck_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/mykil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mykil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

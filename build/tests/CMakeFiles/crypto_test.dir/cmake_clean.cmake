@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/crypto_bignum_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_bignum_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_prng_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_prng_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_rc4_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_rc4_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_rsa_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_rsa_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_sealed_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_sealed_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_sha256_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_sha256_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_speck_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_speck_test.cpp.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+  "crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

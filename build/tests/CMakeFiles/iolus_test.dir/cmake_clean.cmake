@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolus_test.dir/iolus_fault_test.cpp.o"
+  "CMakeFiles/iolus_test.dir/iolus_fault_test.cpp.o.d"
+  "CMakeFiles/iolus_test.dir/iolus_test.cpp.o"
+  "CMakeFiles/iolus_test.dir/iolus_test.cpp.o.d"
+  "iolus_test"
+  "iolus_test.pdb"
+  "iolus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lkh_test.dir/lkh_key_tree_test.cpp.o"
+  "CMakeFiles/lkh_test.dir/lkh_key_tree_test.cpp.o.d"
+  "CMakeFiles/lkh_test.dir/lkh_member_state_test.cpp.o"
+  "CMakeFiles/lkh_test.dir/lkh_member_state_test.cpp.o.d"
+  "CMakeFiles/lkh_test.dir/lkh_protocol_test.cpp.o"
+  "CMakeFiles/lkh_test.dir/lkh_protocol_test.cpp.o.d"
+  "CMakeFiles/lkh_test.dir/lkh_serialize_test.cpp.o"
+  "CMakeFiles/lkh_test.dir/lkh_serialize_test.cpp.o.d"
+  "lkh_test"
+  "lkh_test.pdb"
+  "lkh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lkh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

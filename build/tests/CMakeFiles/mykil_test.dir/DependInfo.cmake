@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mykil_batching_test.cpp" "tests/CMakeFiles/mykil_test.dir/mykil_batching_test.cpp.o" "gcc" "tests/CMakeFiles/mykil_test.dir/mykil_batching_test.cpp.o.d"
+  "/root/repo/tests/mykil_fault_test.cpp" "tests/CMakeFiles/mykil_test.dir/mykil_fault_test.cpp.o" "gcc" "tests/CMakeFiles/mykil_test.dir/mykil_fault_test.cpp.o.d"
+  "/root/repo/tests/mykil_freshness_test.cpp" "tests/CMakeFiles/mykil_test.dir/mykil_freshness_test.cpp.o" "gcc" "tests/CMakeFiles/mykil_test.dir/mykil_freshness_test.cpp.o.d"
+  "/root/repo/tests/mykil_join_test.cpp" "tests/CMakeFiles/mykil_test.dir/mykil_join_test.cpp.o" "gcc" "tests/CMakeFiles/mykil_test.dir/mykil_join_test.cpp.o.d"
+  "/root/repo/tests/mykil_mobility_chain_test.cpp" "tests/CMakeFiles/mykil_test.dir/mykil_mobility_chain_test.cpp.o" "gcc" "tests/CMakeFiles/mykil_test.dir/mykil_mobility_chain_test.cpp.o.d"
+  "/root/repo/tests/mykil_rejoin_test.cpp" "tests/CMakeFiles/mykil_test.dir/mykil_rejoin_test.cpp.o" "gcc" "tests/CMakeFiles/mykil_test.dir/mykil_rejoin_test.cpp.o.d"
+  "/root/repo/tests/mykil_robustness_test.cpp" "tests/CMakeFiles/mykil_test.dir/mykil_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/mykil_test.dir/mykil_robustness_test.cpp.o.d"
+  "/root/repo/tests/mykil_secrecy_test.cpp" "tests/CMakeFiles/mykil_test.dir/mykil_secrecy_test.cpp.o" "gcc" "tests/CMakeFiles/mykil_test.dir/mykil_secrecy_test.cpp.o.d"
+  "/root/repo/tests/mykil_ticket_test.cpp" "tests/CMakeFiles/mykil_test.dir/mykil_ticket_test.cpp.o" "gcc" "tests/CMakeFiles/mykil_test.dir/mykil_ticket_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mykil/CMakeFiles/mykil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lkh/CMakeFiles/mykil_lkh.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mykil_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mykil_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mykil_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mykil_test.dir/mykil_batching_test.cpp.o"
+  "CMakeFiles/mykil_test.dir/mykil_batching_test.cpp.o.d"
+  "CMakeFiles/mykil_test.dir/mykil_fault_test.cpp.o"
+  "CMakeFiles/mykil_test.dir/mykil_fault_test.cpp.o.d"
+  "CMakeFiles/mykil_test.dir/mykil_freshness_test.cpp.o"
+  "CMakeFiles/mykil_test.dir/mykil_freshness_test.cpp.o.d"
+  "CMakeFiles/mykil_test.dir/mykil_join_test.cpp.o"
+  "CMakeFiles/mykil_test.dir/mykil_join_test.cpp.o.d"
+  "CMakeFiles/mykil_test.dir/mykil_mobility_chain_test.cpp.o"
+  "CMakeFiles/mykil_test.dir/mykil_mobility_chain_test.cpp.o.d"
+  "CMakeFiles/mykil_test.dir/mykil_rejoin_test.cpp.o"
+  "CMakeFiles/mykil_test.dir/mykil_rejoin_test.cpp.o.d"
+  "CMakeFiles/mykil_test.dir/mykil_robustness_test.cpp.o"
+  "CMakeFiles/mykil_test.dir/mykil_robustness_test.cpp.o.d"
+  "CMakeFiles/mykil_test.dir/mykil_secrecy_test.cpp.o"
+  "CMakeFiles/mykil_test.dir/mykil_secrecy_test.cpp.o.d"
+  "CMakeFiles/mykil_test.dir/mykil_ticket_test.cpp.o"
+  "CMakeFiles/mykil_test.dir/mykil_ticket_test.cpp.o.d"
+  "mykil_test"
+  "mykil_test.pdb"
+  "mykil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mykil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

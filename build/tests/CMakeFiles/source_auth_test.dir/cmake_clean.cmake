@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_auth_test.dir/source_auth_test.cpp.o"
+  "CMakeFiles/source_auth_test.dir/source_auth_test.cpp.o.d"
+  "source_auth_test"
+  "source_auth_test.pdb"
+  "source_auth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
