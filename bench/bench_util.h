@@ -1,6 +1,7 @@
 // Shared helpers for the figure/table reproduction binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,5 +19,45 @@ inline void print_rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// Collects (name, ns/op, iterations) rows and writes them as a small JSON
+/// document, so benchmark trajectories (e.g. BENCH_crypto.json at the repo
+/// root) can be recorded and diffed across commits without a JSON library.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string suite) : suite_(std::move(suite)) {}
+
+  void add(const std::string& name, double ns_per_op, std::int64_t iterations) {
+    rows_.push_back({name, ns_per_op, iterations});
+  }
+
+  /// Write the collected rows to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"results\": [\n", suite_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                   "\"iterations\": %lld}%s\n",
+                   r.name.c_str(), r.ns_per_op,
+                   static_cast<long long>(r.iterations),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double ns_per_op;
+    std::int64_t iterations;
+  };
+
+  std::string suite_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace mykil::bench

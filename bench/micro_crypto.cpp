@@ -1,8 +1,21 @@
 // Microbenchmarks (google-benchmark) of the primitives every protocol
 // operation is built from, plus the key-tree hot paths. These are the
 // "why" behind the V-D latency numbers.
+//
+// Besides the google-benchmark suite, `--json_out=PATH` runs a fixed
+// chrono-timed pass over the RSA/modexp hot paths and writes the results
+// via bench::BenchJson (BENCH_crypto.json at the repo root records the
+// trajectory across commits). `--json_only` skips the google-benchmark
+// pass; `--smoke` shrinks sizes/iterations so ctest can exercise all the
+// benchmark code in under a second.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.h"
+#include "crypto/bignum.h"
 #include "crypto/hmac.h"
 #include "crypto/prng.h"
 #include "crypto/rc4.h"
@@ -16,6 +29,22 @@
 namespace {
 
 using namespace mykil;
+
+/// Fixed inputs for a modexp of `bits`-size modulus: random odd modulus,
+/// full-width base and exponent — the CRT half-exponentiation shape.
+struct ModExpInputs {
+  crypto::BigUInt base, exp, mod;
+};
+
+ModExpInputs modexp_inputs(std::size_t bits, std::uint64_t seed) {
+  crypto::Prng prng(seed);
+  ModExpInputs in;
+  in.mod = crypto::BigUInt::random_with_bits(bits, prng);
+  if (in.mod.is_even()) in.mod += crypto::BigUInt(1);
+  in.base = crypto::BigUInt::random_with_bits(bits - 1, prng);
+  in.exp = crypto::BigUInt::random_with_bits(bits, prng);
+  return in;
+}
 
 void BM_Sha256(benchmark::State& state) {
   crypto::Prng prng(1);
@@ -119,6 +148,56 @@ void BM_RsaSign768(benchmark::State& state) {
 }
 BENCHMARK(BM_RsaSign768);
 
+// Raw modular exponentiation, legacy square-and-multiply-with-division vs
+// Montgomery fixed-window. The argument is the modulus size in bits; these
+// are the CRT half-op shapes behind every private-key operation.
+void BM_ModExpLegacy(benchmark::State& state) {
+  ModExpInputs in = modexp_inputs(static_cast<std::size_t>(state.range(0)), 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::BigUInt::mod_exp(in.base, in.exp, in.mod));
+  }
+}
+BENCHMARK(BM_ModExpLegacy)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_ModExpMont(benchmark::State& state) {
+  ModExpInputs in = modexp_inputs(static_cast<std::size_t>(state.range(0)), 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::BigUInt::mod_exp_mont(in.base, in.exp, in.mod));
+  }
+}
+BENCHMARK(BM_ModExpMont)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+// The paper's testbed key size. Private ops run the Montgomery CRT path.
+void BM_RsaDecrypt2048(benchmark::State& state) {
+  crypto::Prng prng(21);
+  static const crypto::RsaKeyPair kp = crypto::rsa_generate(2048, prng);
+  Bytes ct = crypto::rsa_encrypt(kp.pub, prng.bytes(30), prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_decrypt(kp.priv, ct));
+  }
+}
+BENCHMARK(BM_RsaDecrypt2048)->Unit(benchmark::kMillisecond);
+
+void BM_RsaSign2048(benchmark::State& state) {
+  crypto::Prng prng(22);
+  static const crypto::RsaKeyPair kp = crypto::rsa_generate(2048, prng);
+  Bytes msg = prng.bytes(200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign(kp.priv, msg));
+  }
+}
+BENCHMARK(BM_RsaSign2048)->Unit(benchmark::kMillisecond);
+
+void BM_RsaKeygen1024(benchmark::State& state) {
+  std::uint64_t seed = 23;
+  for (auto _ : state) {
+    crypto::Prng prng(seed++);
+    benchmark::DoNotOptimize(crypto::rsa_generate(1024, prng));
+  }
+}
+BENCHMARK(BM_RsaKeygen1024)->Unit(benchmark::kMillisecond);
+
 void BM_TicketSealOpen(benchmark::State& state) {
   crypto::Prng prng(9);
   crypto::SymmetricKey k_shared = crypto::SymmetricKey::random(prng);
@@ -165,6 +244,128 @@ void BM_KeyTreeLeaveRekey(benchmark::State& state) {
 }
 BENCHMARK(BM_KeyTreeLeaveRekey)->Arg(1000)->Arg(100000);
 
+/// Wall-clock one function, `iters` times, and record ns/op.
+template <typename Fn>
+void time_op(bench::BenchJson& json, const std::string& name, int iters,
+             Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  auto end = std::chrono::steady_clock::now();
+  double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  json.add(name, ns / iters, iters);
+}
+
+/// Fixed chrono-timed pass over the crypto hot paths. Smoke mode shrinks
+/// RSA to 768 bits and every loop to one iteration; the full run records
+/// the paper's 2048-bit trajectory.
+void run_json_suite(const std::string& path, bool smoke) {
+  bench::BenchJson json("micro_crypto");
+  const int reps = smoke ? 1 : 10;
+
+  ModExpInputs in1024 = modexp_inputs(1024, 20);
+  ModExpInputs in2048 = modexp_inputs(2048, 20);
+  time_op(json, "modexp_1024_legacy", smoke ? 1 : 5, [&] {
+    benchmark::DoNotOptimize(
+        crypto::BigUInt::mod_exp(in1024.base, in1024.exp, in1024.mod));
+  });
+  time_op(json, "modexp_1024_mont", smoke ? 1 : 5 * reps, [&] {
+    benchmark::DoNotOptimize(
+        crypto::BigUInt::mod_exp_mont(in1024.base, in1024.exp, in1024.mod));
+  });
+  time_op(json, "modexp_2048_legacy", smoke ? 1 : 3, [&] {
+    benchmark::DoNotOptimize(
+        crypto::BigUInt::mod_exp(in2048.base, in2048.exp, in2048.mod));
+  });
+  time_op(json, "modexp_2048_mont", smoke ? 1 : 3 * reps, [&] {
+    benchmark::DoNotOptimize(
+        crypto::BigUInt::mod_exp_mont(in2048.base, in2048.exp, in2048.mod));
+  });
+
+  const std::size_t rsa_bits = smoke ? 768 : 2048;
+  const std::string rsa_tag = "rsa" + std::to_string(rsa_bits);
+  crypto::Prng prng(30);
+  crypto::RsaKeyPair kp = crypto::rsa_generate(rsa_bits, prng);
+  Bytes msg = prng.bytes(30);
+  Bytes ct = crypto::rsa_encrypt(kp.pub, msg, prng);
+  Bytes sig = crypto::rsa_sign(kp.priv, msg);
+  time_op(json, rsa_tag + "_encrypt", reps, [&] {
+    benchmark::DoNotOptimize(crypto::rsa_encrypt(kp.pub, msg, prng));
+  });
+  time_op(json, rsa_tag + "_decrypt", reps, [&] {
+    benchmark::DoNotOptimize(crypto::rsa_decrypt(kp.priv, ct));
+  });
+  crypto::rsa_set_blinding(true);
+  time_op(json, rsa_tag + "_decrypt_blinded", reps, [&] {
+    benchmark::DoNotOptimize(crypto::rsa_decrypt(kp.priv, ct));
+  });
+  crypto::rsa_set_blinding(false);
+  time_op(json, rsa_tag + "_sign", reps, [&] {
+    benchmark::DoNotOptimize(crypto::rsa_sign(kp.priv, msg));
+  });
+  time_op(json, rsa_tag + "_verify", reps, [&] {
+    benchmark::DoNotOptimize(crypto::rsa_verify(kp.pub, msg, sig));
+  });
+  std::uint64_t keygen_seed = 40;
+  time_op(json, rsa_tag + "_keygen", smoke ? 1 : 3, [&] {
+    crypto::Prng kg(keygen_seed++);
+    benchmark::DoNotOptimize(crypto::rsa_generate(rsa_bits, kg));
+  });
+
+  // Symmetric hot paths, for the satellite-optimization trajectory.
+  Bytes data1k = prng.bytes(1024);
+  Bytes data4k = prng.bytes(4096);
+  Bytes hkey = prng.bytes(16);
+  Bytes nonce = prng.bytes(8);
+  const int sym_reps = smoke ? 1 : 2000;
+  time_op(json, "sha256_1KiB", sym_reps, [&] {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data1k));
+  });
+  time_op(json, "hmac_oneshot_64B", sym_reps, [&] {
+    benchmark::DoNotOptimize(
+        crypto::hmac_sha256(hkey, ByteView(data1k.data(), 64)));
+  });
+  crypto::HmacKey hk(hkey);
+  time_op(json, "hmac_keyed_64B", sym_reps, [&] {
+    benchmark::DoNotOptimize(hk.mac(ByteView(data1k.data(), 64)));
+  });
+  time_op(json, "speck_ctr_4KiB", sym_reps, [&] {
+    benchmark::DoNotOptimize(crypto::speck_ctr(hkey, nonce, data4k));
+  });
+
+  if (!json.write_file(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool json_only = false;
+  bool smoke = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a = argv[i];
+    if (a.rfind("--json_out=", 0) == 0) {
+      json_path = std::string(a.substr(11));
+    } else if (a == "--json_only") {
+      json_only = true;
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  if (!json_only) benchmark::RunSpecifiedBenchmarks();
+  if (!json_path.empty()) run_json_suite(json_path, smoke);
+  benchmark::Shutdown();
+  return 0;
+}

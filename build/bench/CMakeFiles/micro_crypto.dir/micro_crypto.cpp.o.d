@@ -183,12 +183,33 @@ bench/CMakeFiles/micro_crypto.dir/micro_crypto.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/crypto/hmac.h /root/repo/src/common/bytes.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/bench/bench_util.h \
+ /root/repo/src/crypto/bignum.h /root/repo/src/common/bytes.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/crypto/sha256.h /root/repo/src/crypto/prng.h \
- /root/repo/src/crypto/rc4.h /root/repo/src/crypto/rsa.h \
- /root/repo/src/crypto/bignum.h /root/repo/src/crypto/sealed.h \
+ /root/repo/src/crypto/hmac.h /root/repo/src/crypto/sha256.h \
+ /root/repo/src/crypto/prng.h /root/repo/src/crypto/rc4.h \
+ /root/repo/src/crypto/rsa.h /root/repo/src/crypto/sealed.h \
  /root/repo/src/crypto/keys.h /root/repo/src/common/error.h \
  /root/repo/src/crypto/speck.h /root/repo/src/lkh/key_tree.h \
  /usr/include/c++/12/optional \

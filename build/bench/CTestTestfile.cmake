@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke "/root/repo/build/bench/micro_crypto" "--smoke" "--json_out=/root/repo/build/bench/BENCH_crypto_smoke.json" "--benchmark_filter=BM_ModExpMont/1024\$" "--benchmark_min_time=0.001")
+set_tests_properties(bench_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;48;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -136,7 +136,7 @@ src/mykil/CMakeFiles/mykil_core.dir/source_auth.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/crypto/prng.h \
+ /root/repo/src/crypto/hmac.h /root/repo/src/crypto/sha256.h \
  /root/repo/src/crypto/keys.h /root/repo/src/common/error.h \
- /usr/include/c++/12/stdexcept /root/repo/src/crypto/sha256.h \
- /root/repo/src/net/sim_time.h /root/repo/src/common/wire.h \
- /root/repo/src/crypto/hmac.h
+ /usr/include/c++/12/stdexcept /root/repo/src/net/sim_time.h \
+ /root/repo/src/common/wire.h

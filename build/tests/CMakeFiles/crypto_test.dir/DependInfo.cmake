@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/crypto_bignum_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_bignum_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_bignum_test.cpp.o.d"
   "/root/repo/tests/crypto_hmac_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto_montgomery_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_montgomery_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_montgomery_test.cpp.o.d"
   "/root/repo/tests/crypto_prng_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_prng_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_prng_test.cpp.o.d"
   "/root/repo/tests/crypto_rc4_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_rc4_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_rc4_test.cpp.o.d"
   "/root/repo/tests/crypto_rsa_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_rsa_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_rsa_test.cpp.o.d"

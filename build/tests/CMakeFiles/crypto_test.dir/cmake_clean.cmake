@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/crypto_test.dir/crypto_bignum_test.cpp.o.d"
   "CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o"
   "CMakeFiles/crypto_test.dir/crypto_hmac_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto_montgomery_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto_montgomery_test.cpp.o.d"
   "CMakeFiles/crypto_test.dir/crypto_prng_test.cpp.o"
   "CMakeFiles/crypto_test.dir/crypto_prng_test.cpp.o.d"
   "CMakeFiles/crypto_test.dir/crypto_rc4_test.cpp.o"

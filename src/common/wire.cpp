@@ -4,6 +4,10 @@
 
 namespace mykil {
 
+void WireWriter::reserve(std::size_t additional) {
+  buf_.reserve(buf_.size() + additional);
+}
+
 void WireWriter::u8(std::uint8_t v) { buf_.push_back(v); }
 
 void WireWriter::u16(std::uint16_t v) {

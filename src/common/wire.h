@@ -22,6 +22,10 @@ class WireWriter {
  public:
   WireWriter() = default;
 
+  /// Reserve capacity for at least `additional` more bytes, so serializers
+  /// that can size their output up front append without reallocating.
+  void reserve(std::size_t additional);
+
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

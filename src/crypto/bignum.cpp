@@ -316,6 +316,15 @@ BigUInt operator%(const BigUInt& a, const BigUInt& b) {
   return BigUInt::divmod(a, b).second;
 }
 
+std::uint32_t BigUInt::mod_u32(std::uint32_t d) const {
+  if (d == 0) throw CryptoError("BigUInt division by zero");
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs_[i]) % d;
+  }
+  return static_cast<std::uint32_t>(rem);
+}
+
 BigUInt BigUInt::mod_exp(const BigUInt& base, const BigUInt& exp,
                          const BigUInt& m) {
   if (m.is_zero()) throw CryptoError("mod_exp modulus is zero");
@@ -328,6 +337,240 @@ BigUInt BigUInt::mod_exp(const BigUInt& base, const BigUInt& exp,
     b = (b * b) % m;
   }
   return result;
+}
+
+BigUInt BigUInt::mod_exp_mont(const BigUInt& base, const BigUInt& exp,
+                              const BigUInt& m) {
+  if (m.is_zero()) throw CryptoError("mod_exp modulus is zero");
+  if (m == BigUInt(1)) return BigUInt();
+  if (m.is_even()) return mod_exp(base, exp, m);  // Montgomery needs odd n
+  return MontgomeryContext(m).mod_exp(base, exp);
+}
+
+MontgomeryContext::MontgomeryContext(const BigUInt& modulus) : n_(modulus) {
+  if (n_.is_zero() || n_.is_even() || n_ == BigUInt(1))
+    throw CryptoError("MontgomeryContext requires an odd modulus > 1");
+  k_ = (n_.limbs_.size() + kLimbsPerWord - 1) / kLimbsPerWord;
+  mod_.assign(k_, 0);
+  for (std::size_t i = 0; i < n_.limbs_.size(); ++i)
+    mod_[i / kLimbsPerWord] |= static_cast<Word>(n_.limbs_[i])
+                               << (32 * (i % kLimbsPerWord));
+
+  // n0_inv = -n^-1 mod 2^W by Newton's iteration: odd x is its own inverse
+  // mod 8, and each step doubles the number of correct low bits.
+  const Word x = mod_[0];
+  Word inv = x;
+  for (int i = 0; i < 6; ++i) inv *= Word{2} - x * inv;
+  n0_inv_ = ~inv + 1;
+
+  r2_ = to_words((BigUInt(1) << (2 * kWordBits * k_)) % n_);
+  one_.assign(k_, 0);
+  one_[0] = 1;
+  // R mod n = montmul(R^2, 1), avoiding a second long division.
+  Words scratch;
+  one_mont_.assign(k_, 0);
+  mont_mul(one_mont_, r2_, one_, scratch);
+}
+
+MontgomeryContext::Words MontgomeryContext::to_words(const BigUInt& v) const {
+  const BigUInt* r = &v;
+  BigUInt reduced;
+  if (v >= n_) {
+    reduced = v % n_;
+    r = &reduced;
+  }
+  Words out(k_, 0);
+  for (std::size_t i = 0; i < r->limbs_.size(); ++i)
+    out[i / kLimbsPerWord] |= static_cast<Word>(r->limbs_[i])
+                              << (32 * (i % kLimbsPerWord));
+  return out;
+}
+
+BigUInt MontgomeryContext::from_words(const Words& v) {
+  BigUInt out;
+  out.limbs_.reserve(v.size() * kLimbsPerWord);
+  for (const Word w : v)
+    for (std::size_t p = 0; p < kLimbsPerWord; ++p)
+      out.limbs_.push_back(static_cast<std::uint32_t>(w >> (32 * p)));
+  out.normalize();
+  return out;
+}
+
+void MontgomeryContext::mont_mul(Words& out, const Words& a, const Words& b,
+                                 Words& t) const {
+  const std::size_t k = k_;
+  t.assign(k + 2, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    // t += a[i] * b
+    const Word ai = a[i];
+    Word carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const DWord cur = static_cast<DWord>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<Word>(cur);
+      carry = static_cast<Word>(cur >> kWordBits);
+    }
+    DWord cur = static_cast<DWord>(t[k]) + carry;
+    t[k] = static_cast<Word>(cur);
+    t[k + 1] += static_cast<Word>(cur >> kWordBits);
+
+    // m chosen so t + m*n has W zero low bits; add m*n and shift one word.
+    const Word m = t[0] * n0_inv_;
+    cur = static_cast<DWord>(m) * mod_[0] + t[0];
+    carry = static_cast<Word>(cur >> kWordBits);
+    for (std::size_t j = 1; j < k; ++j) {
+      cur = static_cast<DWord>(m) * mod_[j] + t[j] + carry;
+      t[j - 1] = static_cast<Word>(cur);
+      carry = static_cast<Word>(cur >> kWordBits);
+    }
+    cur = static_cast<DWord>(t[k]) + carry;
+    t[k - 1] = static_cast<Word>(cur);
+    t[k] = t[k + 1] + static_cast<Word>(cur >> kWordBits);
+    t[k + 1] = 0;
+  }
+
+  // Result in t[0..k]; one conditional subtract brings it below n.
+  final_reduce(out, t, 0, t[k]);
+}
+
+void MontgomeryContext::mont_sqr(Words& out, const Words& a, Words& t) const {
+  const std::size_t k = k_;
+  t.assign(2 * k + 1, 0);
+
+  // Upper-triangle cross products a[i]·a[j], i < j, each computed once.
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    const Word ai = a[i];
+    Word carry = 0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const DWord cur = static_cast<DWord>(ai) * a[j] + t[i + j] + carry;
+      t[i + j] = static_cast<Word>(cur);
+      carry = static_cast<Word>(cur >> kWordBits);
+    }
+    t[i + k] = carry;
+  }
+
+  // Double them (t <<= 1), then add the diagonal squares a[i]^2 at 2i.
+  Word shift_carry = 0;
+  for (std::size_t i = 0; i < 2 * k; ++i) {
+    const Word next = t[i] >> (kWordBits - 1);
+    t[i] = (t[i] << 1) | shift_carry;
+    shift_carry = next;
+  }
+  t[2 * k] = shift_carry;
+  Word carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const DWord sq = static_cast<DWord>(a[i]) * a[i];
+    DWord cur = static_cast<DWord>(t[2 * i]) + static_cast<Word>(sq) + carry;
+    t[2 * i] = static_cast<Word>(cur);
+    cur = static_cast<DWord>(t[2 * i + 1]) +
+          static_cast<Word>(sq >> kWordBits) +
+          static_cast<Word>(cur >> kWordBits);
+    t[2 * i + 1] = static_cast<Word>(cur);
+    carry = static_cast<Word>(cur >> kWordBits);
+  }
+  t[2 * k] += carry;
+
+  // Montgomery reduction: k passes, each zeroing one low word.
+  for (std::size_t i = 0; i < k; ++i) {
+    const Word m = t[i] * n0_inv_;
+    Word c = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const DWord cur = static_cast<DWord>(m) * mod_[j] + t[i + j] + c;
+      t[i + j] = static_cast<Word>(cur);
+      c = static_cast<Word>(cur >> kWordBits);
+    }
+    for (std::size_t idx = i + k; c != 0; ++idx) {
+      const DWord cur = static_cast<DWord>(t[idx]) + c;
+      t[idx] = static_cast<Word>(cur);
+      c = static_cast<Word>(cur >> kWordBits);
+    }
+  }
+  final_reduce(out, t, k, t[2 * k]);
+}
+
+void MontgomeryContext::final_reduce(Words& out, const Words& t,
+                                     std::size_t offset, Word top) const {
+  const std::size_t k = k_;
+  bool ge = top != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k; i-- > 0;) {
+      if (t[offset + i] != mod_[i]) {
+        ge = t[offset + i] > mod_[i];
+        break;
+      }
+    }
+  }
+  out.resize(k);
+  if (ge) {
+    Word borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const Word ti = t[offset + i];
+      const Word mi = mod_[i];
+      const Word d1 = ti - mi;
+      const Word b1 = ti < mi ? 1 : 0;
+      out[i] = d1 - borrow;
+      borrow = b1 | (d1 < borrow ? Word{1} : Word{0});
+    }
+  } else {
+    std::copy(t.begin() + static_cast<std::ptrdiff_t>(offset),
+              t.begin() + static_cast<std::ptrdiff_t>(offset + k),
+              out.begin());
+  }
+}
+
+BigUInt MontgomeryContext::mul(const BigUInt& a, const BigUInt& b) const {
+  // montmul(a, b*R) = a*b*R*R^-1 = a*b mod n: two products, no division.
+  Words scratch;
+  Words bm(k_);
+  mont_mul(bm, to_words(b), r2_, scratch);
+  Words res(k_);
+  mont_mul(res, to_words(a), bm, scratch);
+  return from_words(res);
+}
+
+BigUInt MontgomeryContext::sqr(const BigUInt& a) const {
+  // mont_sqr(a) = a^2 * R^-1; one multiply by R^2 restores plain form.
+  Words scratch;
+  Words res(k_);
+  mont_sqr(res, to_words(a), scratch);
+  mont_mul(res, res, r2_, scratch);
+  return from_words(res);
+}
+
+BigUInt MontgomeryContext::mod_exp(const BigUInt& base,
+                                   const BigUInt& exp) const {
+  if (exp.is_zero()) return BigUInt(1);
+
+  Words scratch;
+  // Window table: table[w] = base^w in Montgomery form, w in [0, 16).
+  constexpr std::size_t kWindow = 4;
+  std::array<Words, std::size_t{1} << kWindow> table;
+  table[0] = one_mont_;
+  table[1].assign(k_, 0);
+  mont_mul(table[1], to_words(base), r2_, scratch);
+  for (std::size_t w = 2; w < table.size(); ++w) {
+    table[w].assign(k_, 0);
+    mont_mul(table[w], table[w - 1], table[1], scratch);
+  }
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t windows = (bits + kWindow - 1) / kWindow;
+  Words result;
+  for (std::size_t w = windows; w-- > 0;) {
+    std::uint32_t wv = 0;
+    for (std::size_t b = kWindow; b-- > 0;)
+      wv = (wv << 1) | static_cast<std::uint32_t>(exp.bit(w * kWindow + b));
+    if (w == windows - 1) {
+      result = table[wv];  // top window: skip squaring R mod n
+      continue;
+    }
+    for (std::size_t s = 0; s < kWindow; ++s)
+      mont_sqr(result, result, scratch);
+    if (wv != 0) mont_mul(result, result, table[wv], scratch);
+  }
+
+  mont_mul(result, result, one_, scratch);  // leave Montgomery form
+  return from_words(result);
 }
 
 BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
@@ -411,10 +654,12 @@ BigUInt BigUInt::random_below(const BigUInt& bound, Prng& prng) {
 bool BigUInt::is_probable_prime(const BigUInt& n, int rounds, Prng& prng) {
   if (n < BigUInt(2)) return false;
   for (std::uint32_t p : kSmallPrimes) {
-    BigUInt bp(p);
-    if (n == bp) return true;
-    if ((n % bp).is_zero()) return false;
+    if (n == BigUInt(p)) return true;
+    if (n.mod_u32(p) == 0) return false;
   }
+  // Every n from here on is odd (2 would have matched above), so one
+  // Montgomery context serves all witness rounds and all squarings.
+  MontgomeryContext ctx(n);
 
   // Write n - 1 = d * 2^r with d odd.
   BigUInt n_minus_1 = n - BigUInt(1);
@@ -428,11 +673,11 @@ bool BigUInt::is_probable_prime(const BigUInt& n, int rounds, Prng& prng) {
   for (int round = 0; round < rounds; ++round) {
     // Random base in [2, n-2].
     BigUInt a = BigUInt(2) + random_below(n - BigUInt(4), prng);
-    BigUInt x = mod_exp(a, d, n);
+    BigUInt x = ctx.mod_exp(a, d);
     if (x == BigUInt(1) || x == n_minus_1) continue;
     bool composite = true;
     for (std::size_t i = 0; i + 1 < r; ++i) {
-      x = (x * x) % n;
+      x = ctx.sqr(x);
       if (x == n_minus_1) {
         composite = false;
         break;

@@ -2,7 +2,7 @@
 
 namespace mykil::crypto {
 
-Bytes hmac_sha256(ByteView key, ByteView message) {
+HmacKey::HmacKey(ByteView key) {
   constexpr std::size_t kBlock = Sha256::kBlockSize;
 
   Bytes k(kBlock, 0);
@@ -18,29 +18,45 @@ Bytes hmac_sha256(ByteView key, ByteView message) {
     ipad[i] = k[i] ^ 0x36;
     opad[i] = k[i] ^ 0x5c;
   }
+  // Each pad is exactly one block, so both states are compressed and the
+  // internal buffers are empty — copies of them resume mid-stream.
+  inner_.update(ipad);
+  outer_.update(opad);
+}
 
-  Sha256 inner;
-  inner.update(ipad);
+Bytes HmacKey::mac(ByteView message) const {
+  Sha256 inner = inner_;
   inner.update(message);
   Bytes inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(opad);
+  Sha256 outer = outer_;
   outer.update(inner_digest);
   return outer.finish();
 }
 
-bool hmac_verify(ByteView key, ByteView message, ByteView tag) {
-  Bytes expected = hmac_sha256(key, message);
+Bytes HmacKey::mac_trunc(ByteView message, std::size_t n) const {
+  Bytes full = mac(message);
+  if (n < full.size()) full.resize(n);
+  return full;
+}
+
+bool HmacKey::verify(ByteView message, ByteView tag) const {
+  Bytes expected = mac(message);
   if (tag.size() > expected.size() || tag.empty()) return false;
   // Accept truncated tags of the caller-provided length.
   return ct_equal(ByteView(expected.data(), tag.size()), tag);
 }
 
+Bytes hmac_sha256(ByteView key, ByteView message) {
+  return HmacKey(key).mac(message);
+}
+
+bool hmac_verify(ByteView key, ByteView message, ByteView tag) {
+  return HmacKey(key).verify(message, tag);
+}
+
 Bytes hmac_sha256_trunc(ByteView key, ByteView message, std::size_t n) {
-  Bytes full = hmac_sha256(key, message);
-  if (n < full.size()) full.resize(n);
-  return full;
+  return HmacKey(key).mac_trunc(message, n);
 }
 
 }  // namespace mykil::crypto

@@ -2,12 +2,36 @@
 //
 // This is the "MAC" that appears in every step of the Mykil join and rejoin
 // protocols, and the integrity tag inside tickets.
+//
+// HmacKey precomputes the ipad/opad compression states once per key, so a
+// long-lived key (alive messages, TESLA per-interval MAC keys) pays the two
+// key-block compressions once instead of on every MAC. The free functions
+// are one-shot wrappers over it.
 #pragma once
 
 #include "common/bytes.h"
 #include "crypto/sha256.h"
 
 namespace mykil::crypto {
+
+/// A keyed HMAC-SHA256 instance: build once, MAC many messages.
+class HmacKey {
+ public:
+  /// Any key length; keys longer than one SHA-256 block are hashed first,
+  /// per the RFC.
+  explicit HmacKey(ByteView key);
+
+  /// HMAC-SHA256(key, message): a 32-byte tag.
+  [[nodiscard]] Bytes mac(ByteView message) const;
+  /// First `n` bytes of the tag (n >= 32 returns the full tag).
+  [[nodiscard]] Bytes mac_trunc(ByteView message, std::size_t n) const;
+  /// Constant-time check of a full or truncated tag (empty tags rejected).
+  [[nodiscard]] bool verify(ByteView message, ByteView tag) const;
+
+ private:
+  Sha256 inner_;  ///< state after absorbing key ^ ipad
+  Sha256 outer_;  ///< state after absorbing key ^ opad
+};
 
 /// Compute HMAC-SHA256(key, message). Returns a 32-byte tag.
 Bytes hmac_sha256(ByteView key, ByteView message);

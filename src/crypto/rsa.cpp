@@ -21,9 +21,13 @@ const Bytes& empty_label_hash() {
 bool g_blinding_enabled = false;
 
 // CRT exponentiation: m = c^d mod n using the private key's p/q halves.
+// One Montgomery context per prime carries the whole half-exponentiation;
+// the recombination below is a handful of full-width ops and stays plain.
 BigUInt crt_core(const RsaPrivateKey& priv, const BigUInt& c) {
-  BigUInt m1 = BigUInt::mod_exp(c % priv.p, priv.dp, priv.p);
-  BigUInt m2 = BigUInt::mod_exp(c % priv.q, priv.dq, priv.q);
+  MontgomeryContext ctx_p(priv.p);
+  MontgomeryContext ctx_q(priv.q);
+  BigUInt m1 = ctx_p.mod_exp(c % priv.p, priv.dp);
+  BigUInt m2 = ctx_q.mod_exp(c % priv.q, priv.dq);
   // h = qinv * (m1 - m2) mod p, careful with unsigned subtraction.
   BigUInt diff = (m1 >= m2) ? (m1 - m2) : (priv.p - ((m2 - m1) % priv.p)) % priv.p;
   BigUInt h = (priv.qinv * diff) % priv.p;
@@ -48,7 +52,7 @@ BigUInt crt_private_op(const RsaPrivateKey& priv, const BigUInt& c) {
     r_inv = BigUInt::mod_inverse(r, priv.n);
     break;
   }
-  BigUInt blinded = (c * BigUInt::mod_exp(r, priv.e, priv.n)) % priv.n;
+  BigUInt blinded = (c * BigUInt::mod_exp_mont(r, priv.e, priv.n)) % priv.n;
   BigUInt m = crt_core(priv, blinded);
   return (m * r_inv) % priv.n;
 }
@@ -155,7 +159,7 @@ Bytes rsa_encrypt(const RsaPublicKey& pub, ByteView msg, Prng& prng) {
   std::copy(db.begin(), db.end(), em.begin() + 1 + static_cast<std::ptrdiff_t>(kHashLen));
 
   BigUInt m = BigUInt::from_bytes_be(em);
-  BigUInt c = BigUInt::mod_exp(m, pub.e, pub.n);
+  BigUInt c = BigUInt::mod_exp_mont(m, pub.e, pub.n);
   return c.to_bytes_be(k);
 }
 
@@ -211,7 +215,7 @@ bool rsa_verify(const RsaPublicKey& pub, ByteView msg, ByteView signature) {
   if (signature.size() != k) return false;
   BigUInt s = BigUInt::from_bytes_be(signature);
   if (s >= pub.n) return false;
-  BigUInt m = BigUInt::mod_exp(s, pub.e, pub.n);
+  BigUInt m = BigUInt::mod_exp_mont(s, pub.e, pub.n);
   Bytes em = m.to_bytes_be(k);
 
   // Rebuild the expected encoding and compare in full.

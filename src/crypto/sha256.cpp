@@ -1,6 +1,7 @@
 #include "crypto/sha256.h"
 
 #include <bit>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -26,6 +27,26 @@ constexpr std::array<std::uint32_t, 8> kInitialState = {
     0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
 
 inline std::uint32_t rotr(std::uint32_t x, int n) { return std::rotr(x, n); }
+
+inline std::uint32_t bswap32(std::uint32_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap32(v);
+#else
+  return v << 24 | (v << 8 & 0x00FF0000u) | (v >> 8 & 0x0000FF00u) | v >> 24;
+#endif
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::little) v = bswap32(v);
+  return v;
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::little) v = bswap32(v);
+  std::memcpy(p, &v, sizeof(v));
+}
 
 }  // namespace
 
@@ -77,12 +98,7 @@ Bytes Sha256::finish() {
   finished_ = true;
 
   Bytes out(kDigestSize);
-  for (std::size_t i = 0; i < 8; ++i) {
-    out[i * 4 + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
-  }
+  for (std::size_t i = 0; i < 8; ++i) store_be32(out.data() + i * 4, state_[i]);
   return out;
 }
 
@@ -94,12 +110,7 @@ Bytes Sha256::digest(ByteView data) {
 
 void Sha256::process_block(const std::uint8_t* block) {
   std::array<std::uint32_t, 64> w;
-  for (int i = 0; i < 16; ++i) {
-    w[i] = static_cast<std::uint32_t>(block[i * 4]) << 24 |
-           static_cast<std::uint32_t>(block[i * 4 + 1]) << 16 |
-           static_cast<std::uint32_t>(block[i * 4 + 2]) << 8 |
-           static_cast<std::uint32_t>(block[i * 4 + 3]);
-  }
+  for (int i = 0; i < 16; ++i) w[i] = load_be32(block + i * 4);
   for (int i = 16; i < 64; ++i) {
     std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
     std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);

@@ -1,6 +1,7 @@
 #include "crypto/speck.h"
 
 #include <bit>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -8,14 +9,26 @@ namespace mykil::crypto {
 
 namespace {
 
+inline std::uint64_t bswap64(std::uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap64(v);
+#else
+  std::uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r = r << 8 | ((v >> (8 * i)) & 0xFF);
+  return r;
+#endif
+}
+
 inline std::uint64_t load_le64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::big) v = bswap64(v);
   return v;
 }
 
 inline void store_le64(std::uint8_t* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  if constexpr (std::endian::native == std::endian::big) v = bswap64(v);
+  std::memcpy(p, &v, sizeof(v));
 }
 
 inline void round_enc(std::uint64_t& x, std::uint64_t& y, std::uint64_t k) {
@@ -62,18 +75,38 @@ void Speck128::decrypt_block(std::uint8_t* block) const {
   store_le64(block + 8, x);
 }
 
+void Speck128::ctr_block(std::uint64_t nonce, std::uint64_t counter,
+                         std::uint64_t& lo, std::uint64_t& hi) const {
+  std::uint64_t y = nonce;
+  std::uint64_t x = counter;
+  for (int i = 0; i < kRounds; ++i) round_enc(x, y, round_keys_[i]);
+  lo = y;
+  hi = x;
+}
+
 Bytes speck_ctr(ByteView key, ByteView nonce, ByteView data) {
   if (nonce.size() != 8) throw CryptoError("speck_ctr nonce must be 8 bytes");
   Speck128 cipher(key);
   Bytes out(data.begin(), data.end());
-  std::uint8_t block[Speck128::kBlockSize];
+  const std::uint64_t n0 = load_le64(nonce.data());
   std::uint64_t counter = 0;
-  for (std::size_t off = 0; off < out.size(); off += Speck128::kBlockSize) {
-    std::copy(nonce.begin(), nonce.end(), block);
-    store_le64(block + 8, counter++);
-    cipher.encrypt_block(block);
-    std::size_t n = std::min(out.size() - off, Speck128::kBlockSize);
-    for (std::size_t i = 0; i < n; ++i) out[off + i] ^= block[i];
+  std::size_t off = 0;
+  // Full blocks: the counter block and keystream live in registers; the
+  // data words round-trip through 64-bit loads/XOR/stores.
+  while (out.size() - off >= Speck128::kBlockSize) {
+    std::uint64_t lo, hi;
+    cipher.ctr_block(n0, counter++, lo, hi);
+    store_le64(&out[off], load_le64(&out[off]) ^ lo);
+    store_le64(&out[off + 8], load_le64(&out[off + 8]) ^ hi);
+    off += Speck128::kBlockSize;
+  }
+  if (off < out.size()) {
+    std::uint64_t lo, hi;
+    cipher.ctr_block(n0, counter, lo, hi);
+    std::uint8_t ks[Speck128::kBlockSize];
+    store_le64(ks, lo);
+    store_le64(ks + 8, hi);
+    for (std::size_t i = 0; off + i < out.size(); ++i) out[off + i] ^= ks[i];
   }
   return out;
 }

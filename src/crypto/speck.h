@@ -27,6 +27,13 @@ class Speck128 {
   void encrypt_block(std::uint8_t* block) const;
   void decrypt_block(std::uint8_t* block) const;
 
+  /// Encrypt the CTR counter block (nonce = low word, counter = high word)
+  /// and return the keystream words without touching memory. Equivalent to
+  /// building the 16-byte block and calling encrypt_block; used by
+  /// speck_ctr so the hot loop never copies the nonce.
+  void ctr_block(std::uint64_t nonce, std::uint64_t counter,
+                 std::uint64_t& lo, std::uint64_t& hi) const;
+
  private:
   std::array<std::uint64_t, kRounds> round_keys_;
 };

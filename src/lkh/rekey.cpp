@@ -7,6 +7,11 @@ namespace mykil::lkh {
 
 Bytes RekeyMessage::serialize() const {
   WireWriter w;
+  // Exact output size: header + fixed fields + length-prefixed boxes. Large
+  // batched rekeys carry thousands of entries; one allocation, no regrowth.
+  std::size_t need = 8 + 4;
+  for (const RekeyEntry& e : entries) need += 4 + 8 + 4 + 4 + e.box.size();
+  w.reserve(need);
   w.u64(epoch);
   w.u32(static_cast<std::uint32_t>(entries.size()));
   for (const RekeyEntry& e : entries) {
@@ -43,6 +48,7 @@ RekeyMessage RekeyMessage::deserialize(ByteView data) {
 
 Bytes serialize_path(const std::vector<PathKey>& path) {
   WireWriter w;
+  w.reserve(4 + path.size() * (4 + 8 + crypto::SymmetricKey::kSize));
   w.u32(static_cast<std::uint32_t>(path.size()));
   for (const PathKey& pk : path) {
     w.u32(pk.node);

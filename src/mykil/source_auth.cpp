@@ -95,8 +95,11 @@ TeslaPacket TeslaSender::stamp(ByteView payload, net::SimTime now) const {
   TeslaPacket pkt;
   pkt.interval = i;
   pkt.payload = Bytes(payload.begin(), payload.end());
-  Bytes mac_key = mac_key_from_element(chain_.element(i));
-  pkt.mac = crypto::hmac_sha256(mac_key, payload);
+  if (!mac_key_ || mac_key_interval_ != i) {
+    mac_key_.emplace(mac_key_from_element(chain_.element(i)));
+    mac_key_interval_ = i;
+  }
+  pkt.mac = mac_key_->mac(payload);
   if (i > lag_) {
     pkt.disclosed_index = i - lag_;
     pkt.disclosed_key = chain_.element(i - lag_);
@@ -151,14 +154,21 @@ std::vector<Bytes> TeslaVerifier::release_ready() {
   };
 
   std::vector<Bytes> out;
+  // Packets of one interval share a MAC key; rebuild the keyed state only
+  // when the interval changes (buffered_ iterates in interval order).
+  std::uint32_t key_interval = 0;
+  std::optional<crypto::HmacKey> mac_key;
   for (auto it = buffered_.begin(); it != buffered_.end();) {
     const Bytes* element = key_for(it->first);
     if (element == nullptr) {
       ++it;
       continue;
     }
-    Bytes mac_key = mac_key_from_element(*element);
-    if (crypto::hmac_verify(mac_key, it->second.payload, it->second.mac)) {
+    if (!mac_key || key_interval != it->first) {
+      mac_key.emplace(mac_key_from_element(*element));
+      key_interval = it->first;
+    }
+    if (mac_key->verify(it->second.payload, it->second.mac)) {
       out.push_back(std::move(it->second.payload));
       ++authenticated_;
     } else {

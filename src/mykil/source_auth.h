@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "crypto/hash_chain.h"
+#include "crypto/hmac.h"
 #include "crypto/keys.h"
 #include "net/sim_time.h"
 
@@ -76,6 +77,10 @@ class TeslaSender {
   net::SimDuration interval_;
   std::uint32_t lag_;
   crypto::HashChain chain_;
+  /// Precomputed MAC key for the interval last stamped: every packet within
+  /// one interval reuses it, skipping the HMAC key-schedule per packet.
+  mutable std::uint32_t mac_key_interval_ = 0;
+  mutable std::optional<crypto::HmacKey> mac_key_;
 };
 
 /// Receiver side: buffers packets until their keys are disclosed.

@@ -83,5 +83,43 @@ TEST(Hmac, DifferentMessagesDifferentTags) {
   EXPECT_NE(hmac_sha256(key, to_bytes("a")), hmac_sha256(key, to_bytes("b")));
 }
 
+TEST(HmacKey, MatchesOneShotRfcVectors) {
+  // Same RFC 4231 vectors through the precomputed-key path.
+  Bytes key1(20, 0x0b);
+  EXPECT_EQ(hex_encode(HmacKey(key1).mac(to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  Bytes key6(131, 0xaa);  // longer than one block: hashed first
+  EXPECT_EQ(
+      hex_encode(HmacKey(key6).mac(
+          to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacKey, ReuseAcrossMessagesMatchesOneShot) {
+  HmacKey k(to_bytes("session-key"));
+  for (int i = 0; i < 16; ++i) {
+    Bytes msg(static_cast<std::size_t>(i * 37), static_cast<std::uint8_t>(i));
+    EXPECT_EQ(k.mac(msg), hmac_sha256(to_bytes("session-key"), msg)) << i;
+  }
+}
+
+TEST(HmacKey, TruncAndVerifyMatchOneShot) {
+  HmacKey k(to_bytes("key"));
+  Bytes msg = to_bytes("message");
+  EXPECT_EQ(k.mac_trunc(msg, 16), hmac_sha256_trunc(to_bytes("key"), msg, 16));
+  EXPECT_EQ(k.mac_trunc(msg, 64), k.mac(msg));  // n past the tag: full tag
+  EXPECT_TRUE(k.verify(msg, k.mac(msg)));
+  EXPECT_TRUE(k.verify(msg, k.mac_trunc(msg, 16)));
+  Bytes bad = k.mac(msg);
+  bad[5] ^= 1;
+  EXPECT_FALSE(k.verify(msg, bad));
+  EXPECT_FALSE(k.verify(msg, Bytes{}));
+}
+
+TEST(HmacKey, EmptyKeyAndEmptyMessage) {
+  EXPECT_EQ(HmacKey(ByteView{}).mac(ByteView{}),
+            hmac_sha256(ByteView{}, ByteView{}));
+}
+
 }  // namespace
 }  // namespace mykil::crypto
