@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace mykil::bench {
 
 /// Print a header line followed by a separator sized to it.
@@ -59,5 +61,18 @@ class BenchJson {
   std::string suite_;
   std::vector<Row> rows_;
 };
+
+/// Write a MetricsRegistry snapshot alongside a bench's JSON output, so a
+/// trajectory file can carry distributions (p50/p95/p99 latencies, batch
+/// sizes) in addition to BenchJson's flat ns/op rows. Returns false on I/O
+/// failure; prints where the snapshot went on success.
+inline bool write_metrics_snapshot(const obs::MetricsRegistry& metrics,
+                                   const std::string& suite,
+                                   const std::string& path) {
+  if (!metrics.write_json(path, suite)) return false;
+  std::printf("metrics snapshot (%zu series) -> %s\n", metrics.size(),
+              path.c_str());
+  return true;
+}
 
 }  // namespace mykil::bench

@@ -50,6 +50,10 @@ int main() {
   net::NetworkConfig ncfg;
   ncfg.jitter = 0;
   net::Network net(ncfg);
+  // Collect protocol-latency distributions (virtual time) alongside the
+  // wall-clock numbers; snapshot written next to the printed report.
+  obs::MetricsRegistry metrics;
+  net.set_metrics(&metrics);
 
   core::GroupOptions opts;
   opts.seed = 20;
@@ -143,5 +147,7 @@ int main() {
       (join.wall > rejoin_fast.wall && rejoin_full.wall > rejoin_fast.wall)
           ? "HOLDS"
           : "VIOLATED");
+  bench::write_metrics_snapshot(metrics, "join_rejoin_latency",
+                                "BENCH_join_rejoin_metrics.json");
   return 0;
 }

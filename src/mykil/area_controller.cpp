@@ -120,11 +120,31 @@ Bytes AreaController::issue_ticket(ClientId client, ByteView pubkey,
 
 // ---------------------------------------------------------------- rekeying
 
+void AreaController::emit_rekey(Bytes payload, std::size_t batched_leaves) {
+  if (auto* t = network().tracer()) {
+    if (batched_leaves > 0)
+      t->instant(obs::EventKind::kBatchFlush, id(), network().now(),
+                 batched_leaves);
+    t->instant(obs::EventKind::kRekeyEmit, id(), network().now(),
+               payload.size(), members_.size());
+  }
+  if (auto* m = network().metrics()) {
+    if (batched_leaves > 0)
+      m->histogram("ac.batch_size").record(batched_leaves);
+    m->histogram("ac.rekey_bytes").record(payload.size());
+    m->histogram("ac.rekey_fanout").record(members_.size());
+  }
+  multicast_area(kLabelRekey, std::move(payload));
+  ++counters_.rekey_multicasts;
+}
+
 void AreaController::flush_rekeys() {
   if (role_ != Role::kPrimary || !open_) return;
   lkh::RekeyMessage msg;
+  std::size_t batched = 0;
   if (!pending_leaves_.empty()) {
     prev_area_key_ = tree_->root_key();
+    batched = pending_leaves_.size();
     msg = tree_->leave_batch(pending_leaves_);
     pending_leaves_.clear();
     pending_join_rotation_ = false;
@@ -135,9 +155,8 @@ void AreaController::flush_rekeys() {
   } else {
     return;
   }
-  multicast_area(kLabelRekey,
-                 signed_envelope(MsgType::kRekey, msg.serialize(), keypair_.priv));
-  ++counters_.rekey_multicasts;
+  emit_rekey(signed_envelope(MsgType::kRekey, msg.serialize(), keypair_.priv),
+             batched);
   last_fresh_rekey_ = network().now();
   sync_backup();
 }
@@ -152,10 +171,9 @@ std::vector<lkh::PathKey> AreaController::admit(ClientId client,
   if (tree_->contains(client)) {
     prev_area_key_ = tree_->root_key();
     lkh::RekeyMessage rekey = tree_->leave(client);
-    multicast_area(kLabelRekey, signed_envelope(MsgType::kRekey,
-                                                rekey.serialize(),
-                                                keypair_.priv));
-    ++counters_.rekey_multicasts;
+    emit_rekey(
+        signed_envelope(MsgType::kRekey, rekey.serialize(), keypair_.priv),
+        /*batched_leaves=*/0);
   }
 
   lkh::KeyTree::JoinOutcome out = tree_->join(client);
@@ -191,6 +209,8 @@ std::vector<lkh::PathKey> AreaController::admit(ClientId client,
 void AreaController::schedule_leave(ClientId client) {
   auto it = members_.find(client);
   if (it == members_.end()) return;
+  if (auto* t = network().tracer())
+    t->instant(obs::EventKind::kMemberLeave, id(), network().now(), client);
   departed_tickets_[client] = it->second.sealed_ticket;
   network().leave_group(area_group_, it->second.node);
   members_.erase(it);
@@ -627,11 +647,17 @@ void AreaController::switch_parent() {
   for (const AcInfo& e : directory_.entries()) {
     if (e.ac_id == ac_id_ || e.ac_id == dead) continue;
     ++counters_.parent_switches;
+    if (auto* t = network().tracer())
+      t->instant(obs::EventKind::kParentSwitch, id(), network().now(), ac_id_,
+                 e.ac_id);
     connect_to_parent(e.ac_id);
     return;
   }
   if (dead != kNoAc && directory_.find(dead) != nullptr) {
     ++counters_.parent_switches;
+    if (auto* t = network().tracer())
+      t->instant(obs::EventKind::kParentSwitch, id(), network().now(), ac_id_,
+                 dead);
     connect_to_parent(dead);
   }
 }
@@ -668,6 +694,9 @@ void AreaController::scan_members() {
       silent.push_back(cid);  // membership period over: evict
   }
   for (ClientId cid : silent) {
+    if (auto* t = network().tracer())
+      t->instant(obs::EventKind::kEviction, id(), now, cid);
+    if (auto* m = network().metrics()) m->counter("ac.evictions").inc();
     schedule_leave(cid);
     ++counters_.evictions;
   }
@@ -870,6 +899,9 @@ void AreaController::promote_to_primary() {
   last_area_tx_ = network().now();
   start_primary_timers();
   ++counters_.takeovers;
+  if (auto* t = network().tracer())
+    t->instant(obs::EventKind::kTakeover, id(), network().now(), ac_id_);
+  if (auto* m = network().metrics()) m->counter("ac.takeovers").inc();
 
   // Announce: members and child ACs update their AC address and verify key.
   WireWriter w;
@@ -928,6 +960,11 @@ void AreaController::on_timer(std::uint64_t token) {
       if (role_ != Role::kBackup) return;
       net::SimTime limit = config_.heartbeat_misses * config_.heartbeat_interval;
       if (got_snapshot_ && network().now() - last_heartbeat_rx_ > limit) {
+        if (auto* t = network().tracer())
+          t->instant(obs::EventKind::kHeartbeatMiss, id(), network().now(),
+                     ac_id_);
+        if (auto* m = network().metrics())
+          m->counter("ac.heartbeat_misses").inc();
         promote_to_primary();
       } else {
         network().set_timer(id(), config_.heartbeat_interval, kTimerBackupWatch);

@@ -165,6 +165,9 @@ class AreaController : public net::Node {
   std::vector<lkh::PathKey> admit(ClientId client, net::NodeId node,
                                   ByteView pubkey);
   void schedule_leave(ClientId client);
+  /// Multicast a signed rekey payload into the area, with tracing/metrics
+  /// (`batched_leaves` > 0 when the rekey collapses a leave batch).
+  void emit_rekey(Bytes payload, std::size_t batched_leaves);
   void multicast_area(const char* label, Bytes payload);
   void send_alive_if_idle();
   void scan_members();

@@ -39,6 +39,8 @@ void Member::join(net::NodeId rs_node, net::SimDuration requested_duration) {
   join_in_progress_ = true;
   nonce_cw_ = prng_.next_u64();
   join_started_ = network().now();
+  if (auto* t = network().tracer())
+    t->span_begin(obs::EventKind::kJoin, nic_id_, id(), join_started_);
 
   // Step 1: {[auth-info]; Pub_k; Nonce_CW; MAC}_Pub_rs. The auth-info is
   // our client id plus the membership duration we are "paying" for.
@@ -134,6 +136,10 @@ void Member::handle_join_step7(const net::Message& msg) {
   join_in_progress_ = false;
   last_heard_ac_ = network().now();
   join_latency_ = network().now() - join_started_;
+  if (auto* t = network().tracer())
+    t->span_end(obs::EventKind::kJoin, nic_id_, id(), network().now());
+  if (auto* m = network().metrics())
+    m->histogram("member.join_latency_us").record(*join_latency_);
 }
 
 void Member::rejoin(AcId target_ac) {
@@ -144,6 +150,8 @@ void Member::rejoin(AcId target_ac) {
   rejoin_in_progress_ = true;
   rejoin_started_ = network().now();
   nonce_cb_ = prng_.next_u64();
+  if (auto* t = network().tracer())
+    t->span_begin(obs::EventKind::kRejoin, nic_id_, id(), rejoin_started_);
 
   // Subscribe early (see handle_join_step5 for why).
   network().join_group(info->group, id());
@@ -207,6 +215,10 @@ void Member::handle_rejoin_step6(const net::Message& msg) {
   rejoin_in_progress_ = false;
   last_heard_ac_ = network().now();
   rejoin_latency_ = network().now() - rejoin_started_;
+  if (auto* t = network().tracer())
+    t->span_end(obs::EventKind::kRejoin, nic_id_, id(), network().now());
+  if (auto* m = network().metrics())
+    m->histogram("member.rejoin_latency_us").record(*rejoin_latency_);
 }
 
 void Member::leave() {

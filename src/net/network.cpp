@@ -12,6 +12,12 @@ Network& Node::network() const {
 Network::Network(NetworkConfig config)
     : config_(config), prng_(config.seed) {}
 
+void Network::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  queue_depth_ =
+      metrics == nullptr ? nullptr : &metrics->histogram("net.queue_depth");
+}
+
 NodeId Network::attach(Node& node) {
   if (node.attached()) throw SimError("node already attached");
   NodeId id = static_cast<NodeId>(nodes_.size());
@@ -27,6 +33,7 @@ void Network::crash(NodeId node) {
   if (node >= nodes_.size()) throw SimError("crash: unknown node");
   if (!up_[node]) return;
   up_[node] = false;
+  if (tracer_) tracer_->instant(obs::EventKind::kCrash, node, now_, node);
   nodes_[node]->on_crash();
 }
 
@@ -34,6 +41,7 @@ void Network::recover(NodeId node) {
   if (node >= nodes_.size()) throw SimError("recover: unknown node");
   if (up_[node]) return;
   up_[node] = true;
+  if (tracer_) tracer_->instant(obs::EventKind::kRecover, node, now_, node);
   nodes_[node]->on_recover();
 }
 
@@ -45,10 +53,13 @@ bool Network::is_up(NodeId node) const {
 void Network::set_partition(NodeId node, std::uint32_t partition) {
   if (node >= nodes_.size()) throw SimError("set_partition: unknown node");
   partition_[node] = partition;
+  if (tracer_)
+    tracer_->instant(obs::EventKind::kPartition, node, now_, node, partition);
 }
 
 void Network::heal_partitions() {
   for (auto& p : partition_) p = 0;
+  if (tracer_) tracer_->instant(obs::EventKind::kHeal, 0, now_);
 }
 
 std::uint32_t Network::partition_of(NodeId node) const {
@@ -105,6 +116,9 @@ void Network::queue_delivery(Message msg, NodeId to) {
   if (config_.drop_probability > 0.0 &&
       prng_.uniform_double() < config_.drop_probability) {
     stats_.record_drop(msg);
+    if (tracer_)
+      tracer_->instant(obs::EventKind::kDrop, to, now_, msg.wire_size(), 0,
+                       msg.label);
     return;
   }
   Event ev;
@@ -123,8 +137,14 @@ void Network::unicast(NodeId from, NodeId to, std::string label, Bytes payload) 
   msg.label = std::move(label);
   msg.payload = std::move(payload);
   stats_.record_send(msg);
+  if (tracer_)
+    tracer_->instant(obs::EventKind::kSend, from, now_, msg.wire_size(), 0,
+                     msg.label);
   if (!deliverable(from, to)) {
     stats_.record_drop(msg);
+    if (tracer_)
+      tracer_->instant(obs::EventKind::kDrop, to, now_, msg.wire_size(), 0,
+                       msg.label);
     return;
   }
   queue_delivery(std::move(msg), to);
@@ -140,10 +160,16 @@ void Network::multicast(NodeId from, GroupId group, std::string label,
   proto.payload = std::move(payload);
   // One send on the wire (IP multicast model) regardless of fan-out.
   stats_.record_send(proto);
+  if (tracer_)
+    tracer_->instant(obs::EventKind::kSend, from, now_, proto.wire_size(), 0,
+                     proto.label);
   for (NodeId member : groups_[group]) {
     if (member == from) continue;
     if (!deliverable(from, member)) {
       stats_.record_drop(proto);
+      if (tracer_)
+        tracer_->instant(obs::EventKind::kDrop, member, now_,
+                         proto.wire_size(), 0, proto.label);
       continue;
     }
     Message copy = proto;
@@ -171,6 +197,7 @@ void Network::cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
 
 bool Network::step() {
   if (events_.empty()) return false;
+  if (queue_depth_) queue_depth_->record(events_.size());
   Event ev = events_.top();
   events_.pop();
   now_ = ev.at;
@@ -181,9 +208,15 @@ bool Network::step() {
       // to a node that crashed or got partitioned meanwhile is lost.
       if (!deliverable(ev.msg.from, to)) {
         stats_.record_drop(ev.msg);
+        if (tracer_)
+          tracer_->instant(obs::EventKind::kDrop, to, now_,
+                           ev.msg.wire_size(), 0, ev.msg.label);
         break;
       }
       stats_.record_delivery(ev.msg, to);
+      if (tracer_)
+        tracer_->instant(obs::EventKind::kDeliver, to, now_,
+                         ev.msg.wire_size(), 0, ev.msg.label);
       nodes_[to]->on_message(ev.msg);
       break;
     }

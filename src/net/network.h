@@ -29,6 +29,8 @@
 #include "net/node.h"
 #include "net/sim_time.h"
 #include "net/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mykil::net {
 
@@ -112,6 +114,17 @@ class Network {
   NetStats& stats() { return stats_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
 
+  // ---- observability ----
+
+  /// Attach a tracer/metrics registry (both owned by the caller, both
+  /// optional; pass nullptr to detach). Every hook in the simulator and in
+  /// the protocol entities is a single null check when detached, so the
+  /// disabled path costs nothing measurable and changes no behaviour.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  void set_metrics(obs::MetricsRegistry* metrics);
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   struct Event {
     SimTime at;
@@ -151,6 +164,10 @@ class Network {
 
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
   NetStats stats_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;  ///< cached: hit on every step()
 };
 
 }  // namespace mykil::net

@@ -4,11 +4,16 @@
 // label and to the sending/receiving nodes. The figure benchmarks read
 // these counters: e.g. Fig 8 is "bytes of `rekey`-labelled traffic received
 // by members during one leave event".
+//
+// Drops are charged both to a total and to the message's label, so loss
+// injection runs can attribute loss to a traffic class (how much rekey
+// traffic did the lossy link eat vs. data traffic?).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 
 #include "net/message.h"
 
@@ -38,7 +43,10 @@ class NetStats {
     recv_by_node_[to].add(m.wire_size());
   }
 
-  void record_drop(const Message& m) { dropped_.add(m.wire_size()); }
+  void record_drop(const Message& m) {
+    dropped_.add(m.wire_size());
+    dropped_by_label_[m.label].add(m.wire_size());
+  }
 
   [[nodiscard]] const Counter& sent_total() const { return sent_total_; }
   [[nodiscard]] const Counter& recv_total() const { return recv_total_; }
@@ -52,6 +60,10 @@ class NetStats {
   [[nodiscard]] Counter recv_by_label(const std::string& label) const {
     auto it = recv_by_label_.find(label);
     return it == recv_by_label_.end() ? Counter{} : it->second;
+  }
+  [[nodiscard]] Counter dropped_by_label(const std::string& label) const {
+    auto it = dropped_by_label_.find(label);
+    return it == dropped_by_label_.end() ? Counter{} : it->second;
   }
   [[nodiscard]] Counter sent_by_node(NodeId n) const {
     auto it = sent_by_node_.find(n);
@@ -67,8 +79,11 @@ class NetStats {
 
  private:
   Counter sent_total_, recv_total_, dropped_;
-  std::map<std::string, Counter> sent_by_label_, recv_by_label_;
-  std::map<NodeId, Counter> sent_by_node_, recv_by_node_;
+  std::map<std::string, Counter> sent_by_label_, recv_by_label_,
+      dropped_by_label_;
+  // Hashed, not ordered: hit on every single send/delivery, and nothing
+  // iterates them.
+  std::unordered_map<NodeId, Counter> sent_by_node_, recv_by_node_;
 };
 
 }  // namespace mykil::net

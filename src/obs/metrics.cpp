@@ -1,0 +1,122 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace mykil::obs {
+
+void Histogram::record(std::uint64_t value) {
+  ++buckets_[std::bit_width(value)];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0) return static_cast<double>(min());
+  if (p >= 100) return static_cast<double>(max_);
+  // Nearest-rank target, then linear interpolation across the hit bucket's
+  // value range [2^(i-1), 2^i).
+  double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(target));
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cum + buckets_[i] < rank) {
+      cum += buckets_[i];
+      continue;
+    }
+    double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+    double hi = std::ldexp(1.0, static_cast<int>(i));
+    double frac = (static_cast<double>(rank - cum) - 0.5) /
+                  static_cast<double>(buckets_[i]);
+    double v = lo + (hi - lo) * frac;
+    // The bucket bounds over-approximate; the true extremes are exact.
+    if (v < static_cast<double>(min())) v = static_cast<double>(min());
+    if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+    return v;
+  }
+  return static_cast<double>(max_);
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = count_;
+  s.min = min();
+  s.max = max_;
+  s.mean = mean();
+  s.p50 = percentile(50);
+  s.p95 = percentile(95);
+  s.p99 = percentile(99);
+  return s;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::to_json(const std::string& suite) const {
+  std::string out = "{\n  \"suite\": \"" + suite + "\",\n";
+  char buf[256];
+
+  out += "  \"counters\": [\n";
+  std::size_t i = 0;
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof buf, "    {\"name\": \"%s\", \"value\": %llu}%s\n",
+                  name.c_str(), static_cast<unsigned long long>(c.value()),
+                  ++i < counters_.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ],\n  \"gauges\": [\n";
+  i = 0;
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof buf, "    {\"name\": \"%s\", \"value\": %lld}%s\n",
+                  name.c_str(), static_cast<long long>(g.value()),
+                  ++i < gauges_.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ],\n  \"histograms\": [\n";
+  i = 0;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s = h.summary();
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"name\": \"%s\", \"count\": %llu, \"min\": %llu, "
+        "\"max\": %llu, \"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, "
+        "\"p99\": %.3f}%s\n",
+        name.c_str(), static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.min),
+        static_cast<unsigned long long>(s.max), s.mean, s.p50, s.p95, s.p99,
+        ++i < histograms_.size() ? "," : "");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path,
+                                 const std::string& suite) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = to_json(suite);
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace mykil::obs

@@ -1,0 +1,115 @@
+// Named counters, gauges, and log-bucketed histograms for the simulator
+// and the Mykil core, with JSON snapshot export.
+//
+// The registry answers the questions the paper's evaluation asks of Mykil
+// — join/rejoin latency distributions, rekey fanout, batch sizes, bytes
+// per rekey event — as p50/p95/p99 summaries rather than raw totals (the
+// byte totals stay in net::NetStats).
+//
+// Histograms use base-2 log buckets (bucket i holds values whose bit width
+// is i, i.e. [2^(i-1), 2^i)), giving ~2x relative error over the full u64
+// range in 65 fixed slots: recording is a bit_width + increment, cheap
+// enough for per-delivery paths. Percentiles interpolate linearly inside
+// the hit bucket and clamp to the exact observed min/max.
+//
+// Like the Tracer, a disabled registry is a null pointer at every hook:
+// one branch, no memory traffic, byte-identical benchmark output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mykil::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t d) { value_ += d; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Plain-data extract of a histogram, cheap to copy into run reports.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  ///< bit widths 0..64
+
+  void record(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// `p` in [0, 100]; 0 for an empty histogram.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] HistogramSummary summary() const;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const {
+    return buckets_[bucket];
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+/// Name-addressed metric store. References returned by counter()/gauge()/
+/// histogram() stay valid for the registry's lifetime (node-based map), so
+/// hot paths may cache them. Export iterates in name order, so snapshots
+/// are deterministic.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// nullptr when the metric was never touched.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// JSON snapshot in the same one-object-per-line house style as the
+  /// BENCH_*.json trajectory files (see bench/bench_util.h).
+  [[nodiscard]] std::string to_json(const std::string& suite = "metrics") const;
+  /// Write to_json() to `path`; returns false on I/O failure.
+  bool write_json(const std::string& path,
+                  const std::string& suite = "metrics") const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace mykil::obs

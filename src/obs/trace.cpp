@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace mykil::obs {
+
+namespace {
+
+/// Per-kind argument names for the exported "args" object. A null first
+/// name means the kind carries no numeric arguments.
+struct ArgNames {
+  const char* a0 = nullptr;
+  const char* a1 = nullptr;
+};
+
+struct KindInfo {
+  const char* name;
+  const char* category;
+  ArgNames args;
+};
+
+const KindInfo& kind_info(EventKind kind) {
+  static const KindInfo kTable[] = {
+      {"join", "mykil", {}},
+      {"rejoin", "mykil", {}},
+      {"rekey-emit", "mykil", {"bytes", "members"}},
+      {"batch-flush", "mykil", {"leaves", nullptr}},
+      {"eviction", "mykil", {"client", nullptr}},
+      {"member-leave", "mykil", {"client", nullptr}},
+      {"heartbeat-miss", "mykil", {"ac", nullptr}},
+      {"takeover", "mykil", {"ac", nullptr}},
+      {"parent-switch", "mykil", {"ac", "new_parent"}},
+      {"crash", "net", {"node", nullptr}},
+      {"recover", "net", {"node", nullptr}},
+      {"partition", "net", {"node", "partition"}},
+      {"heal", "net", {}},
+      {"send", "net", {"bytes", nullptr}},
+      {"deliver", "net", {"bytes", nullptr}},
+      {"drop", "net", {"bytes", nullptr}},
+  };
+  return kTable[static_cast<std::size_t>(kind)];
+}
+
+/// Labels are short fixed traffic-class strings, but escape defensively so
+/// the output is always valid JSON.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+const char* event_name(EventKind kind) { return kind_info(kind).name; }
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  head_ = 0;
+  count_ = 0;
+  overwritten_ = 0;
+  open_.clear();
+}
+
+void Tracer::push(TraceEvent ev) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    count_ = ring_.size();
+    return;
+  }
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+  ++overwritten_;
+}
+
+void Tracer::instant(EventKind kind, std::uint32_t tid, net::SimTime ts,
+                     std::uint64_t a0, std::uint64_t a1, std::string label) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.a0 = a0;
+  ev.a1 = a1;
+  ev.label = std::move(label);
+  push(std::move(ev));
+}
+
+void Tracer::span_begin(EventKind kind, std::uint64_t span_id,
+                        std::uint32_t tid, net::SimTime ts) {
+  // A retried operation (e.g. a join restarted by the watchdog) re-begins
+  // its span; the newest begin wins the pairing.
+  open_[span_key(kind, span_id)] = ts;
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.phase = TraceEvent::Phase::kBegin;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.id = span_id;
+  push(std::move(ev));
+}
+
+std::optional<net::SimDuration> Tracer::span_end(EventKind kind,
+                                                 std::uint64_t span_id,
+                                                 std::uint32_t tid,
+                                                 net::SimTime ts) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.phase = TraceEvent::Phase::kEnd;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.id = span_id;
+  push(std::move(ev));
+
+  auto it = open_.find(span_key(kind, span_id));
+  if (it == open_.end()) return std::nullopt;
+  net::SimTime begin = it->second;
+  open_.erase(it);
+  return ts >= begin ? std::optional<net::SimDuration>(ts - begin)
+                     : std::nullopt;
+}
+
+std::string Tracer::to_chrome_trace() const {
+  std::string out;
+  out.reserve(count_ * 96 + 16);
+  out += "[\n";
+  bool first = true;
+  for_each([&](const TraceEvent& ev) {
+    if (!first) out += ",\n";
+    first = false;
+    const KindInfo& info = kind_info(ev.kind);
+    out += "{\"name\":\"";
+    out += info.name;
+    out += "\",\"cat\":\"";
+    out += info.category;
+    out += "\",\"ph\":\"";
+    switch (ev.phase) {
+      case TraceEvent::Phase::kInstant: out += "i\",\"s\":\"g"; break;
+      case TraceEvent::Phase::kBegin: out += 'b'; break;
+      case TraceEvent::Phase::kEnd: out += 'e'; break;
+    }
+    out += "\",\"pid\":1,\"tid\":";
+    append_u64(out, ev.tid);
+    out += ",\"ts\":";
+    append_u64(out, ev.ts);
+    if (ev.phase != TraceEvent::Phase::kInstant) {
+      out += ",\"id\":";
+      append_u64(out, ev.id);
+    }
+    bool has_args = info.args.a0 != nullptr || !ev.label.empty();
+    if (has_args) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (info.args.a0 != nullptr) {
+        out += '"';
+        out += info.args.a0;
+        out += "\":";
+        append_u64(out, ev.a0);
+        first_arg = false;
+        if (info.args.a1 != nullptr) {
+          out += ",\"";
+          out += info.args.a1;
+          out += "\":";
+          append_u64(out, ev.a1);
+        }
+      }
+      if (!ev.label.empty()) {
+        if (!first_arg) out += ',';
+        out += "\"label\":";
+        append_json_string(out, ev.label);
+      }
+      out += '}';
+    }
+    out += '}';
+  });
+  out += "\n]\n";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = to_chrome_trace();
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace mykil::obs

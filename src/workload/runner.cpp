@@ -100,6 +100,17 @@ RunReport ChurnRunner::run(const ChurnSchedule& schedule,
   report.rekey_bytes = net.stats().sent_by_label("mykil-rekey").bytes;
   report.data_bytes = net.stats().sent_by_label("mykil-data").bytes;
   report.alive_bytes = net.stats().sent_by_label("mykil-alive").bytes;
+
+  if (obs::MetricsRegistry* m = net.metrics()) {
+    auto summarize = [&](const char* name) {
+      const obs::Histogram* h = m->find_histogram(name);
+      return h == nullptr ? obs::HistogramSummary{} : h->summary();
+    };
+    report.join_latency = summarize("member.join_latency_us");
+    report.rejoin_latency = summarize("member.rejoin_latency_us");
+    report.batch_size = summarize("ac.batch_size");
+    report.rekey_bytes_per_event = summarize("ac.rekey_bytes");
+  }
   return report;
 }
 

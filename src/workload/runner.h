@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mykil/group.h"
+#include "obs/metrics.h"
 #include "workload/churn.h"
 
 namespace mykil::workload {
@@ -22,6 +23,13 @@ struct RunReport {
   /// Members whose key state matches their AC's area key at the end.
   std::size_t in_sync = 0;
   std::size_t out_of_sync = 0;
+  /// Distribution summaries, populated from the network's MetricsRegistry
+  /// when one is attached (all-zero otherwise; the counters above are
+  /// identical either way).
+  obs::HistogramSummary join_latency;    ///< member.join_latency_us
+  obs::HistogramSummary rejoin_latency;  ///< member.rejoin_latency_us
+  obs::HistogramSummary batch_size;      ///< ac.batch_size (leaves per flush)
+  obs::HistogramSummary rekey_bytes_per_event;  ///< ac.rekey_bytes
 };
 
 /// Applies a schedule to a group. Joins draw fresh members from an

@@ -373,6 +373,75 @@ TEST(Network, SendingFromWithinCallbackWorks) {
   EXPECT_EQ(to_string(a.messages[0].payload), "marco");
 }
 
+TEST(Network, DropsChargedToLabel) {
+  Network net(quiet_config());
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.crash(b.id());
+  net.unicast(a.id(), b.id(), "rekey", Bytes(100, 0));
+  net.unicast(a.id(), b.id(), "data", Bytes(40, 0));
+  net.run();
+  EXPECT_EQ(net.stats().dropped().messages, 2u);
+  EXPECT_EQ(net.stats().dropped_by_label("rekey").bytes, 100u);
+  EXPECT_EQ(net.stats().dropped_by_label("rekey").messages, 1u);
+  EXPECT_EQ(net.stats().dropped_by_label("data").bytes, 40u);
+  EXPECT_EQ(net.stats().dropped_by_label("never-sent").messages, 0u);
+}
+
+TEST(Network, TracerSeesSendDeliverDropAndFaultEvents) {
+  Network net(quiet_config());
+  obs::Tracer tracer;
+  net.set_tracer(&tracer);
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.unicast(a.id(), b.id(), "data", Bytes(10, 0));
+  net.run();
+  net.crash(b.id());
+  net.unicast(a.id(), b.id(), "data", Bytes(10, 0));
+  net.run();
+  net.recover(b.id());
+  net.set_partition(b.id(), 2);
+  net.heal_partitions();
+
+  std::size_t sends = 0, delivers = 0, drops = 0, crashes = 0, recovers = 0,
+              partitions = 0, heals = 0;
+  tracer.for_each([&](const obs::TraceEvent& ev) {
+    switch (ev.kind) {
+      case obs::EventKind::kSend: ++sends; break;
+      case obs::EventKind::kDeliver: ++delivers; break;
+      case obs::EventKind::kDrop: ++drops; break;
+      case obs::EventKind::kCrash: ++crashes; break;
+      case obs::EventKind::kRecover: ++recovers; break;
+      case obs::EventKind::kPartition: ++partitions; break;
+      case obs::EventKind::kHeal: ++heals; break;
+      default: break;
+    }
+  });
+  EXPECT_EQ(sends, 2u);
+  EXPECT_EQ(delivers, 1u);
+  EXPECT_EQ(drops, 1u);
+  EXPECT_EQ(crashes, 1u);
+  EXPECT_EQ(recovers, 1u);
+  EXPECT_EQ(partitions, 1u);
+  EXPECT_EQ(heals, 1u);
+}
+
+TEST(Network, MetricsRecordQueueDepth) {
+  Network net(quiet_config());
+  obs::MetricsRegistry metrics;
+  net.set_metrics(&metrics);
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.unicast(a.id(), b.id(), "t", Bytes(5, 0));
+  net.run();
+  const obs::Histogram* h = metrics.find_histogram("net.queue_depth");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->count(), 0u);
+}
+
 TEST(Network, UnknownNodeOperationsThrow) {
   Network net(quiet_config());
   EXPECT_THROW(net.crash(99), SimError);

@@ -1,0 +1,197 @@
+// Smoke test for the tracing pipeline end to end: run a short churn
+// scenario with a Tracer and MetricsRegistry attached, write both exports
+// to disk, then re-read and validate them with a tiny JSON parser — the
+// trace must parse, contain events, and have balanced join/rejoin spans,
+// and the metrics snapshot must carry percentile summaries. This is the
+// ctest gate that keeps "mykil_sim --trace out.json opens in Perfetto"
+// true without a browser in the loop.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "workload/runner.h"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("%-52s %s\n", what, ok ? "ok" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+// ---- minimal recursive-descent JSON reader (validation only) ----
+//
+// Accepts exactly the JSON this repo emits: objects, arrays, strings with
+// simple escapes, integer/float numbers, true/false/null. On success the
+// cursor sits after the parsed value.
+struct JsonCursor {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  void fail() { ok = false; }
+
+  void value() {
+    if (!ok) return;
+    skip_ws();
+    if (i >= s.size()) return fail();
+    char c = s[i];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return number();
+    if (s.compare(i, 4, "true") == 0) { i += 4; return; }
+    if (s.compare(i, 5, "false") == 0) { i += 5; return; }
+    if (s.compare(i, 4, "null") == 0) { i += 4; return; }
+    fail();
+  }
+  void object() {
+    if (!eat('{')) return fail();
+    if (eat('}')) return;
+    do {
+      string();
+      if (!ok || !eat(':')) return fail();
+      value();
+      if (!ok) return;
+    } while (eat(','));
+    if (!eat('}')) fail();
+  }
+  void array() {
+    if (!eat('[')) return fail();
+    if (eat(']')) return;
+    do {
+      value();
+      if (!ok) return;
+    } while (eat(','));
+    if (!eat(']')) fail();
+  }
+  void string() {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return fail();
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') ++i;  // skip the escaped char
+      ++i;
+    }
+    if (i >= s.size()) return fail();
+    ++i;
+  }
+  void number() {
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+            s[i] == '+' || s[i] == '.' || s[i] == 'e' || s[i] == 'E'))
+      ++i;
+  }
+};
+
+bool parses_as_json(const std::string& text) {
+  JsonCursor c{text};
+  c.value();
+  c.skip_ws();
+  return c.ok && c.i == text.size();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0, pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mykil;
+
+  // ---- a short churn run with full observability attached ----
+  net::NetworkConfig ncfg;
+  ncfg.jitter = 0;
+  ncfg.seed = 9;
+  net::Network net(ncfg);
+  obs::Tracer tracer(1 << 18);
+  obs::MetricsRegistry metrics;
+  net.set_tracer(&tracer);
+  net.set_metrics(&metrics);
+
+  core::GroupOptions opts;
+  opts.seed = 13;
+  opts.config.enable_timers = true;
+  opts.config.batching = true;
+  opts.config.skip_cohort_check = true;
+  opts.config.t_idle = net::msec(500);
+  opts.config.t_active = net::sec(2);
+  core::MykilGroup group(net, opts);
+  group.add_area();
+  group.add_area(0);
+  group.finalize();
+
+  workload::ChurnRunner runner(group, 777);
+  crypto::Prng sprng(888);
+  workload::ChurnSchedule sched =
+      workload::ChurnSchedule::poisson(net::sec(12), 1.0, 0.4, 1.0, 0.2, sprng);
+  workload::RunReport report = runner.run(sched, net::sec(5));
+  check(report.joins_attempted > 0, "churn produced joins");
+
+  const std::string trace_path = "trace_smoke_out.json";
+  const std::string metrics_path = "trace_smoke_metrics.json";
+  check(tracer.write_chrome_trace(trace_path), "trace written");
+  check(metrics.write_json(metrics_path, "trace_smoke"), "metrics written");
+
+  // ---- validate the trace file ----
+  std::string trace = read_file(trace_path);
+  check(!trace.empty(), "trace file non-empty");
+  check(parses_as_json(trace), "trace parses as JSON");
+  check(tracer.size() > 0, "trace contains events");
+  check(count_occurrences(trace, "{\"name\":") == tracer.size(),
+        "one JSON object per buffered event");
+  check(tracer.overwritten() == 0, "ring buffer did not overflow");
+
+  // Spans balanced per kind: every end has a begin; an excess of begins can
+  // only come from operations still in flight when the run stopped.
+  for (const char* span : {"join", "rejoin"}) {
+    std::string base = std::string("\"name\":\"") + span + "\",\"cat\":\"mykil\"";
+    std::size_t begins = count_occurrences(trace, base + ",\"ph\":\"b\"");
+    std::size_t ends = count_occurrences(trace, base + ",\"ph\":\"e\"");
+    std::printf("  %-8s spans: %zu begin / %zu end\n", span, begins, ends);
+    check(ends > 0, (std::string(span) + " spans completed").c_str());
+    check(begins >= ends, (std::string(span) + " spans balanced").c_str());
+  }
+  check(tracer.open_spans() <= count_occurrences(trace, "\"ph\":\"b\""),
+        "open spans bounded by begins");
+
+  // ---- validate the metrics snapshot ----
+  std::string mjson = read_file(metrics_path);
+  check(parses_as_json(mjson), "metrics parse as JSON");
+  check(mjson.find("\"p50\"") != std::string::npos, "metrics carry p50");
+  check(mjson.find("\"p99\"") != std::string::npos, "metrics carry p99");
+  check(mjson.find("member.join_latency_us") != std::string::npos,
+        "join latency histogram present");
+
+  std::printf("trace_smoke: %zu events, %zu metric series -> %s\n",
+              tracer.size(), metrics.size(), g_failures == 0 ? "PASS" : "FAIL");
+  return g_failures == 0 ? 0 : 1;
+}
