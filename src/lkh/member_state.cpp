@@ -14,6 +14,16 @@ void MemberKeyState::install(const std::vector<PathKey>& path) {
   }
 }
 
+void MemberKeyState::reinstall(const std::vector<PathKey>& path) {
+  // Version counters are per key-server instance and can regress across a
+  // primary/backup takeover, so an authoritative path (a nonce-bound key
+  // recovery answer) must not be filtered through them: replace wholesale.
+  auto root = keys_.find(0);
+  if (root != keys_.end()) remember_root(root->second);
+  keys_.clear();
+  for (const PathKey& pk : path) keys_[pk.node] = {pk.key, pk.version};
+}
+
 std::size_t MemberKeyState::apply(const RekeyMessage& msg) {
   std::size_t updated = 0;
   for (const RekeyEntry& e : msg.entries) {

@@ -21,6 +21,12 @@ class MemberKeyState {
   /// are ignored.
   void install(const std::vector<PathKey>& path);
 
+  /// Replace ALL held keys with `path`, bypassing the version guard (the
+  /// previous group key is kept for in-flight data). For authoritative
+  /// catch-ups: versions regress across takeovers, so a fresh key-recovery
+  /// answer must win even against "newer-looking" stale keys.
+  void reinstall(const std::vector<PathKey>& path);
+
   /// Apply a rekey multicast. Returns the number of keys updated. Entries
   /// sealed under keys this member does not hold are skipped; a decryption
   /// failure on a held key throws AuthError (tampering).

@@ -16,6 +16,7 @@ constexpr const char* kLabelData = "mykil-data";
 constexpr const char* kLabelAlive = "mykil-alive";
 constexpr const char* kLabelRepl = "mykil-repl";
 constexpr const char* kLabelArea = "mykil-area";
+constexpr const char* kLabelRecovery = "mykil-recovery";
 
 // Recurring timer tokens.
 constexpr std::uint64_t kTimerIdle = 1;
@@ -65,34 +66,100 @@ AreaController::AreaController(AcId ac_id, MykilConfig config,
   tree_.emplace(tree_cfg, prng_.fork());
 }
 
+std::uint64_t AreaController::timer_token(std::uint64_t kind) const {
+  return kind | (static_cast<std::uint64_t>(timer_gen_) << 32);
+}
+
+void AreaController::ensure_arq() {
+  if (arq_.bound()) return;
+  arq_.bind(network(), id(), config_.arq, config_.reliable_control,
+            prng_.next_u64());
+  arq_.set_give_up_handler([this](net::NodeId to, const std::string&) {
+    // Escalate to the existing failure-detection paths: an unreachable
+    // member is evicted by the next scan, an unreachable parent triggers a
+    // parent switch on the next liveness check.
+    for (auto& [cid, rec] : members_) {
+      if (rec.node == to) rec.last_heard = 0;
+    }
+    if (uplink_ && uplink_->parent_node == to) uplink_->last_heard_parent = 0;
+  });
+}
+
+void AreaController::send_ctrl(net::NodeId to, const char* label,
+                               Bytes payload) {
+  ensure_arq();
+  arq_.send(to, label, std::move(payload));
+}
+
 void AreaController::open_area(net::Network& net) {
   if (role_ != Role::kPrimary) throw ProtocolError("open_area on a backup");
   area_group_ = net.create_group();
   net.join_group(area_group_, id());
   open_ = true;
   last_area_tx_ = net.now();
+  ensure_arq();
   start_primary_timers();
 }
 
 void AreaController::start_primary_timers() {
   if (!config_.enable_timers) return;
-  network().set_timer(id(), config_.t_idle, kTimerIdle);
-  network().set_timer(id(), config_.t_active, kTimerMemberScan);
-  network().set_timer(id(), config_.rekey_interval, kTimerRekey);
+  network().set_timer(id(), config_.t_idle, timer_token(kTimerIdle));
+  network().set_timer(id(), config_.t_active, timer_token(kTimerMemberScan));
+  network().set_timer(id(), config_.rekey_interval, timer_token(kTimerRekey));
 }
 
 void AreaController::set_backup(net::NodeId backup_node) {
   backup_node_ = backup_node;
+  peer_node_ = backup_node;
   if (config_.enable_timers)
-    network().set_timer(id(), config_.heartbeat_interval, kTimerHeartbeat);
+    network().set_timer(id(), config_.heartbeat_interval,
+                        timer_token(kTimerHeartbeat));
   sync_backup();
 }
 
 void AreaController::start_watchdog() {
   if (role_ != Role::kBackup) throw ProtocolError("start_watchdog on a primary");
   last_heartbeat_rx_ = network().now();
+  ensure_arq();
   if (config_.enable_timers)
-    network().set_timer(id(), config_.heartbeat_interval, kTimerBackupWatch);
+    network().set_timer(id(), config_.heartbeat_interval,
+                        timer_token(kTimerBackupWatch));
+}
+
+void AreaController::on_crash() {
+  // Crash-stop: durable state (tree, membership, tickets) survives, but
+  // in-flight handshake sessions die with us — clients re-drive them via
+  // their retry watchdogs. The generation bump invalidates every timer
+  // armed before the failure.
+  ++timer_gen_;
+  pending_joins_.clear();
+  early_step6_.clear();
+  pending_rejoins_.clear();
+  awaiting_cohort_.clear();
+  rejoin_timeout_tokens_.clear();
+}
+
+void AreaController::on_recover() {
+  ensure_arq();
+  arq_.on_recover();
+  net::SimTime now = network().now();
+  if (role_ == Role::kPrimary) {
+    // Grace: silence accrued while WE were down is our fault, not the
+    // members' — without this a recovered primary mass-evicts its area
+    // (and rekeys everyone out) before a pending demotion reaches it.
+    for (auto& [cid, rec] : members_) rec.last_heard = now;
+    if (uplink_) uplink_->last_heard_parent = now;
+    last_area_tx_ = now;
+    if (open_) start_primary_timers();
+    if (backup_node_ != net::kNoNode && config_.enable_timers)
+      network().set_timer(id(), config_.heartbeat_interval,
+                          timer_token(kTimerHeartbeat));
+  } else {
+    last_heartbeat_rx_ = now;  // grace before the takeover watchdog
+    if (config_.enable_timers)
+      network().set_timer(id(), config_.heartbeat_interval,
+                          timer_token(kTimerBackupWatch));
+  }
 }
 
 bool AreaController::ts_fresh(net::SimTime ts) const {
@@ -120,7 +187,25 @@ Bytes AreaController::issue_ticket(ClientId client, ByteView pubkey,
 
 // ---------------------------------------------------------------- rekeying
 
-void AreaController::emit_rekey(Bytes payload, std::size_t batched_leaves) {
+std::uint64_t AreaController::stream_epoch(std::uint64_t rekey) const {
+  // Wire epochs are (takeover epoch | per-instance rekey counter): a
+  // promoted standby resumes the counter from a possibly stale snapshot,
+  // and members that were AHEAD of that snapshot would discard its rekeys
+  // as duplicates if the counter alone were compared. The composite stays
+  // strictly monotone across takeovers, so consumers keep a single
+  // "highest epoch seen" cursor and every instance change reads as a gap.
+  return (takeover_epoch_ << 40) | rekey;
+}
+
+void AreaController::emit_rekey(lkh::RekeyMessage msg,
+                                std::size_t batched_leaves) {
+  // Every rekey multicast carries the next epoch; members use the gap in
+  // this stream to detect lost rekeys (DESIGN.md 9.2). Member-side key
+  // application is guarded by per-entry key versions, not the epoch, so
+  // overwriting whatever the tree layer put here is safe.
+  msg.epoch = stream_epoch(++rekey_epoch_);
+  Bytes payload =
+      signed_envelope(MsgType::kRekey, msg.serialize(), keypair_.priv);
   if (auto* t = network().tracer()) {
     if (batched_leaves > 0)
       t->instant(obs::EventKind::kBatchFlush, id(), network().now(),
@@ -136,6 +221,11 @@ void AreaController::emit_rekey(Bytes payload, std::size_t batched_leaves) {
   }
   multicast_area(kLabelRekey, std::move(payload));
   ++counters_.rekey_multicasts;
+  // Do NOT sync_backup here: admit() emits mid-operation (stale-leaf leave)
+  // while members_ and the tree momentarily disagree, and a snapshot taken
+  // then would hand a promoted standby an inconsistent membership. Every
+  // caller chain ends at a consistent point that syncs (flush_rekeys, the
+  // join/rejoin/uplink completions, schedule_leave).
 }
 
 void AreaController::flush_rekeys() {
@@ -155,8 +245,7 @@ void AreaController::flush_rekeys() {
   } else {
     return;
   }
-  emit_rekey(signed_envelope(MsgType::kRekey, msg.serialize(), keypair_.priv),
-             batched);
+  emit_rekey(std::move(msg), batched);
   last_fresh_rekey_ = network().now();
   sync_backup();
 }
@@ -170,10 +259,7 @@ std::vector<lkh::PathKey> AreaController::admit(ClientId client,
   std::erase(pending_leaves_, client);
   if (tree_->contains(client)) {
     prev_area_key_ = tree_->root_key();
-    lkh::RekeyMessage rekey = tree_->leave(client);
-    emit_rekey(
-        signed_envelope(MsgType::kRekey, rekey.serialize(), keypair_.priv),
-        /*batched_leaves=*/0);
+    emit_rekey(tree_->leave(client), /*batched_leaves=*/0);
   }
 
   lkh::KeyTree::JoinOutcome out = tree_->join(client);
@@ -182,8 +268,8 @@ std::vector<lkh::PathKey> AreaController::admit(ClientId client,
     if (moved != members_.end()) {
       crypto::RsaPublicKey moved_pub =
           crypto::RsaPublicKey::deserialize(moved->second.pubkey);
-      network().unicast(
-          id(), moved->second.node, kLabelRekey,
+      send_ctrl(
+          moved->second.node, kLabelRekey,
           envelope(MsgType::kSplitUpdate,
                    crypto::pk_encrypt(
                        moved_pub,
@@ -294,12 +380,13 @@ void AreaController::complete_join(std::uint64_t nonce_response,
   w.u64(ac_id_);
   w.u32(area_group_);
   w.bytes(lkh::serialize_path(path));
+  w.u64(stream_epoch(rekey_epoch_));  // rekey-stream entry point
   crypto::RsaPublicKey client_pub =
       crypto::RsaPublicKey::deserialize(members_[pj.client_id].pubkey);
-  network().unicast(id(), client_node, kLabelJoin,
-                    envelope(MsgType::kJoinStep7,
-                             crypto::pk_encrypt(client_pub, with_mac(w.data()),
-                                                prng_)));
+  send_ctrl(client_node, kLabelJoin,
+            envelope(MsgType::kJoinStep7,
+                     crypto::pk_encrypt(client_pub, with_mac(w.data()),
+                                        prng_)));
   ++counters_.joins;
   sync_backup();
 }
@@ -329,10 +416,10 @@ void AreaController::handle_rejoin_step1(const net::Message& msg) {
   w.u64(nonce_bc);
   crypto::RsaPublicKey client_pub =
       crypto::RsaPublicKey::deserialize(ticket.member_pubkey);
-  network().unicast(id(), msg.from, kLabelRejoin,
-                    envelope(MsgType::kRejoinStep2,
-                             crypto::pk_encrypt(client_pub, with_mac(w.data()),
-                                                prng_)));
+  send_ctrl(msg.from, kLabelRejoin,
+            envelope(MsgType::kRejoinStep2,
+                     crypto::pk_encrypt(client_pub, with_mac(w.data()),
+                                        prng_)));
 }
 
 void AreaController::handle_rejoin_step3(const net::Message& msg) {
@@ -386,8 +473,8 @@ void AreaController::handle_rejoin_step3(const net::Message& msg) {
   w.u64(s.ticket.member_id);
   w.u64(network().now());
   crypto::RsaPublicKey aca_pub = crypto::RsaPublicKey::deserialize(aca->pubkey);
-  network().unicast(
-      id(), aca->node, kLabelRejoin,
+  send_ctrl(
+      aca->node, kLabelRejoin,
       signed_envelope(MsgType::kRejoinStep4,
                       crypto::pk_encrypt(aca_pub, with_mac(w.data()), prng_),
                       keypair_.priv));
@@ -436,8 +523,8 @@ void AreaController::handle_rejoin_step4(const net::Message& msg) {
   w.u64(network().now());
   crypto::RsaPublicKey req_pub =
       crypto::RsaPublicKey::deserialize(req_info->pubkey);
-  network().unicast(
-      id(), msg.from, kLabelRejoin,
+  send_ctrl(
+      msg.from, kLabelRejoin,
       signed_envelope(MsgType::kRejoinStep5,
                       crypto::pk_encrypt(req_pub, with_mac(w.data()), prng_),
                       keypair_.priv));
@@ -511,10 +598,11 @@ void AreaController::admit_rejoin(const AwaitingCohortCheck& s) {
   w.u64(ac_id_);
   w.u32(area_group_);
   w.bytes(lkh::serialize_path(path));
+  w.u64(stream_epoch(rekey_epoch_));  // rekey-stream entry point
   crypto::RsaPublicKey client_pub =
       crypto::RsaPublicKey::deserialize(t.member_pubkey);
-  network().unicast(
-      id(), s.client_node, kLabelRejoin,
+  send_ctrl(
+      s.client_node, kLabelRejoin,
       signed_envelope(MsgType::kRejoinStep6,
                       crypto::pk_encrypt(client_pub, with_mac(w.data()), prng_),
                       keypair_.priv));
@@ -546,11 +634,14 @@ void AreaController::connect_to_parent(AcId parent) {
   w.u64(network().now());
   crypto::RsaPublicKey parent_pub =
       crypto::RsaPublicKey::deserialize(info->pubkey);
-  network().unicast(
-      id(), info->node, kLabelArea,
+  send_ctrl(
+      info->node, kLabelArea,
       signed_envelope(MsgType::kAcUplinkJoin,
                       crypto::pk_encrypt(parent_pub, with_mac(w.data()), prng_),
                       keypair_.priv));
+  // The parent AC id is part of the replicated snapshot: a standby promoted
+  // from a pre-switch snapshot would rejoin the dead parent.
+  sync_backup();
 }
 
 void AreaController::handle_uplink_join(const net::Message& msg) {
@@ -589,10 +680,11 @@ void AreaController::handle_uplink_join(const net::Message& msg) {
   w.u32(area_group_);
   w.bytes(lkh::serialize_path(path));
   w.u64(now);
+  w.u64(stream_epoch(rekey_epoch_));  // where the child enters our stream
   crypto::RsaPublicKey child_pub =
       crypto::RsaPublicKey::deserialize(child_pub_ser);
-  network().unicast(
-      id(), msg.from, kLabelArea,
+  send_ctrl(
+      msg.from, kLabelArea,
       signed_envelope(MsgType::kAcUplinkReply,
                       crypto::pk_encrypt(child_pub, with_mac(w.data()), prng_),
                       keypair_.priv));
@@ -609,12 +701,15 @@ void AreaController::handle_uplink_reply(const net::Message& msg) {
   net::GroupId parent_group = r.u32();
   std::vector<lkh::PathKey> path = lkh::deserialize_path(r.bytes());
   net::SimTime ts = r.u64();
+  std::uint64_t epoch = r.u64();
   r.expect_done();
   if (parent != uplink_->parent_ac || !ts_fresh(ts)) return;
 
   uplink_->parent_group = parent_group;
   uplink_->keys.clear();
   uplink_->keys.install(path);
+  uplink_->epoch = epoch;
+  uplink_->recovery_pending = false;
   network().join_group(parent_group, id());
   uplink_->ready = true;
   uplink_->last_heard_parent = network().now();
@@ -670,6 +765,10 @@ void AreaController::send_alive_if_idle() {
     WireWriter w;
     w.u8(kAliveFromAc);
     w.u64(ac_id_);
+    // The beacon doubles as an epoch advertisement: a member that lost the
+    // FINAL rekey of a burst has no later rekey to reveal the gap, so the
+    // idle beacon is what drags it back into key recovery.
+    w.u64(stream_epoch(rekey_epoch_));
     multicast_area(kLabelAlive, envelope(MsgType::kAlive, w.data()));
   }
   // As a member of the parent area, we owe the parent OUR alive messages.
@@ -707,14 +806,21 @@ void AreaController::handle_alive(const net::Message& msg) {
   WireReader r(env.box);
   std::uint8_t kind = r.u8();
   std::uint64_t sender = r.u64();
-  r.expect_done();
   if (kind == kAliveFromMember) {
+    r.expect_done();
     auto it = members_.find(sender);
     if (it != members_.end() && it->second.node == msg.from)
       it->second.last_heard = network().now();
+    return;
   }
-  // AC alive messages in the parent group refresh last_heard_parent via
-  // the generic bookkeeping in on_message.
+  // Parent-area beacon (liveness is already booked in on_message): compare
+  // the advertised rekey epoch with our uplink position — it is the only
+  // signal that reveals a lost rekey when the parent then goes quiet.
+  std::uint64_t epoch = r.u64();
+  r.expect_done();
+  if (uplink_ && uplink_->ready && sender == uplink_->parent_ac &&
+      epoch > uplink_->epoch && !uplink_->recovery_pending)
+    request_uplink_recovery("beacon-gap");
 }
 
 void AreaController::handle_leave_request(const net::Message& msg) {
@@ -760,7 +866,13 @@ void AreaController::handle_data(const net::Message& msg) {
     dk_raw = open_fallback(uplink_->keys.group_key(),
                            uplink_->keys.previous_group_key(), key_box);
   }
-  if (!dk_raw) return;  // rotated underneath the sender; drop
+  if (!dk_raw) {
+    // In our own area the usual cause is the sender racing a rotation —
+    // drop. In the parent's area it can equally be US holding a stale
+    // parent key; a catch-up resolves that.
+    if (from_parent) request_uplink_recovery("undecryptable-data");
+    return;
+  }
   crypto::SymmetricKey data_key(std::move(*dk_raw));
 
   auto build = [&](const crypto::SymmetricKey& area_key) {
@@ -788,7 +900,27 @@ void AreaController::handle_rekey_from_parent(const net::Message& msg) {
   if (!uplink_ || !uplink_->ready || msg.group != uplink_->parent_group) return;
   Envelope env = parse_envelope(msg.payload);
   if (!directory_.verify(uplink_->parent_ac, env.box, env.sig)) return;
-  uplink_->keys.apply(lkh::RekeyMessage::deserialize(env.box));
+  lkh::RekeyMessage rk = lkh::RekeyMessage::deserialize(env.box);
+
+  if (!config_.reliable_control) {
+    uplink_->keys.apply(rk);
+    if (rk.epoch > uplink_->epoch) uplink_->epoch = rk.epoch;
+    return;
+  }
+
+  // Same gap-detection logic as Member::handle_rekey — in the parent's
+  // area, this AC is just another member.
+  if (rk.epoch <= uplink_->epoch) return;
+  if (rk.epoch > uplink_->epoch + 1) {
+    request_uplink_recovery("rekey-gap");
+    return;
+  }
+  try {
+    uplink_->keys.apply(rk);
+    uplink_->epoch = rk.epoch;
+  } catch (const AuthError&) {
+    request_uplink_recovery("stale-key");
+  }
 }
 
 void AreaController::handle_split_update(const net::Message& msg) {
@@ -808,11 +940,144 @@ void AreaController::handle_takeover(const net::Message& msg) {
   r.expect_done();
   if (!ts_fresh(ts)) return;
   if (!directory_.verify(who, env.box, env.sig)) return;
-  directory_.promote_backup(who);
+  // Swap only when the directory does not already list the announced node
+  // (promote_backup swaps roles; a repeated announcement must not undo it).
+  if (const AcInfo* info = directory_.find(who);
+      info != nullptr && info->node != new_node)
+    directory_.promote_backup(who);
   if (uplink_ && uplink_->parent_ac == who) {
     uplink_->parent_node = new_node;
     uplink_->last_heard_parent = network().now();
   }
+}
+
+void AreaController::redirect_to_primary(const net::Message& msg) {
+  // Re-issue the takeover announcement, unicast, to a member that missed
+  // the original multicast (it was crashed or partitioned at the time and
+  // still addresses us). Signed with our own key: directories verify area
+  // signatures against the primary AND backup keys, so the sender accepts
+  // it no matter which side of the swap its stale view is on. Plain
+  // unicast, not ARQ: the redirect is advisory and the member's own retry
+  // loop re-triggers it until it lands.
+  const AcInfo* self = directory_.find(ac_id_);
+  if (self == nullptr || self->node == id() || self->node == net::kNoNode)
+    return;
+  net::SimTime now = network().now();
+  if (auto it = last_redirect_.find(msg.from);
+      it != last_redirect_.end() && now - it->second < config_.heartbeat_interval)
+    return;  // per-sender rate limit: one redirect per heartbeat interval
+  last_redirect_[msg.from] = now;
+  WireWriter w;
+  w.u64(ac_id_);
+  w.u32(self->node);
+  w.u64(now);
+  network().unicast(id(), msg.from, kLabelArea,
+                    signed_envelope(MsgType::kTakeOver, with_mac(w.data()),
+                                    keypair_.priv));
+  if (auto* m = network().metrics()) m->counter("ac.redirects").inc();
+}
+
+// --------------------------------------------------------- key recovery
+
+void AreaController::request_uplink_recovery(const char* trigger) {
+  if (!config_.reliable_control || !uplink_ || !uplink_->ready) return;
+  net::SimTime now = network().now();
+  if (uplink_->recovery_pending &&
+      now - uplink_->last_recovery_request < config_.key_recovery_interval)
+    return;
+  uplink_->recovery_pending = true;
+  uplink_->last_recovery_request = now;
+  uplink_->recovery_nonce = prng_.next_u64();
+  if (auto* t = network().tracer())
+    t->instant(obs::EventKind::kKeyRecovery, id(), now, ac_id_, uplink_->epoch,
+               trigger);
+  if (auto* m = network().metrics())
+    m->counter("ac.uplink_recovery_requests").inc();
+
+  WireWriter w;
+  w.u64(ac_id_);  // in the parent's tree we are the member `ac_id_`
+  w.u64(uplink_->parent_ac);
+  w.u64(uplink_->epoch);
+  w.u64(uplink_->recovery_nonce);
+  send_ctrl(uplink_->parent_node, kLabelRecovery,
+            envelope(MsgType::kKeyRecoveryRequest, w.data()));
+}
+
+void AreaController::handle_key_recovery_request(const net::Message& msg) {
+  if (!config_.reliable_control) return;
+  Envelope env = parse_envelope(msg.payload);
+  WireReader r(env.box);
+  ClientId client = r.u64();
+  AcId target_ac = r.u64();
+  std::uint64_t member_epoch = r.u64();
+  std::uint64_t nonce = r.u64();
+  r.expect_done();
+  (void)member_epoch;  // the reply always carries the member's full path
+
+  if (target_ac != ac_id_) return;  // wrong area (stale directory / replay)
+  auto it = members_.find(client);
+  // Unknown, evicted, or departed members get no answer — forward secrecy:
+  // a catch-up must never leak the current key to someone rekeyed out.
+  if (it == members_.end()) return;
+  MemberRecord& rec = it->second;
+  if (rec.node != msg.from) return;  // anti-spoofing, as for leave requests
+  net::SimTime now = network().now();
+  if (rec.last_recovery_reply != 0 &&
+      now - rec.last_recovery_reply < config_.key_recovery_min_interval) {
+    if (auto* m = network().metrics())
+      m->counter("ac.key_recovery_rate_limited").inc();
+    return;
+  }
+  rec.last_recovery_reply = now;
+  rec.last_heard = now;  // a recovering member is demonstrably alive
+  ++counters_.key_recoveries_served;
+  if (auto* m = network().metrics())
+    m->counter("ac.key_recoveries_served").inc();
+
+  // {Nonce+1; AC id; epoch; [path keys]; MAC}_Pub_member ; Sig — sealed to
+  // the member's registered key, so only the legitimate holder can read it.
+  WireWriter w;
+  w.u64(nonce + 1);
+  w.u64(ac_id_);
+  w.u64(stream_epoch(rekey_epoch_));
+  w.bytes(lkh::serialize_path(tree_->path_keys(client)));
+  crypto::RsaPublicKey pub = crypto::RsaPublicKey::deserialize(rec.pubkey);
+  send_ctrl(msg.from, kLabelRecovery,
+            signed_envelope(MsgType::kKeyRecoveryReply,
+                            crypto::pk_encrypt(pub, with_mac(w.data()), prng_),
+                            keypair_.priv));
+}
+
+void AreaController::handle_key_recovery_reply(const net::Message& msg) {
+  if (!uplink_ || !uplink_->ready) return;
+  Envelope env = parse_envelope(msg.payload);
+  if (!directory_.verify(uplink_->parent_ac, env.box, env.sig)) return;
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  std::uint64_t nonce_echo = r.u64();
+  AcId parent = r.u64();
+  std::uint64_t epoch = r.u64();
+  std::vector<lkh::PathKey> path = lkh::deserialize_path(r.bytes());
+  r.expect_done();
+  if (parent != uplink_->parent_ac) return;
+  if (!uplink_->recovery_pending ||
+      nonce_echo != uplink_->recovery_nonce + 1)
+    return;
+
+  if (epoch < uplink_->epoch) {
+    // Reply predates a rekey we already applied — version-guarded partial
+    // install only; the idle-timer retry asks again for a current one.
+    uplink_->keys.install(path);
+    return;
+  }
+  // Authoritative: versions regress across parent takeovers, so the guard
+  // in install() could discard the new parent-primary's keys (see
+  // MemberKeyState::reinstall).
+  uplink_->keys.reinstall(path);
+  uplink_->epoch = epoch;
+  uplink_->recovery_pending = false;
+  if (auto* m = network().metrics())
+    m->counter("ac.uplink_recoveries").inc();
 }
 
 // -------------------------------------------------------------- replication
@@ -821,6 +1086,7 @@ Bytes AreaController::make_snapshot() const {
   WireWriter w;
   w.u32(area_group_);
   w.u64(uplink_ ? uplink_->parent_ac : kNoAc);
+  w.u64(rekey_epoch_);
   w.bytes(tree_->serialize());
   w.u32(static_cast<std::uint32_t>(members_.size()));
   for (const auto& [cid, rec] : members_) {
@@ -834,9 +1100,16 @@ Bytes AreaController::make_snapshot() const {
 }
 
 void AreaController::sync_backup() {
-  if (backup_node_ == net::kNoNode) return;
-  Bytes sealed =
-      crypto::sym_seal(k_shared_.derive("sync"), make_snapshot(), prng_);
+  if (role_ != Role::kPrimary || backup_node_ == net::kNoNode) return;
+  // {version; takeover epoch; snapshot}, sealed under the ACs' shared key.
+  // The version lets the backup detect a missed sync from heartbeats; the
+  // takeover epoch is the split-brain tie-breaker (DESIGN.md 9.3).
+  ++sync_version_;
+  WireWriter w;
+  w.u64(sync_version_);
+  w.u64(takeover_epoch_);
+  w.bytes(make_snapshot());
+  Bytes sealed = crypto::sym_seal(k_shared_.derive("sync"), w.data(), prng_);
   network().unicast(id(), backup_node_, kLabelRepl,
                     envelope(MsgType::kStateSync, sealed));
 }
@@ -845,6 +1118,7 @@ void AreaController::load_snapshot(ByteView snapshot) {
   WireReader r(snapshot);
   area_group_ = r.u32();
   AcId parent = r.u64();
+  rekey_epoch_ = r.u64();
   tree_ = lkh::KeyTree::deserialize(r.bytes(), prng_.fork());
   members_.clear();
   std::uint32_t n = r.u32();
@@ -874,34 +1148,117 @@ void AreaController::load_snapshot(ByteView snapshot) {
 
 void AreaController::handle_state_sync(const net::Message& msg) {
   Envelope env = parse_envelope(msg.payload);
-  Bytes snapshot = crypto::sym_open(k_shared_.derive("sync"), env.box);
+  Bytes plain = crypto::sym_open(k_shared_.derive("sync"), env.box);
+  WireReader r(plain);
+  std::uint64_t version = r.u64();
+  std::uint64_t their_takeover = r.u64();
+  Bytes snapshot = r.bytes();
+  r.expect_done();
+
+  if (role_ == Role::kPrimary) {
+    // Another instance of this area believes it is the authority (e.g. we
+    // are an old primary that recovered after our backup took over). The
+    // snapshot is authenticated by K_shared, and the higher takeover epoch
+    // is the later promotion — the lower side steps down. Only this sealed
+    // exchange can demote; a bare heartbeat is cheap to forge.
+    if (their_takeover <= takeover_epoch_) {
+      // The stale peer IS the area's standby from now on: adopt it (it may
+      // have been lost across takeovers) and answer with our own state —
+      // receiving the higher takeover epoch is what demotes it.
+      if (backup_node_ != msg.from)
+        set_backup(msg.from);
+      else
+        sync_backup();
+      return;
+    }
+    demote_to_backup(msg.from);
+    // fall through: adopt the winner's state as our standby baseline
+  }
+  peer_node_ = msg.from;
+
   if (!got_snapshot_) {
     // First sync: learn the area group and listen in silently.
-    WireReader r(snapshot);
-    net::GroupId group = r.u32();
+    WireReader sr(snapshot);
+    net::GroupId group = sr.u32();
     network().join_group(group, id());
     got_snapshot_ = true;
   }
+  if (their_takeover > takeover_epoch_) takeover_epoch_ = their_takeover;
+  peer_sync_version_ = version;
   latest_snapshot_ = std::move(snapshot);
   last_heartbeat_rx_ = network().now();
 }
 
+void AreaController::handle_state_sync_request(const net::Message& msg) {
+  if (role_ != Role::kPrimary) return;
+  if (msg.from != backup_node_) return;  // only our own standby may pull
+  sync_backup();
+}
+
 void AreaController::handle_heartbeat(const net::Message& msg) {
-  (void)msg;
+  Envelope env = parse_envelope(msg.payload);
+  WireReader r(env.box);
+  (void)r.u64();  // sender's clock
+  std::uint64_t version = r.u64();
+  r.expect_done();
+
+  if (role_ == Role::kPrimary) {
+    // A peer replicates to us while we think we are primary: split brain.
+    // Ask for its state — the takeover epochs in the resulting StateSync
+    // exchange decide who steps down.
+    network().unicast(id(), msg.from, kLabelRepl,
+                      envelope(MsgType::kStateSyncRequest, Bytes{}));
+    return;
+  }
+
   last_heartbeat_rx_ = network().now();
+  peer_node_ = msg.from;
+  if (version != peer_sync_version_) {
+    // We missed one or more state syncs (a partition or drops ate them).
+    // Pull a fresh snapshot instead of risking a takeover from stale
+    // membership.
+    network().unicast(id(), msg.from, kLabelRepl,
+                      envelope(MsgType::kStateSyncRequest, Bytes{}));
+  }
 }
 
 void AreaController::promote_to_primary() {
   if (role_ != Role::kBackup || !got_snapshot_) return;
   role_ = Role::kPrimary;
+  ++takeover_epoch_;  // later promotion outranks the displaced primary
+  ++timer_gen_;       // silence the backup watchdog chain
   load_snapshot(latest_snapshot_);
   open_ = true;
   last_area_tx_ = network().now();
   start_primary_timers();
+  // Replicate toward the node we displaced: once it comes back (as the
+  // recovered old primary or as a demoted standby) our heartbeats and
+  // StateSyncs are what pull it into the standby role. Without this the
+  // area would run unreplicated until the next full role swap.
+  backup_node_ = peer_node_;
+  if (backup_node_ != net::kNoNode) {
+    if (config_.enable_timers)
+      network().set_timer(id(), config_.heartbeat_interval,
+                          timer_token(kTimerHeartbeat));
+    sync_backup();
+  }
   ++counters_.takeovers;
   if (auto* t = network().tracer())
     t->instant(obs::EventKind::kTakeover, id(), network().now(), ac_id_);
   if (auto* m = network().metrics()) m->counter("ac.takeovers").inc();
+
+  // Update our own directory view and remember the displaced primary: it
+  // becomes our standby, so we replicate back to it — when it recovers,
+  // our StateSync (higher takeover epoch) demotes it.
+  net::NodeId old_primary = net::kNoNode;
+  if (const AcInfo* self = directory_.find(ac_id_); self != nullptr) {
+    if (self->node != id()) {
+      old_primary = self->node;
+      directory_.promote_backup(ac_id_);
+    } else {
+      old_primary = self->backup_node;
+    }
+  }
 
   // Announce: members and child ACs update their AC address and verify key.
   WireWriter w;
@@ -910,6 +1267,8 @@ void AreaController::promote_to_primary() {
   w.u64(network().now());
   multicast_area(kLabelArea, signed_envelope(MsgType::kTakeOver,
                                              with_mac(w.data()), keypair_.priv));
+
+  if (old_primary != net::kNoNode) set_backup(old_primary);
 
   // Re-link to the parent: the uplink's key state was intentionally not
   // replicated ("only a minimal state information is replicated").
@@ -920,20 +1279,86 @@ void AreaController::promote_to_primary() {
   }
 }
 
+void AreaController::demote_to_backup(net::NodeId new_primary) {
+  role_ = Role::kBackup;
+  ++timer_gen_;  // silence every primary recurring timer
+  open_ = false;
+  backup_node_ = net::kNoNode;
+  peer_node_ = new_primary;
+  // In-flight handshakes and batch state belong to the winner now.
+  pending_joins_.clear();
+  early_step6_.clear();
+  pending_rejoins_.clear();
+  for (auto& [k_id, s] : awaiting_cohort_)
+    network().cancel_timer(s.timeout_timer);
+  awaiting_cohort_.clear();
+  rejoin_timeout_tokens_.clear();
+  pending_leaves_.clear();
+  pending_join_rotation_ = false;
+  if (uplink_) {
+    if (uplink_->ready) network().leave_group(uplink_->parent_group, id());
+    uplink_.reset();
+  }
+  // Start over as a standby: the winner's next StateSync is our baseline.
+  got_snapshot_ = false;
+  latest_snapshot_.clear();
+  peer_sync_version_ = 0;
+  last_heartbeat_rx_ = network().now();
+  if (const AcInfo* self = directory_.find(ac_id_);
+      self != nullptr && self->node == id() && self->backup_node == new_primary)
+    directory_.promote_backup(ac_id_);
+  ++counters_.demotions;
+  if (auto* t = network().tracer())
+    t->instant(obs::EventKind::kDemote, id(), network().now(), ac_id_);
+  if (auto* m = network().metrics()) m->counter("ac.demotions").inc();
+  if (config_.enable_timers)
+    network().set_timer(id(), config_.heartbeat_interval,
+                        timer_token(kTimerBackupWatch));
+}
+
 // ------------------------------------------------------------------ routing
 
 void AreaController::on_timer(std::uint64_t token) {
-  switch (token) {
+  ensure_arq();
+  if (arq_.on_timer(token)) return;  // retransmission timers (bit 63)
+
+  // One-shot rejoin-timeout tokens live in [kRejoinTokenBase, 2^32) and
+  // carry no generation — their map entries self-guard (cleared on crash
+  // and demotion).
+  if (token >= kRejoinTokenBase && (token >> 32) == 0) {
+    auto tok = rejoin_timeout_tokens_.find(token);
+    if (tok == rejoin_timeout_tokens_.end()) return;
+    ClientId k_id = tok->second;
+    rejoin_timeout_tokens_.erase(tok);
+    auto it = awaiting_cohort_.find(k_id);
+    if (it == awaiting_cohort_.end()) return;
+    AwaitingCohortCheck s = std::move(it->second);
+    awaiting_cohort_.erase(it);
+    finish_rejoin(k_id, s, /*cohort_confirmed_gone=*/false);
+    return;
+  }
+
+  if ((token >> 32) != timer_gen_) return;  // pre-crash / pre-demotion timer
+  switch (token & 0xFFFFFFFFull) {
     case kTimerIdle:
+      if (role_ != Role::kPrimary || !open_) return;
       send_alive_if_idle();
       check_parent_liveness();
-      network().set_timer(id(), config_.t_idle, kTimerIdle);
+      // A lost recovery answer must not leave the uplink stuck.
+      if (uplink_ && uplink_->ready && uplink_->recovery_pending &&
+          network().now() - uplink_->last_recovery_request >=
+              config_.key_recovery_interval)
+        request_uplink_recovery("retry");
+      network().set_timer(id(), config_.t_idle, timer_token(kTimerIdle));
       return;
     case kTimerMemberScan:
+      if (role_ != Role::kPrimary || !open_) return;
       scan_members();
-      network().set_timer(id(), config_.t_active, kTimerMemberScan);
+      network().set_timer(id(), config_.t_active,
+                          timer_token(kTimerMemberScan));
       return;
     case kTimerRekey:
+      if (role_ != Role::kPrimary || !open_) return;
       if (update_pending()) {
         flush_rekeys();
       } else if (config_.periodic_fresh_rekey && !members_.empty() &&
@@ -944,15 +1369,19 @@ void AreaController::on_timer(std::uint64_t token) {
         pending_join_rotation_ = true;
         flush_rekeys();
       }
-      network().set_timer(id(), config_.rekey_interval, kTimerRekey);
+      network().set_timer(id(), config_.rekey_interval,
+                          timer_token(kTimerRekey));
       return;
     case kTimerHeartbeat: {
+      if (role_ != Role::kPrimary) return;
       if (backup_node_ != net::kNoNode) {
         WireWriter w;
         w.u64(network().now());
+        w.u64(sync_version_);  // lets the backup spot a missed StateSync
         network().unicast(id(), backup_node_, kLabelRepl,
                           envelope(MsgType::kHeartbeat, w.data()));
-        network().set_timer(id(), config_.heartbeat_interval, kTimerHeartbeat);
+        network().set_timer(id(), config_.heartbeat_interval,
+                            timer_token(kTimerHeartbeat));
       }
       return;
     }
@@ -967,32 +1396,30 @@ void AreaController::on_timer(std::uint64_t token) {
           m->counter("ac.heartbeat_misses").inc();
         promote_to_primary();
       } else {
-        network().set_timer(id(), config_.heartbeat_interval, kTimerBackupWatch);
+        network().set_timer(id(), config_.heartbeat_interval,
+                            timer_token(kTimerBackupWatch));
       }
       return;
     }
     default:
-      break;
+      return;
   }
-  // Rejoin cohort-check timeout.
-  auto tok = rejoin_timeout_tokens_.find(token);
-  if (tok == rejoin_timeout_tokens_.end()) return;
-  ClientId k_id = tok->second;
-  rejoin_timeout_tokens_.erase(tok);
-  auto it = awaiting_cohort_.find(k_id);
-  if (it == awaiting_cohort_.end()) return;
-  AwaitingCohortCheck s = std::move(it->second);
-  awaiting_cohort_.erase(it);
-  finish_rejoin(k_id, s, /*cohort_confirmed_gone=*/false);
 }
 
-void AreaController::on_message(const net::Message& msg) {
+void AreaController::on_message(const net::Message& raw) {
   // Generic parent-liveness bookkeeping: anything the parent AC multicasts
   // into its area (alive, rekey, forwarded data) proves it is up.
-  if (uplink_ && uplink_->ready && msg.group == uplink_->parent_group &&
-      msg.from == uplink_->parent_node) {
+  if (uplink_ && uplink_->ready && raw.group == uplink_->parent_group &&
+      raw.from == uplink_->parent_node) {
     uplink_->last_heard_parent = network().now();
   }
+
+  ensure_arq();
+  net::Message unwrapped;
+  net::ArqEndpoint::Rx rx = arq_.on_message(raw, unwrapped);
+  if (rx == net::ArqEndpoint::Rx::kConsumed) return;
+  const net::Message& msg =
+      rx == net::ArqEndpoint::Rx::kDeliver ? unwrapped : raw;
 
   Envelope env;
   try {
@@ -1010,8 +1437,18 @@ void AreaController::on_message(const net::Message& msg) {
         case MsgType::kHeartbeat:
           handle_heartbeat(msg);
           break;
+        case MsgType::kRejoinStep1:
+        case MsgType::kJoinStep6:
+        case MsgType::kAlive:
+        case MsgType::kLeaveRequest:
+        case MsgType::kKeyRecoveryRequest:
+          // Member control traffic addressed to us means the sender still
+          // believes we are the primary — it was crashed or partitioned
+          // when the takeover was announced. Point it at the real one.
+          if (msg.group == net::kNoGroup) redirect_to_primary(msg);
+          break;
         default:
-          break;  // backups stay silent
+          break;  // backups stay otherwise silent
       }
       return;
     }
@@ -1058,6 +1495,23 @@ void AreaController::on_message(const net::Message& msg) {
         break;
       case MsgType::kTakeOver:
         handle_takeover(msg);
+        break;
+      case MsgType::kKeyRecoveryRequest:
+        handle_key_recovery_request(msg);
+        break;
+      case MsgType::kKeyRecoveryReply:
+        handle_key_recovery_reply(msg);
+        break;
+      case MsgType::kStateSyncRequest:
+        handle_state_sync_request(msg);
+        break;
+      // A primary also listens to replication traffic: a StateSync or
+      // heartbeat reaching a primary means a split brain (DESIGN.md 9.3).
+      case MsgType::kStateSync:
+        handle_state_sync(msg);
+        break;
+      case MsgType::kHeartbeat:
+        handle_heartbeat(msg);
         break;
       default:
         break;

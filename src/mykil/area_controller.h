@@ -29,8 +29,10 @@
 #include "lkh/member_state.h"
 #include "mykil/config.h"
 #include "mykil/directory.h"
+#include "lkh/rekey.h"
 #include "mykil/ticket.h"
 #include "mykil/wire.h"
+#include "net/arq.h"
 #include "net/network.h"
 
 namespace mykil::core {
@@ -63,6 +65,8 @@ class AreaController : public net::Node {
 
   void on_message(const net::Message& msg) override;
   void on_timer(std::uint64_t token) override;
+  void on_crash() override;
+  void on_recover() override;
 
   /// Force a batched-rekey flush now (tests/benchmarks; normally triggered
   /// by data arrival or the rekey timer).
@@ -91,6 +95,17 @@ class AreaController : public net::Node {
   [[nodiscard]] bool update_pending() const {
     return pending_join_rotation_ || !pending_leaves_.empty();
   }
+  /// Monotone counter stamped onto every rekey multicast (DESIGN.md 9.2).
+  [[nodiscard]] std::uint64_t rekey_epoch() const { return rekey_epoch_; }
+  /// Bumped on every promotion; the split-brain tie-breaker (DESIGN.md 9.3).
+  [[nodiscard]] std::uint64_t takeover_epoch() const { return takeover_epoch_; }
+  /// Current replicable state (what sync_backup would send). Test support.
+  [[nodiscard]] Bytes replication_snapshot() const { return make_snapshot(); }
+  /// Backup role: the most recent snapshot received from the primary.
+  [[nodiscard]] const Bytes& last_synced_snapshot() const {
+    return latest_snapshot_;
+  }
+  [[nodiscard]] const net::ArqEndpoint& arq() const { return arq_; }
 
   struct Counters {
     std::uint64_t joins = 0;
@@ -101,6 +116,8 @@ class AreaController : public net::Node {
     std::uint64_t data_forwards = 0;
     std::uint64_t parent_switches = 0;
     std::uint64_t takeovers = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t key_recoveries_served = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -111,6 +128,8 @@ class AreaController : public net::Node {
     Bytes sealed_ticket;  ///< last ticket issued to this member
     net::SimTime last_heard = 0;
     net::SimTime valid_until = 0;
+    /// Rate limit on key-recovery answers (each costs a pk encryption).
+    net::SimTime last_recovery_reply = 0;
   };
   struct PendingJoin {  ///< step 4 received, awaiting step 6
     ClientId client_id = 0;
@@ -137,6 +156,11 @@ class AreaController : public net::Node {
     net::SimTime last_heard_parent = 0;
     net::SimTime last_sent_parent = 0;
     net::SimTime last_attempt = 0;  ///< when the join request went out
+    // Rekey-stream position in the PARENT's area (we are a member there).
+    std::uint64_t epoch = 0;
+    bool recovery_pending = false;
+    std::uint64_t recovery_nonce = 0;
+    net::SimTime last_recovery_request = 0;
   };
 
   // message handlers
@@ -157,17 +181,27 @@ class AreaController : public net::Node {
   void handle_rekey_from_parent(const net::Message& msg);
   void handle_split_update(const net::Message& msg);
   void handle_state_sync(const net::Message& msg);
+  void handle_state_sync_request(const net::Message& msg);
   void handle_heartbeat(const net::Message& msg);
   void handle_takeover(const net::Message& msg);
+  /// Demoted-primary courtesy: re-announce the takeover, unicast, to a
+  /// member that still addresses us (it missed the original multicast).
+  void redirect_to_primary(const net::Message& msg);
+  void handle_key_recovery_request(const net::Message& msg);
+  void handle_key_recovery_reply(const net::Message& msg);
 
   // internals
   /// Admit `client` into the tree and area; returns the unicast path keys.
   std::vector<lkh::PathKey> admit(ClientId client, net::NodeId node,
                                   ByteView pubkey);
   void schedule_leave(ClientId client);
-  /// Multicast a signed rekey payload into the area, with tracing/metrics
-  /// (`batched_leaves` > 0 when the rekey collapses a leave batch).
-  void emit_rekey(Bytes payload, std::size_t batched_leaves);
+  /// Compose the wire epoch: (takeover_epoch_ << 40) | rekey counter —
+  /// strictly monotone across takeovers (DESIGN.md 9.2).
+  [[nodiscard]] std::uint64_t stream_epoch(std::uint64_t rekey) const;
+  /// Stamp `msg` with the next rekey epoch, sign, and multicast it into the
+  /// area, with tracing/metrics (`batched_leaves` > 0 when the rekey
+  /// collapses a leave batch).
+  void emit_rekey(lkh::RekeyMessage msg, std::size_t batched_leaves);
   void multicast_area(const char* label, Bytes payload);
   void send_alive_if_idle();
   void scan_members();
@@ -181,7 +215,16 @@ class AreaController : public net::Node {
   [[nodiscard]] Bytes make_snapshot() const;
   void load_snapshot(ByteView snapshot);
   void promote_to_primary();
+  /// Step down after losing the split-brain tie-break (DESIGN.md 9.3).
+  void demote_to_backup(net::NodeId new_primary);
   void start_primary_timers();
+  /// Ask the parent for a sealed catch-up of OUR path in its tree.
+  void request_uplink_recovery(const char* trigger);
+  /// Lazy ARQ setup (the network is only known after attach).
+  void ensure_arq();
+  /// Unicast control traffic through the ARQ layer.
+  void send_ctrl(net::NodeId to, const char* label, Bytes payload);
+  [[nodiscard]] std::uint64_t timer_token(std::uint64_t kind) const;
   [[nodiscard]] Bytes issue_ticket(ClientId client, ByteView pubkey,
                                    net::SimTime join_time,
                                    net::SimTime valid_until);
@@ -231,9 +274,29 @@ class AreaController : public net::Node {
 
   // replication
   net::NodeId backup_node_ = net::kNoNode;
+  /// The other replica of this area, whatever its current role: the standby
+  /// we sync to as a primary, or the primary we watch as a backup. Promotion
+  /// re-points replication at this node (the one we displaced).
+  net::NodeId peer_node_ = net::kNoNode;
   net::SimTime last_heartbeat_rx_ = 0;
   bool got_snapshot_ = false;
   Bytes latest_snapshot_;
+  /// Incremented per sync_backup; carried in heartbeats so the backup can
+  /// detect a missed StateSync and re-request it (DESIGN.md 9.3).
+  std::uint64_t sync_version_ = 0;
+  /// Backup role: version of latest_snapshot_.
+  std::uint64_t peer_sync_version_ = 0;
+  /// Incremented on every promotion; the higher epoch wins a split brain.
+  std::uint64_t takeover_epoch_ = 0;
+  /// Backup role: per-sender rate limit on takeover redirects.
+  std::map<net::NodeId, net::SimTime> last_redirect_;
+
+  // reliability (ARQ + rekey gap recovery)
+  net::ArqEndpoint arq_;
+  /// Stamped onto every rekey multicast; replicated to the backup.
+  std::uint64_t rekey_epoch_ = 0;
+  /// See Member::timer_gen_: bumped on crash, demotion, and promotion.
+  std::uint32_t timer_gen_ = 0;
 
   Counters counters_;
 };

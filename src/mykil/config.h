@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "net/arq.h"
 #include "net/sim_time.h"
 
 namespace mykil::core {
@@ -67,6 +68,21 @@ struct MykilConfig {
   net::SimDuration heartbeat_interval = net::sec(1);
   /// Backup takes over after this many missed heartbeats.
   unsigned heartbeat_misses = 3;
+
+  // ---- reliable control plane (ARQ + rekey gap recovery, DESIGN.md 9) ----
+  /// Master switch: wrap unicast control traffic in the ARQ layer and let
+  /// members recover missed rekeys via KeyRecoveryRequest. Disabling this
+  /// restores the fire-and-forget control plane (the chaos harness uses it
+  /// as a regression guard that the layer is load-bearing).
+  bool reliable_control = true;
+  /// Retransmission parameters for the ARQ layer (net/arq.h).
+  net::ArqConfig arq;
+  /// Client-side spacing between KeyRecoveryRequest retries.
+  net::SimDuration key_recovery_interval = net::msec(500);
+  /// AC-side per-member rate limit on key-recovery answers (each answer
+  /// costs a public-key encryption; this bounds what a confused or
+  /// malicious member can extract).
+  net::SimDuration key_recovery_min_interval = net::msec(200);
 
   // ---- simulation control ----
   /// Arm the periodic protocol timers (alive, eviction scans, rekey

@@ -23,10 +23,11 @@ const AcInfo* AcDirectory::find(AcId ac_id) const {
 void AcDirectory::promote_backup(AcId ac_id) {
   for (AcInfo& e : entries_) {
     if (e.ac_id != ac_id || !e.has_backup()) continue;
-    e.node = e.backup_node;
-    e.pubkey = e.backup_pubkey;
-    e.backup_node = net::kNoNode;
-    e.backup_pubkey.clear();
+    // Swap rather than drop the demoted primary: it becomes the standby,
+    // so a later takeover in the opposite direction (the old primary
+    // recovers and the replacement fails) stays verifiable.
+    std::swap(e.node, e.backup_node);
+    std::swap(e.pubkey, e.backup_pubkey);
     return;
   }
 }

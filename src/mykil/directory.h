@@ -43,8 +43,10 @@ class AcDirectory {
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
-  /// Promote the backup of `ac_id` to primary (after a takeover message).
-  /// No-op if the entry is unknown or has no backup.
+  /// Promote the backup of `ac_id` to primary (after a takeover message),
+  /// demoting the previous primary to backup — the two roles swap, so
+  /// alternating takeovers keep working. No-op if the entry is unknown or
+  /// has no backup.
   void promote_backup(AcId ac_id);
 
   /// Verify that `sig` over `data` was produced by the primary OR backup

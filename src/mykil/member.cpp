@@ -11,13 +11,36 @@ constexpr const char* kLabelJoin = "mykil-join";
 constexpr const char* kLabelRejoin = "mykil-rejoin";
 constexpr const char* kLabelData = "mykil-data";
 constexpr const char* kLabelAlive = "mykil-alive";
+constexpr const char* kLabelRecovery = "mykil-recovery";
 
 constexpr std::uint64_t kTimerAlive = 1;
 constexpr std::uint64_t kTimerWatchdog = 2;
 
+constexpr std::uint8_t kAliveFromAc = 0;
 constexpr std::uint8_t kAliveFromMember = 1;
 
 }  // namespace
+
+std::uint64_t Member::timer_token(std::uint64_t kind) const {
+  return kind | (static_cast<std::uint64_t>(timer_gen_) << 32);
+}
+
+void Member::ensure_arq() {
+  if (arq_.bound()) return;
+  arq_.bind(network(), id(), config_.arq, config_.reliable_control,
+            prng_.next_u64());
+  arq_.set_give_up_handler([this](net::NodeId to, const std::string&) {
+    // Escalate to the existing failure-detection path: zeroing the AC
+    // silence clock makes the watchdog treat the AC as unreachable and
+    // trigger a mobility rejoin on its next tick.
+    if (joined_ && to == ac_node_) last_heard_ac_ = 0;
+  });
+}
+
+void Member::send_ctrl(net::NodeId to, const char* label, Bytes payload) {
+  ensure_arq();
+  arq_.send(to, label, std::move(payload));
+}
 
 Member::Member(ClientId nic_id, MykilConfig config, crypto::RsaKeyPair keypair,
                crypto::RsaPublicKey rs_pub, crypto::Prng prng)
@@ -28,9 +51,24 @@ Member::Member(ClientId nic_id, MykilConfig config, crypto::RsaKeyPair keypair,
       prng_(std::move(prng)) {}
 
 void Member::start_timers() {
+  ensure_arq();
   if (!config_.enable_timers) return;
-  network().set_timer(id(), config_.t_active, kTimerAlive);
-  network().set_timer(id(), config_.t_idle, kTimerWatchdog);
+  network().set_timer(id(), config_.t_active, timer_token(kTimerAlive));
+  network().set_timer(id(), config_.t_idle, timer_token(kTimerWatchdog));
+}
+
+void Member::on_crash() {
+  // Crash-stop: keys and tickets survive (they model durable client
+  // state), but timers armed before the failure must not drive the
+  // protocol after recovery with pre-crash generation state.
+  ++timer_gen_;
+}
+
+void Member::on_recover() {
+  last_heard_ac_ = network().now();  // grace period before the watchdog
+  recovery_pending_ = false;
+  if (arq_.bound()) arq_.on_recover();
+  start_timers();
 }
 
 void Member::join(net::NodeId rs_node, net::SimDuration requested_duration) {
@@ -49,10 +87,9 @@ void Member::join(net::NodeId rs_node, net::SimDuration requested_duration) {
   w.u64(requested_duration);
   w.bytes(keypair_.pub.serialize());
   w.u64(nonce_cw_);
-  network().unicast(id(), rs_node, kLabelJoin,
-                    envelope(MsgType::kJoinStep1,
-                             crypto::pk_encrypt(rs_pub_, with_mac(w.data()),
-                                                prng_)));
+  send_ctrl(rs_node, kLabelJoin,
+            envelope(MsgType::kJoinStep1,
+                     crypto::pk_encrypt(rs_pub_, with_mac(w.data()), prng_)));
 }
 
 void Member::handle_join_step2(const net::Message& msg) {
@@ -71,10 +108,9 @@ void Member::handle_join_step2(const net::Message& msg) {
   // Step 3: {Nonce_WC+1; MAC}_Pub_rs.
   WireWriter w;
   w.u64(nonce_wc_ + 1);
-  network().unicast(id(), rs_node_, kLabelJoin,
-                    envelope(MsgType::kJoinStep3,
-                             crypto::pk_encrypt(rs_pub_, with_mac(w.data()),
-                                                prng_)));
+  send_ctrl(rs_node_, kLabelJoin,
+            envelope(MsgType::kJoinStep3,
+                     crypto::pk_encrypt(rs_pub_, with_mac(w.data()), prng_)));
 }
 
 void Member::handle_join_step5(const net::Message& msg) {
@@ -105,10 +141,9 @@ void Member::handle_join_step5(const net::Message& msg) {
   WireWriter w;
   w.u64(nonce_ac_ + 2);
   w.u64(nonce_ca_);
-  network().unicast(id(), ac_node, kLabelJoin,
-                    envelope(MsgType::kJoinStep6,
-                             crypto::pk_encrypt(pub, with_mac(w.data()),
-                                                prng_)));
+  send_ctrl(ac_node, kLabelJoin,
+            envelope(MsgType::kJoinStep6,
+                     crypto::pk_encrypt(pub, with_mac(w.data()), prng_)));
   last_sent_ac_ = network().now();
 }
 
@@ -121,6 +156,7 @@ void Member::handle_join_step7(const net::Message& msg) {
   AcId ac_id = r.u64();
   net::GroupId group = r.u32();
   std::vector<lkh::PathKey> path = lkh::deserialize_path(r.bytes());
+  std::uint64_t epoch = r.u64();
   r.expect_done();
   if (challenge_response != nonce_ca_ + 1)
     throw AuthError("area controller failed the nonce challenge");
@@ -131,6 +167,8 @@ void Member::handle_join_step7(const net::Message& msg) {
   area_group_ = group;
   keys_.clear();
   keys_.install(path);
+  area_epoch_ = epoch;
+  recovery_pending_ = false;
   network().join_group(group, id());
   joined_ = true;
   join_in_progress_ = false;
@@ -162,10 +200,9 @@ void Member::rejoin(AcId target_ac) {
   w.u64(nic_id_);
   w.bytes(sealed_ticket_);
   crypto::RsaPublicKey pub = crypto::RsaPublicKey::deserialize(info->pubkey);
-  network().unicast(id(), info->node, kLabelRejoin,
-                    envelope(MsgType::kRejoinStep1,
-                             crypto::pk_encrypt(pub, with_mac(w.data()),
-                                                prng_)));
+  send_ctrl(info->node, kLabelRejoin,
+            envelope(MsgType::kRejoinStep1,
+                     crypto::pk_encrypt(pub, with_mac(w.data()), prng_)));
 }
 
 void Member::handle_rejoin_step2(const net::Message& msg) {
@@ -185,10 +222,9 @@ void Member::handle_rejoin_step2(const net::Message& msg) {
   // Step 3: {Nonce_BC+1; MAC}_Pub_ac_b — proves we own the ticket's key.
   WireWriter w;
   w.u64(nonce_bc_ + 1);
-  network().unicast(id(), info->node, kLabelRejoin,
-                    envelope(MsgType::kRejoinStep3,
-                             crypto::pk_encrypt(pub, with_mac(w.data()),
-                                                prng_)));
+  send_ctrl(info->node, kLabelRejoin,
+            envelope(MsgType::kRejoinStep3,
+                     crypto::pk_encrypt(pub, with_mac(w.data()), prng_)));
 }
 
 void Member::handle_rejoin_step6(const net::Message& msg) {
@@ -200,6 +236,7 @@ void Member::handle_rejoin_step6(const net::Message& msg) {
   AcId ac_id = r.u64();
   net::GroupId group = r.u32();
   std::vector<lkh::PathKey> path = lkh::deserialize_path(r.bytes());
+  std::uint64_t epoch = r.u64();
   r.expect_done();
 
   if (joined_ && area_group_ != group)
@@ -210,6 +247,8 @@ void Member::handle_rejoin_step6(const net::Message& msg) {
   area_group_ = group;
   keys_.clear();
   keys_.install(path);
+  area_epoch_ = epoch;
+  recovery_pending_ = false;
   network().join_group(group, id());
   joined_ = true;
   rejoin_in_progress_ = false;
@@ -225,8 +264,7 @@ void Member::leave() {
   if (!joined_) return;
   WireWriter w;
   w.u64(nic_id_);
-  network().unicast(id(), ac_node_, kLabelJoin,
-                    envelope(MsgType::kLeaveRequest, w.data()));
+  send_ctrl(ac_node_, kLabelJoin, envelope(MsgType::kLeaveRequest, w.data()));
   network().leave_group(area_group_, id());
   keys_.clear();
   joined_ = false;
@@ -254,7 +292,34 @@ void Member::handle_rekey(const net::Message& msg) {
   Envelope env = parse_envelope(msg.payload);
   // Key update messages are signed by the area controller (Section III-E).
   if (!directory_.verify(ac_id_, env.box, env.sig)) return;
-  keys_.apply(lkh::RekeyMessage::deserialize(env.box));
+  lkh::RekeyMessage rk = lkh::RekeyMessage::deserialize(env.box);
+
+  if (!config_.reliable_control) {
+    // Fire-and-forget mode: apply blindly; a stale held key makes apply
+    // throw AuthError, which the on_message catch swallows — the member
+    // silently desynchronizes (the pre-recovery behavior).
+    keys_.apply(rk);
+    if (rk.epoch > area_epoch_) area_epoch_ = rk.epoch;
+    return;
+  }
+
+  if (rk.epoch <= area_epoch_) return;  // duplicate or already caught up
+  if (rk.epoch > area_epoch_ + 1) {
+    // One or more rekey multicasts were lost; the skipped ones may have
+    // rotated keys on our own path, so entries in this message can be
+    // unreadable. Ask the AC for a sealed current-path catch-up.
+    request_key_recovery("rekey-gap");
+    return;
+  }
+  try {
+    keys_.apply(rk);
+    area_epoch_ = rk.epoch;
+  } catch (const AuthError&) {
+    // A held key no longer matches what the AC encrypted under — we missed
+    // an update that the epoch stream did not expose (e.g. state installed
+    // via a racy path). Recover rather than desynchronize.
+    request_key_recovery("stale-key");
+  }
 }
 
 void Member::handle_split_update(const net::Message& msg) {
@@ -292,6 +357,9 @@ void Member::handle_data(const net::Message& msg) {
   auto data_key = open_key();
   if (!data_key) {
     ++undecryptable_count_;
+    // Data sealed under a group key we don't hold means we are behind the
+    // rekey stream (or the sender is); a catch-up resolves the former.
+    request_key_recovery("undecryptable-data");
     return;
   }
   received_data_.push_back(crypto::sym_open(*data_key, payload_box));
@@ -306,15 +374,107 @@ void Member::handle_takeover(const net::Message& msg) {
   (void)r.u64();  // ts; the watchdog covers staleness here
   r.expect_done();
   if (!directory_.verify(who, env.box, env.sig)) return;
-  directory_.promote_backup(who);
+  // promote_backup swaps primary and backup; only swap when the directory
+  // does not already list the announced node (a repeated announcement must
+  // not flip the roles back).
+  if (const AcInfo* info = directory_.find(who);
+      info != nullptr && info->node != new_node)
+    directory_.promote_backup(who);
   if (who == ac_id_) {
     ac_node_ = new_node;
     last_heard_ac_ = network().now();
   }
 }
 
+void Member::handle_ac_beacon(const net::Message& msg) {
+  // The AC's idle-area beacon advertises its rekey epoch. It is the only
+  // gap signal available when we lost the FINAL rekey of a burst: no later
+  // rekey will arrive to reveal the hole, but the beacon does.
+  Envelope env = parse_envelope(msg.payload);
+  WireReader r(env.box);
+  if (r.u8() != kAliveFromAc) return;
+  AcId from_ac = r.u64();
+  std::uint64_t epoch = r.u64();
+  r.expect_done();
+  if (!joined_ || from_ac != ac_id_) return;
+  if (epoch > area_epoch_) request_key_recovery("beacon-gap");
+}
+
+void Member::request_key_recovery(const char* trigger) {
+  if (!config_.reliable_control || !joined_) return;
+  net::SimTime now = network().now();
+  if (recovery_pending_ &&
+      now - last_recovery_request_ < config_.key_recovery_interval)
+    return;
+  if (!recovery_pending_) recovery_started_ = now;
+  recovery_pending_ = true;
+  last_recovery_request_ = now;
+  recovery_nonce_ = prng_.next_u64();
+  if (auto* t = network().tracer())
+    t->instant(obs::EventKind::kKeyRecovery, id(), now, nic_id_, area_epoch_,
+               trigger);
+  if (auto* m = network().metrics())
+    m->counter("member.key_recovery_requests").inc();
+
+  // {NIC id; AC id; caught-up epoch; Nonce} — plain envelope: it carries no
+  // secrets, and the AC authenticates the requester by membership record +
+  // source node, answering sealed under the member's public key.
+  WireWriter w;
+  w.u64(nic_id_);
+  w.u64(ac_id_);
+  w.u64(area_epoch_);
+  w.u64(recovery_nonce_);
+  send_ctrl(ac_node_, kLabelRecovery,
+            envelope(MsgType::kKeyRecoveryRequest, w.data()));
+}
+
+void Member::handle_key_recovery_reply(const net::Message& msg) {
+  if (!joined_) return;
+  Envelope env = parse_envelope(msg.payload);
+  // Only our AC may install keys into us.
+  if (!directory_.verify(ac_id_, env.box, env.sig)) return;
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  std::uint64_t nonce_echo = r.u64();
+  AcId ac_id = r.u64();
+  std::uint64_t epoch = r.u64();
+  std::vector<lkh::PathKey> path = lkh::deserialize_path(r.bytes());
+  r.expect_done();
+  if (ac_id != ac_id_) return;
+  // Nonce echo binds the reply to our outstanding request (anti-replay).
+  if (!recovery_pending_ || nonce_echo != recovery_nonce_ + 1) return;
+
+  if (epoch < area_epoch_) {
+    // The reply was built before a rekey we have since applied: installing
+    // it wholesale would roll keys backward, and the epoch stream would
+    // never expose the damage. Take what the version guard allows and let
+    // the watchdog re-request a current catch-up.
+    keys_.install(path);
+    return;
+  }
+  // Authoritative catch-up: key VERSIONS are per-instance and can regress
+  // across a takeover, so the version-guarded install() could silently
+  // ignore the new primary's keys. Replace the whole path instead.
+  keys_.reinstall(path);
+  area_epoch_ = epoch;
+  recovery_pending_ = false;
+  ++key_recoveries_;
+  if (auto* m = network().metrics())
+    m->counter("member.key_recoveries").inc();
+}
+
+AcId Member::next_rejoin_target() const {
+  const std::vector<AcInfo>& entries = directory_.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].ac_id == rejoin_target_)
+      return entries[(i + 1) % entries.size()].ac_id;
+  }
+  return rejoin_target_;
+}
+
 void Member::trigger_mobility_rejoin() {
   if (sealed_ticket_.empty() || rejoin_in_progress_) return;
+  recovery_pending_ = false;  // the rejoin supersedes any pending catch-up
   // Choose a preferred AC that is not the silent one.
   for (const AcInfo& e : directory_.entries()) {
     if (e.ac_id == ac_id_) continue;
@@ -326,7 +486,10 @@ void Member::trigger_mobility_rejoin() {
 }
 
 void Member::on_timer(std::uint64_t token) {
-  switch (token) {
+  ensure_arq();
+  if (arq_.on_timer(token)) return;           // retransmission timers
+  if ((token >> 32) != timer_gen_) return;    // armed before a crash
+  switch (token & 0xFFFFFFFFull) {
     case kTimerAlive: {
       net::SimTime now = network().now();
       if (joined_ && now - last_sent_ac_ >= config_.t_active) {
@@ -337,7 +500,7 @@ void Member::on_timer(std::uint64_t token) {
                           envelope(MsgType::kAlive, w.data()));
         last_sent_ac_ = now;
       }
-      network().set_timer(id(), config_.t_active, kTimerAlive);
+      network().set_timer(id(), config_.t_active, timer_token(kTimerAlive));
       return;
     }
     case kTimerWatchdog: {
@@ -348,14 +511,28 @@ void Member::on_timer(std::uint64_t token) {
         if (now - join_started_ > config_.rejoin_retry_interval)
           join(rs_node_, requested_duration_);
       } else if (rejoin_in_progress_) {
-        // Denied or lost: try again (the old AC's silence clock keeps
-        // running, so a mobile client is eventually confirmed gone).
+        // Denied or lost: try again, rotating through the directory. A
+        // retry against the SAME node can be stuck forever when our entry
+        // for the target is stale (we missed a takeover announcement while
+        // crashed); the next area over answers — or redirects us.
         if (now - rejoin_started_ > config_.rejoin_retry_interval)
-          rejoin(rejoin_target_);
+          rejoin(next_rejoin_target());
       } else if (joined_ && now - last_heard_ac_ > config_.ac_silence_limit()) {
         trigger_mobility_rejoin();
       }
-      network().set_timer(id(), config_.t_idle, kTimerWatchdog);
+      // A recovery answer can itself be lost; re-ask on the same cadence.
+      // But recovery answered by nothing for the full disconnection horizon
+      // means either the AC is gone or we were silently evicted while away
+      // (the AC refuses evicted members by design) — the watchdog cannot
+      // see the latter because the AC's multicasts keep refreshing
+      // last_heard_ac_. The ticket rejoin path resolves both.
+      if (joined_ && recovery_pending_) {
+        if (now - recovery_started_ > config_.ac_silence_limit())
+          trigger_mobility_rejoin();
+        else if (now - last_recovery_request_ >= config_.key_recovery_interval)
+          request_key_recovery("retry");
+      }
+      network().set_timer(id(), config_.t_idle, timer_token(kTimerWatchdog));
       return;
     }
     default:
@@ -363,8 +540,16 @@ void Member::on_timer(std::uint64_t token) {
   }
 }
 
-void Member::on_message(const net::Message& msg) {
-  if (msg.from == ac_node_) last_heard_ac_ = network().now();
+void Member::on_message(const net::Message& raw) {
+  // Any frame from our AC — including a bare ARQ ack — is a sign of life.
+  if (raw.from == ac_node_) last_heard_ac_ = network().now();
+
+  ensure_arq();
+  net::Message unwrapped;
+  net::ArqEndpoint::Rx rx = arq_.on_message(raw, unwrapped);
+  if (rx == net::ArqEndpoint::Rx::kConsumed) return;
+  const net::Message& msg =
+      rx == net::ArqEndpoint::Rx::kDeliver ? unwrapped : raw;
 
   Envelope env;
   try {
@@ -400,6 +585,12 @@ void Member::on_message(const net::Message& msg) {
         break;
       case MsgType::kTakeOver:
         handle_takeover(msg);
+        break;
+      case MsgType::kAlive:
+        handle_ac_beacon(msg);
+        break;
+      case MsgType::kKeyRecoveryReply:
+        handle_key_recovery_reply(msg);
         break;
       default:
         break;

@@ -20,6 +20,7 @@
 #include "mykil/directory.h"
 #include "mykil/ticket.h"
 #include "mykil/wire.h"
+#include "net/arq.h"
 #include "net/network.h"
 
 namespace mykil::core {
@@ -43,6 +44,8 @@ class Member : public net::Node {
 
   void on_message(const net::Message& msg) override;
   void on_timer(std::uint64_t token) override;
+  void on_crash() override;
+  void on_recover() override;
 
   // ---- introspection ----
   [[nodiscard]] ClientId client_id() const { return nic_id_; }
@@ -68,6 +71,11 @@ class Member : public net::Node {
   [[nodiscard]] std::uint64_t watchdog_rejoins() const {
     return watchdog_rejoins_;
   }
+  /// Rekey-stream epoch this member has caught up to (DESIGN.md 9.2).
+  [[nodiscard]] std::uint64_t area_epoch() const { return area_epoch_; }
+  /// Completed key-recovery catch-ups (gap or stale-key triggered).
+  [[nodiscard]] std::uint64_t key_recoveries() const { return key_recoveries_; }
+  [[nodiscard]] const net::ArqEndpoint& arq() const { return arq_; }
 
   /// Simulate a malicious cohort: copy this member's credentials (ticket +
   /// keypair) into another Member instance. Test-support API.
@@ -93,7 +101,21 @@ class Member : public net::Node {
   void handle_split_update(const net::Message& msg);
   void handle_data(const net::Message& msg);
   void handle_takeover(const net::Message& msg);
+  /// AC idle-beacon: compare the advertised rekey epoch with ours and
+  /// start key recovery on a gap (catches a lost final-rekey).
+  void handle_ac_beacon(const net::Message& msg);
+  void handle_key_recovery_reply(const net::Message& msg);
   void trigger_mobility_rejoin();
+  /// Next directory entry after the current rejoin target (wrapping) — the
+  /// retry rotation that unsticks rejoins aimed at a stale AC address.
+  [[nodiscard]] AcId next_rejoin_target() const;
+  /// Ask the AC for a sealed current-key catch-up (rate limited).
+  void request_key_recovery(const char* trigger);
+  /// Lazy ARQ setup (the network is only known after attach).
+  void ensure_arq();
+  /// Unicast control traffic through the ARQ layer.
+  void send_ctrl(net::NodeId to, const char* label, Bytes payload);
+  [[nodiscard]] std::uint64_t timer_token(std::uint64_t kind) const;
 
   ClientId nic_id_;
   MykilConfig config_;
@@ -131,6 +153,21 @@ class Member : public net::Node {
   net::SimTime last_sent_ac_ = 0;
   bool rejoin_in_progress_ = false;
   std::uint64_t watchdog_rejoins_ = 0;
+  /// Bumped on crash so timers armed before the failure are ignored when
+  /// they fire after recovery (the simulator suppresses only timers whose
+  /// due time falls inside the down window).
+  std::uint32_t timer_gen_ = 0;
+
+  // reliability (ARQ + rekey gap recovery)
+  net::ArqEndpoint arq_;
+  std::uint64_t area_epoch_ = 0;
+  bool recovery_pending_ = false;
+  std::uint64_t recovery_nonce_ = 0;
+  net::SimTime last_recovery_request_ = 0;
+  /// When the current recovery exchange began; stuck past the disconnection
+  /// horizon escalates to a ticket rejoin (we may have been evicted).
+  net::SimTime recovery_started_ = 0;
+  std::uint64_t key_recoveries_ = 0;
 
   std::vector<Bytes> received_data_;
   std::set<std::uint64_t> seen_data_;

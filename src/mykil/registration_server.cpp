@@ -20,7 +20,37 @@ void RegistrationServer::authorize(ClientId client, net::SimDuration duration) {
 
 void RegistrationServer::revoke(ClientId client) { auth_db_.erase(client); }
 
-void RegistrationServer::on_message(const net::Message& msg) {
+void RegistrationServer::ensure_arq() {
+  if (arq_.bound()) return;
+  arq_.bind(network(), id(), config_.arq, config_.reliable_control,
+            prng_.next_u64());
+  // No give-up escalation: an unreachable client simply never joins, and
+  // its own watchdog restarts the handshake.
+}
+
+void RegistrationServer::send_ctrl(net::NodeId to, const char* label,
+                                   Bytes payload) {
+  ensure_arq();
+  arq_.send(to, label, std::move(payload));
+}
+
+void RegistrationServer::on_timer(std::uint64_t token) {
+  ensure_arq();
+  arq_.on_timer(token);  // the RS has no timers of its own
+}
+
+void RegistrationServer::on_recover() {
+  if (arq_.bound()) arq_.on_recover();
+}
+
+void RegistrationServer::on_message(const net::Message& raw) {
+  ensure_arq();
+  net::Message unwrapped;
+  net::ArqEndpoint::Rx rx = arq_.on_message(raw, unwrapped);
+  if (rx == net::ArqEndpoint::Rx::kConsumed) return;
+  const net::Message& msg =
+      rx == net::ArqEndpoint::Rx::kDeliver ? unwrapped : raw;
+
   Envelope env;
   try {
     env = parse_envelope(msg.payload);
@@ -77,9 +107,9 @@ void RegistrationServer::handle_step1(const net::Message& msg) {
   w.u64(nonce_cw + 1);
   w.u64(s.nonce_wc);
   crypto::RsaPublicKey pub = crypto::RsaPublicKey::deserialize(client_pub);
-  network().unicast(id(), msg.from, kLabelJoin,
-                    envelope(MsgType::kJoinStep2,
-                             crypto::pk_encrypt(pub, with_mac(w.data()), prng_)));
+  send_ctrl(msg.from, kLabelJoin,
+            envelope(MsgType::kJoinStep2,
+                     crypto::pk_encrypt(pub, with_mac(w.data()), prng_)));
 }
 
 const AcInfo& RegistrationServer::pick_area() {
@@ -135,8 +165,8 @@ void RegistrationServer::handle_step3(const net::Message& msg) {
     w.bytes(s.client_pubkey);
     w.u64(s.duration);
     crypto::RsaPublicKey ac_pub = crypto::RsaPublicKey::deserialize(area.pubkey);
-    network().unicast(
-        id(), area.node, kLabelJoin,
+    send_ctrl(
+        area.node, kLabelJoin,
         signed_envelope(MsgType::kJoinStep4,
                         crypto::pk_encrypt(ac_pub, with_mac(w.data()), prng_),
                         keypair_.priv));
@@ -153,8 +183,8 @@ void RegistrationServer::handle_step3(const net::Message& msg) {
     w.bytes(directory_.serialize());
     crypto::RsaPublicKey client_pub =
         crypto::RsaPublicKey::deserialize(s.client_pubkey);
-    network().unicast(
-        id(), s.client_node, kLabelJoin,
+    send_ctrl(
+        s.client_node, kLabelJoin,
         signed_envelope(MsgType::kJoinStep5,
                         crypto::pk_encrypt(client_pub, with_mac(w.data()), prng_),
                         keypair_.priv));

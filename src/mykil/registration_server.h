@@ -14,6 +14,7 @@
 #include "mykil/config.h"
 #include "mykil/directory.h"
 #include "mykil/wire.h"
+#include "net/arq.h"
 #include "net/network.h"
 
 namespace mykil::core {
@@ -41,6 +42,8 @@ class RegistrationServer : public net::Node {
   }
 
   void on_message(const net::Message& msg) override;
+  void on_timer(std::uint64_t token) override;
+  void on_recover() override;
 
   /// Number of join registrations completed (step 4+5 sent).
   [[nodiscard]] std::uint64_t completed_registrations() const {
@@ -63,6 +66,10 @@ class RegistrationServer : public net::Node {
 
   void handle_step1(const net::Message& msg);
   void handle_step3(const net::Message& msg);
+  /// Lazy ARQ setup (the network is only known after attach).
+  void ensure_arq();
+  /// Unicast control traffic through the ARQ layer.
+  void send_ctrl(net::NodeId to, const char* label, Bytes payload);
   /// Round-robin area placement ("proximity to the client, load balancing,
   /// etc." — we rotate, which is load balancing).
   const AcInfo& pick_area();
@@ -80,6 +87,7 @@ class RegistrationServer : public net::Node {
   std::size_t next_area_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
+  net::ArqEndpoint arq_;
 };
 
 }  // namespace mykil::core

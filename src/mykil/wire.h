@@ -50,6 +50,11 @@ enum class MsgType : std::uint8_t {
   kStateSync = 30,  // primary -> backup
   kHeartbeat = 31,  // primary -> backup
   kTakeOver = 32,   // backup multicast in area, signed
+
+  // Reliable control plane (loss recovery, DESIGN.md 9).
+  kKeyRecoveryRequest = 33,  // member -> AC (also child AC -> parent AC)
+  kKeyRecoveryReply = 34,    // AC -> member, signed
+  kStateSyncRequest = 35,    // backup -> primary (version mismatch)
 };
 
 /// Append SHA-256(fields) to the fields — the paper's per-message MAC.

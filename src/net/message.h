@@ -14,6 +14,7 @@ inline constexpr NodeId kNoNode = 0xFFFFFFFF;
 
 /// Multicast group handle.
 using GroupId = std::uint32_t;
+inline constexpr GroupId kNoGroup = 0xFFFFFFFF;
 
 /// A message in flight. `label` names the traffic class ("join", "rekey",
 /// "data", "alive", ...) purely for bandwidth accounting — protocols put
@@ -21,7 +22,7 @@ using GroupId = std::uint32_t;
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;       ///< kNoNode when delivered via multicast
-  GroupId group = 0xFFFFFFFF; ///< group it was multicast to, if any
+  GroupId group = kNoGroup;   ///< group it was multicast to, if any
   std::string label;
   Bytes payload;
 

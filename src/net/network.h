@@ -14,6 +14,26 @@
 // Determinism: every run with the same seed and the same sequence of API
 // calls delivers events in the same order. Ties in delivery time are broken
 // by event sequence number.
+//
+// Delivery guarantees (what protocol code may and may not assume):
+//   - Unicast/multicast delivery is AT MOST ONCE: a message is delivered
+//     zero or one times, never duplicated by the network itself.
+//   - A message is LOST when (a) the drop_probability coin toss fails at
+//     send time, or (b) the receiver is crashed, in another partition, or
+//     behind a blocked link at either send time or delivery time — a
+//     message in flight to a node that crashes or gets partitioned before
+//     it arrives is gone, exactly like a real datagram.
+//   - Ordering: two messages with equal computed delivery time arrive in
+//     send order (FIFO tie-break); jitter and size-dependent latency can
+//     reorder everything else.
+//   - Timers and crashes: a timer whose due time falls inside the node's
+//     down window is SUPPRESSED, not deferred — it never fires, and
+//     recover() does not resurrect it. A timer armed before a crash whose
+//     due time lands after recover() fires normally. Nodes that need
+//     periodic timers across failures must re-arm them in on_recover()
+//     (the Mykil entities do; see also ArqEndpoint::on_recover).
+//   - Reliability, retransmission, and duplicate suppression are therefore
+//     the job of the layer above: see net/arq.h.
 #pragma once
 
 #include <cstdint>
@@ -43,8 +63,11 @@ struct NetworkConfig {
   SimDuration jitter = usec(50);
   /// Seed for the network's internal randomness (jitter, drop decisions).
   std::uint64_t seed = 1;
-  /// Probability in [0,1) that any given delivery is silently dropped
-  /// (packet loss injection; 0 for the protocol benchmarks).
+  /// Probability in [0,1) that any given delivery is silently dropped.
+  /// The coin is tossed once per DELIVERY at send time: a multicast to n
+  /// receivers tosses n independent coins, and a message that survives the
+  /// toss can still be lost to a crash/partition/blocked link (see the
+  /// delivery guarantees above). 0 for the protocol benchmarks.
   double drop_probability = 0.0;
 };
 
@@ -74,6 +97,14 @@ class Network {
   /// (fine-grained failure injection).
   void block_link(NodeId from, NodeId to);
   void unblock_link(NodeId from, NodeId to);
+
+  /// Adjust packet-loss injection mid-run (chaos drop ramps). Applies to
+  /// deliveries queued from now on; messages already in flight keep the
+  /// outcome of their original coin toss.
+  void set_drop_probability(double p) { config_.drop_probability = p; }
+  [[nodiscard]] double drop_probability() const {
+    return config_.drop_probability;
+  }
 
   // ---- multicast groups ----
 

@@ -37,6 +37,10 @@ const KindInfo& kind_info(EventKind kind) {
       {"send", "net", {"bytes", nullptr}},
       {"deliver", "net", {"bytes", nullptr}},
       {"drop", "net", {"bytes", nullptr}},
+      {"retransmit", "net", {"to", "attempt"}},
+      {"arq-give-up", "net", {"to", nullptr}},
+      {"key-recovery", "mykil", {"client", "epoch"}},
+      {"demote", "mykil", {"ac", nullptr}},
   };
   return kTable[static_cast<std::size_t>(kind)];
 }

@@ -48,6 +48,11 @@ enum class EventKind : std::uint8_t {
   kSend,       ///< a0 = wire bytes; label = traffic class
   kDeliver,    ///< a0 = wire bytes; label = traffic class
   kDrop,       ///< a0 = wire bytes; label = traffic class
+  // instant reliability events (ARQ + rekey gap recovery, DESIGN.md 9)
+  kRetransmit,   ///< a0 = destination node, a1 = attempt; label = class
+  kArqGiveUp,    ///< a0 = destination node; label = traffic class
+  kKeyRecovery,  ///< a0 = client id, a1 = held epoch; label = trigger
+  kDemote,       ///< a0 = AC id (a stale primary stepping down)
 };
 
 /// Stable display name used in the exported trace ("join", "rekey-emit"...).

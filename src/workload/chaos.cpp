@@ -1,0 +1,305 @@
+#include "workload/chaos.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "crypto/prng.h"
+#include "mykil/group.h"
+#include "obs/metrics.h"
+
+namespace mykil::workload {
+
+namespace {
+
+/// A node taken down by the schedule, with its planned recovery time.
+struct DownNode {
+  net::NodeId node = net::kNoNode;
+  net::SimTime until = 0;
+};
+
+bool is_down(const std::vector<DownNode>& down, net::NodeId node) {
+  return std::any_of(down.begin(), down.end(),
+                     [node](const DownNode& d) { return d.node == node; });
+}
+
+/// The controller currently acting as primary for an area: the original
+/// primary, its replica after a takeover, or nullptr while both think they
+/// are backups (or 2x-crashed mid-handoff).
+core::AreaController* acting_primary(core::MykilGroup& group, std::size_t a) {
+  if (group.ac(a).role() == core::AreaController::Role::kPrimary)
+    return &group.ac(a);
+  if (core::AreaController* b = group.backup(a);
+      b != nullptr && b->role() == core::AreaController::Role::kPrimary)
+    return b;
+  return nullptr;
+}
+
+}  // namespace
+
+ChaosReport run_chaos(const ChaosOptions& opt) {
+  ChaosReport report;
+
+  net::NetworkConfig ncfg;
+  ncfg.seed = opt.seed;
+  ncfg.drop_probability = 0.0;  // clean setup; losses start with the chaos
+  net::Network net(ncfg);
+  obs::MetricsRegistry metrics;
+  net.set_metrics(&metrics);
+
+  core::GroupOptions gopt;
+  gopt.seed = opt.seed;
+  gopt.with_backups = opt.with_backups;
+  gopt.config.reliable_control = opt.reliable_control;
+  core::MykilGroup group(net, gopt);
+  group.add_area();
+  for (std::size_t a = 1; a < opt.areas; ++a) group.add_area(0);
+  group.finalize();
+
+  std::vector<std::unique_ptr<core::Member>> members;
+  for (std::size_t i = 0; i < opt.members; ++i) {
+    members.push_back(group.make_member(100 + i, net::sec(360000)));
+    group.join_member(*members.back(), net::sec(360000));
+  }
+  group.settle(net::sec(2));
+
+  // Everything the schedule may crash, partition, or block.
+  std::vector<net::NodeId> all_nodes;
+  all_nodes.push_back(group.rs().id());
+  for (std::size_t a = 0; a < group.area_count(); ++a) {
+    all_nodes.push_back(group.ac(a).id());
+    if (group.backup(a) != nullptr) all_nodes.push_back(group.backup(a)->id());
+  }
+  for (const auto& m : members) all_nodes.push_back(m->id());
+
+  // The schedule's randomness is a distinct stream from the deployment's:
+  // the same seed must reproduce BOTH, and interleaving them would couple
+  // key generation to fault timing.
+  crypto::Prng chaos(opt.seed ^ 0x9e3779b97f4a7c15ull);
+
+  net.set_drop_probability(opt.base_drop);
+
+  std::vector<DownNode> down;
+  net::SimTime partition_until = 0;
+  net::SimTime drop_until = 0;
+  net::SimTime blocked_until = 0;
+  std::vector<std::pair<net::NodeId, net::NodeId>> blocked;
+
+  auto joined_up = [&](std::size_t start) -> core::Member* {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      core::Member* m = members[(start + i) % members.size()].get();
+      if (m->joined() && net.is_up(m->id())) return m;
+    }
+    return nullptr;
+  };
+  std::size_t joined_count = members.size();
+  auto recount = [&] {
+    joined_count = 0;
+    for (const auto& m : members)
+      if (m->joined()) ++joined_count;
+  };
+
+  const net::SimTime end = net.now() + opt.duration;
+  while (net.now() < end) {
+    net.run_until(std::min<net::SimTime>(end, net.now() + net::msec(250)));
+    net::SimTime now = net.now();
+
+    // Expire finished fault episodes before injecting new ones.
+    for (auto it = down.begin(); it != down.end();) {
+      if (now >= it->until) {
+        net.recover(it->node);
+        it = down.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (partition_until != 0 && now >= partition_until) {
+      net.heal_partitions();
+      partition_until = 0;
+    }
+    if (drop_until != 0 && now >= drop_until) {
+      net.set_drop_probability(opt.base_drop);
+      drop_until = 0;
+    }
+    if (blocked_until != 0 && now >= blocked_until) {
+      for (auto [f, t] : blocked) net.unblock_link(f, t);
+      blocked.clear();
+      blocked_until = 0;
+    }
+
+    switch (chaos.uniform(12)) {
+      case 0:
+      case 1: {  // crash a member for 1-4 s
+        core::Member* m = members[chaos.uniform(members.size())].get();
+        if (!is_down(down, m->id())) {
+          net.crash(m->id());
+          down.push_back({m->id(), now + net::msec(1000 + chaos.uniform(3000))});
+          ++report.member_crashes;
+        }
+        break;
+      }
+      case 2: {  // crash an acting primary for 4-8 s (past the heartbeat
+                 // horizon, so the standby takes over before it returns)
+        if (!opt.crash_primaries) break;
+        std::size_t a = chaos.uniform(group.area_count());
+        core::AreaController* p = acting_primary(group, a);
+        if (p != nullptr && net.is_up(p->id()) && !is_down(down, p->id())) {
+          net.crash(p->id());
+          down.push_back({p->id(), now + net::msec(4000 + chaos.uniform(4000))});
+          ++report.primary_crashes;
+        }
+        break;
+      }
+      case 3: {  // partition: random bisection for 1-3 s
+        if (partition_until != 0) break;
+        for (net::NodeId n : all_nodes)
+          net.set_partition(n, static_cast<std::uint32_t>(chaos.uniform(2)));
+        partition_until = now + net::msec(1000 + chaos.uniform(2000));
+        ++report.partitions;
+        break;
+      }
+      case 4: {  // drop-probability ramp toward max_drop for 1-3 s
+        double frac = chaos.uniform_double();
+        net.set_drop_probability(opt.base_drop +
+                                 frac * (opt.max_drop - opt.base_drop));
+        drop_until = now + net::msec(1000 + chaos.uniform(2000));
+        ++report.drop_ramps;
+        break;
+      }
+      case 5: {  // block a random link pair for 1-2 s
+        if (blocked_until != 0) break;
+        net::NodeId a = all_nodes[chaos.uniform(all_nodes.size())];
+        net::NodeId b = all_nodes[chaos.uniform(all_nodes.size())];
+        if (a == b) break;
+        net.block_link(a, b);
+        net.block_link(b, a);
+        blocked.assign({{a, b}, {b, a}});
+        blocked_until = now + net::msec(1000 + chaos.uniform(1000));
+        ++report.link_blocks;
+        break;
+      }
+      case 6: {  // leave (keep at least half the pool subscribed)
+        recount();
+        if (joined_count <= members.size() / 2) break;
+        if (core::Member* m = joined_up(chaos.uniform(members.size()))) {
+          m->leave();
+          ++report.churn_events;
+        }
+        break;
+      }
+      case 7: {  // a departed member returns via its ticket
+        std::size_t start = chaos.uniform(members.size());
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          core::Member* m = members[(start + i) % members.size()].get();
+          if (m->joined() || m->sealed_ticket().empty() ||
+              !net.is_up(m->id()))
+            continue;
+          m->rejoin(group.ac(chaos.uniform(group.area_count())).ac_id());
+          ++report.churn_events;
+          break;
+        }
+        break;
+      }
+      case 8: {  // mobility: move to a different area
+        core::Member* m = joined_up(chaos.uniform(members.size()));
+        if (m == nullptr || group.area_count() < 2) break;
+        std::size_t a = chaos.uniform(group.area_count());
+        for (std::size_t i = 0; i < group.area_count(); ++i) {
+          core::AcId target = group.ac((a + i) % group.area_count()).ac_id();
+          if (target != m->current_ac()) {
+            m->rejoin(target);
+            ++report.churn_events;
+            break;
+          }
+        }
+        break;
+      }
+      default: {  // data traffic (the most common event)
+        if (core::Member* m = joined_up(chaos.uniform(members.size()))) {
+          m->send_data(to_bytes("chaos-payload"));
+          ++report.churn_events;
+        }
+        break;
+      }
+    }
+  }
+
+  // Quiesce: remove every injected fault and let the repair machinery
+  // (retransmission, takeover resolution, key recovery, eviction, ticket
+  // rejoin) run to a fixed point.
+  for (const DownNode& d : down) net.recover(d.node);
+  down.clear();
+  net.heal_partitions();
+  for (auto [f, t] : blocked) net.unblock_link(f, t);
+  blocked.clear();
+  net.set_drop_probability(0.0);
+  group.settle(opt.quiesce);
+
+  // ---- invariants ----
+
+  std::vector<core::AreaController*> acting(group.area_count(), nullptr);
+  for (std::size_t a = 0; a < group.area_count(); ++a) {
+    std::size_t primaries =
+        (group.ac(a).role() == core::AreaController::Role::kPrimary ? 1u : 0u) +
+        (group.backup(a) != nullptr &&
+                 group.backup(a)->role() == core::AreaController::Role::kPrimary
+             ? 1u
+             : 0u);
+    if (primaries == 0) ++report.areas_without_primary;
+    if (primaries > 1) ++report.split_brains;
+    acting[a] = acting_primary(group, a);
+  }
+
+  for (const auto& m : members) {
+    if (m->joined()) {
+      ++report.live_members;
+      bool in_sync = false;
+      for (std::size_t a = 0; a < group.area_count(); ++a) {
+        if (acting[a] == nullptr || acting[a]->ac_id() != m->current_ac())
+          continue;
+        in_sync = m->keys().has_group_key() &&
+                  m->keys().group_key() == acting[a]->tree().root_key();
+      }
+      if (in_sync)
+        ++report.live_in_sync;
+      else
+        ++report.live_out_of_sync;
+    } else if (m->keys().has_group_key()) {
+      // Forward secrecy: a departed or evicted member must not hold ANY
+      // area's current key.
+      for (std::size_t a = 0; a < group.area_count(); ++a) {
+        if (acting[a] != nullptr &&
+            m->keys().group_key() == acting[a]->tree().root_key())
+          ++report.stale_key_holders;
+      }
+    }
+  }
+
+  if (opt.with_backups) {
+    for (std::size_t a = 0; a < group.area_count(); ++a) {
+      if (acting[a] == nullptr) continue;  // already an invariant failure
+      core::AreaController* standby =
+          acting[a] == &group.ac(a) ? group.backup(a) : &group.ac(a);
+      if (standby == nullptr) continue;
+      if (standby->last_synced_snapshot() != acting[a]->replication_snapshot())
+        ++report.backups_out_of_sync;
+    }
+  }
+
+  auto counter = [&](const char* name) -> std::uint64_t {
+    const obs::Counter* c = metrics.find_counter(name);
+    return c == nullptr ? 0 : c->value();
+  };
+  report.retransmits = counter("arq.retransmits");
+  report.arq_give_ups = counter("arq.give_ups");
+  report.key_recoveries =
+      counter("member.key_recoveries") + counter("ac.uplink_recoveries");
+  report.takeovers = counter("ac.takeovers");
+  report.redirects = counter("ac.redirects");
+  report.rekey_multicasts = net.stats().sent_by_label("mykil-rekey").messages;
+  report.finished_at = net.now();
+  return report;
+}
+
+}  // namespace mykil::workload

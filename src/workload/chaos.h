@@ -1,0 +1,86 @@
+// Deterministic chaos-schedule harness (DESIGN.md 9.5).
+//
+// From a single seed, run_chaos() builds a replicated multi-area Mykil
+// deployment, then interleaves fault injection (node crashes and
+// recoveries, partitions and heals, drop-probability ramps, blocked links)
+// with membership churn (joins, leaves, moves, data). After the injection
+// window it removes every fault, lets the system quiesce, and asserts the
+// global invariants the fault-tolerance design promises:
+//
+//   1. every live member holds the current key of its area (liveness),
+//   2. no departed member holds any area's current key (forward secrecy),
+//   3. each area has exactly one acting primary (split brains resolved),
+//   4. each standby's replicated snapshot byte-equals the acting
+//      primary's current state (replication caught up).
+//
+// The same schedule with `reliable_control = false` is the regression
+// guard: the fire-and-forget control plane demonstrably fails it, which
+// proves the ARQ + key-recovery machinery is load-bearing rather than
+// decorative.
+#pragma once
+
+#include <cstdint>
+
+#include "net/sim_time.h"
+
+namespace mykil::workload {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  std::size_t areas = 3;    ///< root + (areas-1) children
+  std::size_t members = 10;
+  /// Fault/churn injection window.
+  net::SimDuration duration = net::sec(30);
+  /// Fault-free settling after the window. Must exceed the eviction
+  /// horizon (member_silence_limit, 20 s at defaults) plus a rekey batch
+  /// interval so every lost leave is resolved before the invariant check.
+  net::SimDuration quiesce = net::sec(40);
+  /// Packet-loss floor during the window; ramps raise it toward max_drop.
+  double base_drop = 0.2;
+  double max_drop = 0.35;
+  bool with_backups = true;
+  bool crash_primaries = true;
+  /// The switch the regression guard flips off.
+  bool reliable_control = true;
+};
+
+struct ChaosReport {
+  // Injection tallies (what the schedule actually threw at the run).
+  std::size_t member_crashes = 0;
+  std::size_t primary_crashes = 0;
+  std::size_t partitions = 0;
+  std::size_t drop_ramps = 0;
+  std::size_t link_blocks = 0;
+  std::size_t churn_events = 0;  ///< leaves + rejoins + moves + data
+
+  // Invariant results after quiesce.
+  std::size_t live_members = 0;
+  std::size_t live_in_sync = 0;
+  std::size_t live_out_of_sync = 0;   ///< invariant 1 violations
+  std::size_t stale_key_holders = 0;  ///< invariant 2 violations
+  std::size_t areas_without_primary = 0;  ///< invariant 3 violations
+  std::size_t split_brains = 0;           ///< invariant 3 violations
+  std::size_t backups_out_of_sync = 0;    ///< invariant 4 violations
+
+  // Repair work the protocol performed (diagnostics, not invariants).
+  std::uint64_t retransmits = 0;
+  std::uint64_t arq_give_ups = 0;
+  std::uint64_t key_recoveries = 0;
+  std::uint64_t takeovers = 0;
+  std::uint64_t redirects = 0;
+  std::uint64_t rekey_multicasts = 0;
+  net::SimTime finished_at = 0;  ///< simulated end time
+
+  [[nodiscard]] bool converged() const {
+    return live_members > 0 && live_out_of_sync == 0 &&
+           stale_key_holders == 0 && areas_without_primary == 0 &&
+           split_brains == 0 && backups_out_of_sync == 0;
+  }
+};
+
+/// Run one chaos schedule to completion. Everything — topology, schedule,
+/// key material — derives from options.seed, so a failing seed replays
+/// exactly under a debugger or tracer.
+ChaosReport run_chaos(const ChaosOptions& options);
+
+}  // namespace mykil::workload

@@ -218,6 +218,65 @@ TEST_F(TakeoverTest, MembersFollowTakeoverAndKeepWorking) {
   EXPECT_FALSE(backup->has_member(in_area->client_id()));
 }
 
+TEST(MykilFault, BackupResyncsAfterPartitionHeal) {
+  // The standby sits in another partition while the primary keeps mutating
+  // state; every StateSync in that window is lost. The heartbeat's sync
+  // version exposes the gap after the heal and the standby pulls a fresh
+  // snapshot instead of waiting for the next (possibly far-off) mutation.
+  GroupOptions opts = fast_options();
+  opts.with_backups = true;
+  // Tolerate the partition without a takeover: this test is about the
+  // resync path, not promotion.
+  opts.config.heartbeat_misses = 100;
+  World w(1, opts);
+  AreaController* backup = w.group.backup(0);
+  ASSERT_NE(backup, nullptr);
+
+  w.net.set_partition(backup->id(), 1);
+  auto m1 = w.group.make_member(1, net::sec(3600));
+  auto m2 = w.group.make_member(2, net::sec(3600));
+  w.group.join_member(*m1, net::sec(3600));
+  w.group.join_member(*m2, net::sec(3600));
+  w.group.settle(net::sec(1));
+  ASSERT_TRUE(m1->joined());
+  // The standby missed both admissions.
+  EXPECT_NE(backup->last_synced_snapshot(), w.group.ac(0).replication_snapshot());
+
+  w.net.heal_partitions();
+  w.group.settle(net::sec(2));
+  EXPECT_EQ(backup->last_synced_snapshot(), w.group.ac(0).replication_snapshot());
+  EXPECT_EQ(backup->role(), AreaController::Role::kBackup);
+}
+
+TEST(MykilFault, PartitionedPrimaryIsDemotedAndResyncsAfterHeal) {
+  // Split brain end to end: the partition starves the backup of heartbeats,
+  // it promotes itself, and on heal the displaced primary (lower takeover
+  // epoch) must step down, adopt the winner's state, and become the
+  // standby the winner replicates to.
+  GroupOptions opts = fast_options();
+  opts.with_backups = true;
+  World w(1, opts);
+  AreaController* old_primary = &w.group.ac(0);
+  AreaController* backup = w.group.backup(0);
+  ASSERT_NE(backup, nullptr);
+
+  auto m1 = w.group.make_member(1, net::sec(3600));
+  w.group.join_member(*m1, net::sec(3600));
+  w.group.settle(net::sec(1));
+
+  w.net.set_partition(old_primary->id(), 1);
+  w.group.settle(net::sec(2));  // watchdog fires, backup takes over
+  ASSERT_EQ(backup->role(), AreaController::Role::kPrimary);
+  ASSERT_EQ(old_primary->role(), AreaController::Role::kPrimary);  // split
+
+  w.net.heal_partitions();
+  w.group.settle(net::sec(3));
+  // Exactly one acting primary, and the loser is a caught-up standby.
+  EXPECT_EQ(backup->role(), AreaController::Role::kPrimary);
+  EXPECT_EQ(old_primary->role(), AreaController::Role::kBackup);
+  EXPECT_EQ(old_primary->last_synced_snapshot(), backup->replication_snapshot());
+}
+
 TEST_F(TakeoverTest, CrossAreaDataFlowsAfterTakeover) {
   // Crash the ROOT area's primary; its backup must re-link the tree so
   // cross-area forwarding keeps working.

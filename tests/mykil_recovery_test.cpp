@@ -1,0 +1,148 @@
+// Rekey gap recovery (DESIGN.md 9.2): members that miss rekey multicasts
+// detect the epoch gap — from a later rekey or from the AC's idle beacon —
+// and pull their current key path back over the reliable control plane.
+// Forward secrecy holds throughout: non-members get no answer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "mykil/group.h"
+#include "mykil/wire.h"
+
+namespace mykil::core {
+namespace {
+
+net::NetworkConfig quiet_net() {
+  net::NetworkConfig cfg;
+  cfg.jitter = 0;
+  return cfg;
+}
+
+GroupOptions fast_options(std::uint64_t seed = 1) {
+  GroupOptions o;
+  o.seed = seed;
+  o.config.batching = true;
+  o.config.t_idle = net::msec(200);
+  o.config.t_active = net::msec(400);
+  o.config.rekey_interval = net::msec(500);
+  o.config.heartbeat_interval = net::msec(100);
+  o.config.key_recovery_interval = net::msec(250);
+  return o;
+}
+
+struct World {
+  explicit World(GroupOptions opts = fast_options())
+      : net(quiet_net()), group(net, opts) {
+    group.add_area();
+    group.finalize();
+  }
+  net::Network net;
+  MykilGroup group;
+};
+
+TEST(MykilRecovery, MemberRecoversRekeyLostToBlockedLink) {
+  World w;
+  auto m1 = w.group.make_member(1, net::sec(3600));
+  auto m2 = w.group.make_member(2, net::sec(3600));
+  auto m3 = w.group.make_member(3, net::sec(3600));
+  w.group.join_member(*m1, net::sec(3600));
+  w.group.join_member(*m2, net::sec(3600));
+  w.group.join_member(*m3, net::sec(3600));
+  w.group.settle(net::sec(2));
+  ASSERT_TRUE(m1->joined());
+
+  // m1 goes deaf to the AC: it misses the eviction rekey for m2 entirely.
+  w.net.block_link(w.group.ac(0).id(), m1->id());
+  m2->leave();
+  w.group.settle(net::sec(2));
+  EXPECT_FALSE(m1->keys().group_key() == w.group.ac(0).tree().root_key());
+
+  // Once the link heals, the next epoch-stamped multicast (rekey or idle
+  // beacon) reveals the gap and the recovery exchange closes it.
+  w.net.unblock_link(w.group.ac(0).id(), m1->id());
+  w.group.settle(net::sec(4));
+  EXPECT_TRUE(m1->joined());
+  EXPECT_TRUE(m1->keys().group_key() == w.group.ac(0).tree().root_key());
+  EXPECT_GT(m1->key_recoveries(), 0u);
+  EXPECT_GT(w.group.ac(0).counters().key_recoveries_served, 0u);
+}
+
+TEST(MykilRecovery, CrashedMemberCatchesUpAfterRecovery) {
+  World w;
+  auto m1 = w.group.make_member(1, net::sec(3600));
+  auto m2 = w.group.make_member(2, net::sec(3600));
+  auto m3 = w.group.make_member(3, net::sec(3600));
+  w.group.join_member(*m1, net::sec(3600));
+  w.group.join_member(*m2, net::sec(3600));
+  w.group.join_member(*m3, net::sec(3600));
+  w.group.settle(net::sec(2));
+
+  // Crash m1 briefly (well under the eviction horizon of
+  // disconnect_multiplier * t_active = 2 s here), rotate the area key
+  // behind its back, then bring it back.
+  w.net.crash(m1->id());
+  m2->leave();
+  w.group.settle(net::msec(800));
+  w.net.recover(m1->id());
+  w.group.settle(net::sec(4));
+
+  EXPECT_TRUE(m1->joined());
+  EXPECT_TRUE(m1->keys().group_key() == w.group.ac(0).tree().root_key());
+}
+
+TEST(MykilRecovery, DepartedMemberGetsNoRecoveryAnswer) {
+  // Forward secrecy: after leaving, a (forged or replayed) recovery request
+  // for the departed id must be ignored — never answered with current keys.
+  World w;
+  auto m1 = w.group.make_member(1, net::sec(3600));
+  auto m2 = w.group.make_member(2, net::sec(3600));
+  w.group.join_member(*m1, net::sec(3600));
+  w.group.join_member(*m2, net::sec(3600));
+  m2->leave();
+  w.group.settle(net::sec(2));
+  ASSERT_EQ(w.group.ac(0).counters().key_recoveries_served, 0u);
+
+  WireWriter req;
+  req.u64(m2->client_id());          // departed member
+  req.u64(w.group.ac(0).ac_id());    // correct area
+  req.u64(0);                        // claimed epoch
+  req.u64(12345);                    // nonce
+  w.net.unicast(m2->id(), w.group.ac(0).id(), "mykil-recovery",
+                envelope(MsgType::kKeyRecoveryRequest, req.data()));
+  w.group.settle(net::sec(1));
+  EXPECT_EQ(w.group.ac(0).counters().key_recoveries_served, 0u);
+}
+
+TEST(MykilRecovery, SpoofedAndWrongAreaRequestsIgnored) {
+  World w;
+  auto m1 = w.group.make_member(1, net::sec(3600));
+  w.group.join_member(*m1, net::sec(3600));
+  w.group.settle(net::sec(1));
+
+  // From the wrong node: anti-spoofing rejects even a valid member id.
+  WireWriter spoof;
+  spoof.u64(m1->client_id());
+  spoof.u64(w.group.ac(0).ac_id());
+  spoof.u64(0);
+  spoof.u64(1);
+  w.net.unicast(w.group.rs().id(), w.group.ac(0).id(), "mykil-recovery",
+                envelope(MsgType::kKeyRecoveryRequest, spoof.data()));
+
+  // For the wrong area: stale directory or replay, dropped on arrival.
+  WireWriter wrong;
+  wrong.u64(m1->client_id());
+  wrong.u64(w.group.ac(0).ac_id() + 999);
+  wrong.u64(0);
+  wrong.u64(2);
+  w.net.unicast(m1->id(), w.group.ac(0).id(), "mykil-recovery",
+                envelope(MsgType::kKeyRecoveryRequest, wrong.data()));
+
+  w.group.settle(net::sec(1));
+  EXPECT_EQ(w.group.ac(0).counters().key_recoveries_served, 0u);
+  EXPECT_TRUE(m1->joined());  // and nobody crashed
+}
+
+}  // namespace
+}  // namespace mykil::core

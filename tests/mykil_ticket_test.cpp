@@ -140,9 +140,12 @@ TEST(Directory, AddFindPromote) {
 
   dir.promote_backup(7);
   EXPECT_EQ(dir.find(7)->node, 11u);
-  EXPECT_FALSE(dir.find(7)->has_backup());
-  dir.promote_backup(7);  // idempotent without backup
-  EXPECT_EQ(dir.find(7)->node, 11u);
+  // The demoted primary becomes the standby (roles swap, not clear).
+  EXPECT_TRUE(dir.find(7)->has_backup());
+  EXPECT_EQ(dir.find(7)->backup_node, 10u);
+  dir.promote_backup(7);  // the old primary takes over again
+  EXPECT_EQ(dir.find(7)->node, 10u);
+  EXPECT_EQ(dir.find(7)->backup_node, 11u);
 }
 
 TEST(Directory, DuplicateIdRejected) {

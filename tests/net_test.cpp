@@ -442,6 +442,48 @@ TEST(Network, MetricsRecordQueueDepth) {
   EXPECT_GT(h->count(), 0u);
 }
 
+TEST(Network, DropProbabilityAndPartitionCompose) {
+  // A partition is absolute: no drop-probability coin toss can sneak a
+  // message across it, and healing restores exactly the probabilistic
+  // loss, not more. Both fault models are charged to the same counters.
+  NetworkConfig cfg = quiet_config();
+  cfg.drop_probability = 0.3;
+  cfg.seed = 5;
+  Network net(cfg);
+  Recorder a, b;
+  net.attach(a);
+  net.attach(b);
+  net.set_partition(b.id(), 1);
+  for (int i = 0; i < 200; ++i)
+    net.unicast(a.id(), b.id(), "t", Bytes(1, 0));
+  net.run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(net.stats().dropped().messages, 200u);
+
+  net.heal_partitions();
+  for (int i = 0; i < 1000; ++i)
+    net.unicast(a.id(), b.id(), "t", Bytes(1, 0));
+  net.run();
+  // ~70% of the post-heal traffic lands.
+  EXPECT_GT(b.messages.size(), 550u);
+  EXPECT_LT(b.messages.size(), 850u);
+}
+
+TEST(Network, TimersSetBeforeCrashStaySuppressedAfterRecovery) {
+  // Crash semantics for timers (documented in network.h): a timer due
+  // while the node is down is swallowed, not deferred — recovery does NOT
+  // replay it. Protocol code must re-arm its own clocks in on_recover.
+  Network net(quiet_config());
+  Recorder a;
+  net.attach(a);
+  net.set_timer(a.id(), msec(10), 1);
+  net.crash(a.id());
+  net.run_until(msec(50));
+  net.recover(a.id());
+  net.run_until(msec(200));
+  EXPECT_TRUE(a.timers.empty());
+}
+
 TEST(Network, UnknownNodeOperationsThrow) {
   Network net(quiet_config());
   EXPECT_THROW(net.crash(99), SimError);

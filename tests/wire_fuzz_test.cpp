@@ -10,6 +10,7 @@
 #include "mykil/directory.h"
 #include "mykil/ticket.h"
 #include "mykil/wire.h"
+#include "net/arq.h"
 
 namespace mykil {
 namespace {
@@ -113,6 +114,40 @@ TEST(WireFuzz, EnvelopeSurvivesGarbage) {
 
 TEST(WireFuzz, MacStripSurvivesGarbage) {
   fuzz([](const Bytes& b) { core::strip_mac(b); }, 107);
+}
+
+TEST(WireFuzz, ArqFrameSurvivesGarbage) {
+  fuzz([](const Bytes& b) { net::ArqFrame::parse(b); }, 108);
+}
+
+TEST(WireFuzz, ArqFrameSurvivesMutationAndTruncation) {
+  net::ArqFrame data;
+  data.tag = net::kArqDataTag;
+  data.incarnation = 3;
+  data.seq = 77;
+  data.inner = Prng(5).bytes(60);
+  mutate([](const Bytes& b) { net::ArqFrame::parse(b); }, data.serialize());
+
+  net::ArqFrame ack;
+  ack.tag = net::kArqAckTag;
+  ack.incarnation = 3;
+  ack.seq = 77;
+  mutate([](const Bytes& b) { net::ArqFrame::parse(b); }, ack.serialize());
+}
+
+TEST(WireFuzz, KeyRecoveryRequestBodySurvivesGarbage) {
+  // The recovery request body is {client; area; epoch; nonce} behind an
+  // envelope; the reader must reject short and oversized bodies alike.
+  fuzz(
+      [](const Bytes& b) {
+        WireReader r(b);
+        (void)r.u64();
+        (void)r.u64();
+        (void)r.u64();
+        (void)r.u64();
+        r.expect_done();
+      },
+      109);
 }
 
 TEST(WireFuzz, RekeyRoundTripIsExact) {
