@@ -1,0 +1,293 @@
+// Paper-scale simulator benchmark: 100,000 members (20 areas x 5,000)
+// under churn + rekey + data fan-out (Section V sizes Mykil for groups of
+// this order; the figure benches top out far below it without the zero-copy
+// fan-out and slab scheduler, DESIGN.md 10).
+//
+// Each area is a lightweight hub driving a REAL KeyTree over REAL sealed
+// rekey ciphertext; members hold real MemberKeyState and decrypt what is
+// theirs. Only the RSA handshakes of the full protocol are elided (200ms of
+// keygen per member makes 100k infeasible and measures crypto, not the
+// simulator). Every measured round, per area: one leave (rekey multicast to
+// ~5,000 members), one rejoin (path unicast), one data multicast, and an
+// ack-delay timer set/cancel per data delivery — the ARQ-shaped churn that
+// used to leak cancellation bookkeeping.
+//
+// Reported: events/sec through the scheduler, wall-clock, and fan-out bytes
+// physically copied vs. what copy-per-receiver would have allocated (the
+// >= 10x acceptance ratio). Appends one JSON object per run to BENCH_sim.json.
+//
+//   scale_members [--members=100000] [--areas=20] [--rounds=10]
+//                 [--smoke] [--json_out=BENCH_sim.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lkh/key_tree.h"
+#include "lkh/member_state.h"
+#include "net/network.h"
+
+namespace {
+
+using namespace mykil;
+
+const net::Label kRekeyLabel{"scale-rekey"};
+const net::Label kPathLabel{"scale-path"};    // authoritative rejoin path
+const net::Label kSplitLabel{"scale-split"};  // partial path after a split
+const net::Label kDataLabel{"scale-data"};
+
+/// A member at benchmark scale: real key state, real decryption, plus the
+/// ack-delay timer churn that stresses cancellation bookkeeping.
+class ScaleMember : public net::Node {
+ public:
+  void on_message(const net::Message& msg) override {
+    if (msg.label == kRekeyLabel) {
+      lkh::RekeyMessage rk = lkh::RekeyMessage::deserialize(msg.payload);
+      std::size_t n = keys.apply(rk);
+      if (n > 0) {
+        ++rekeys_applied;
+        entries_applied += n;
+      }
+    } else if (msg.label == kPathLabel) {
+      keys.reinstall(lkh::deserialize_path(msg.payload));
+    } else if (msg.label == kSplitLabel) {
+      keys.install(lkh::deserialize_path(msg.payload));
+    } else {  // data
+      ++data_received;
+      if (timer_armed) network().cancel_timer(ack_timer);
+      ack_timer = network().set_timer(id(), net::msec(1), 1);
+      timer_armed = true;
+    }
+  }
+  void on_timer(std::uint64_t) override {
+    timer_armed = false;
+    ++timer_fires;
+  }
+
+  lkh::MemberKeyState keys;
+  std::uint64_t data_received = 0;
+  std::uint64_t rekeys_applied = 0;
+  std::uint64_t entries_applied = 0;
+  std::uint64_t timer_fires = 0;
+  net::Network::TimerId ack_timer = 0;
+  bool timer_armed = false;
+};
+
+/// Area controller stand-in: owns the key tree and the multicast group.
+class AreaHub : public net::Node {
+ public:
+  void on_message(const net::Message&) override {}
+};
+
+struct Area {
+  AreaHub hub;
+  net::GroupId group = 0;
+  std::unique_ptr<lkh::KeyTree> tree;
+  /// Current (member id, member slot) roster; slot indexes `members`.
+  std::vector<std::pair<lkh::MemberId, std::size_t>> roster;
+};
+
+struct Options {
+  std::size_t members = 100000;
+  std::size_t areas = 20;
+  std::size_t rounds = 10;
+  std::string json_out;
+};
+
+bool flag_value(const char* arg, const char* name, std::string& out) {
+  std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  out = arg + n + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.members = 100;
+      opt.areas = 2;
+      opt.rounds = 2;
+    } else if (flag_value(argv[i], "--members", v)) {
+      opt.members = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (flag_value(argv[i], "--areas", v)) {
+      opt.areas = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (flag_value(argv[i], "--rounds", v)) {
+      opt.rounds = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (flag_value(argv[i], "--json_out", v)) {
+      opt.json_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const std::size_t per_area = opt.members / opt.areas;
+
+  bench::print_header("scale_members: zero-copy fan-out + slab scheduler");
+  std::printf("%zu areas x %zu members (%zu total), %zu churn rounds\n",
+              opt.areas, per_area, opt.areas * per_area, opt.rounds);
+
+  net::Network net;  // default latency model, no loss: measures the engine
+  std::deque<ScaleMember> members;  // stable addresses: Network keeps Node*
+  std::deque<Area> areas;
+  lkh::MemberId next_mid = 1;
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t a = 0; a < opt.areas; ++a) {
+    Area& area = areas.emplace_back();
+    net.attach(area.hub);
+    area.group = net.create_group();
+    lkh::KeyTree::Config tcfg;
+    tcfg.fanout = 4;
+    // Bulk load installs current path keys directly (no per-join rekey
+    // multicast — the measured phase drives those via leaves).
+    tcfg.rekey_root_on_join = false;
+    area.tree = std::make_unique<lkh::KeyTree>(
+        tcfg, crypto::Prng(0x5CA1E000 + a));
+    for (std::size_t m = 0; m < per_area; ++m) {
+      std::size_t slot = members.size();
+      ScaleMember& member = members.emplace_back();
+      net.attach(member);
+      net.join_group(area.group, member.id());
+      lkh::MemberId mid = next_mid++;
+      auto out = area.tree->join(mid);
+      member.keys.install(out.member_path);
+      if (out.split) {
+        for (auto& [rmid, rslot] : area.roster) {
+          if (rmid == out.split_member) {
+            members[rslot].keys.install(out.split_member_update);
+            break;
+          }
+        }
+      }
+      area.roster.emplace_back(mid, slot);
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  double setup_s = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("setup: %.2fs (%zu nodes, %zu tree joins)\n", setup_s,
+              members.size() + areas.size(), members.size());
+
+  net.stats().reset();
+  std::size_t events_processed = 0;
+  std::uint64_t rekey_multicasts = 0;
+
+  auto t2 = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < opt.rounds; ++round) {
+    // Issue every area's traffic before draining, so the queue holds the
+    // full cross-area burst at once (peak depth ~= areas * per_area * 2).
+    for (Area& area : areas) {
+      auto& [victim_mid, victim_slot] = area.roster[round % area.roster.size()];
+      ScaleMember& victim = members[victim_slot];
+
+      // Leave: out of the group first, then one rekey multicast fans the
+      // path rotation out to every survivor off a single payload buffer.
+      net.leave_group(area.group, victim.id());
+      victim.keys.clear();
+      lkh::RekeyMessage rk = area.tree->leave(victim_mid);
+      net.multicast(area.hub.id(), area.group, kRekeyLabel, rk.serialize());
+      ++rekey_multicasts;
+
+      // Rejoin the same node as a fresh member: path by unicast.
+      lkh::MemberId mid = next_mid++;
+      auto out = area.tree->join(mid);
+      net.join_group(area.group, victim.id());
+      net.unicast(area.hub.id(), victim.id(), kPathLabel,
+                  lkh::serialize_path(out.member_path));
+      if (out.split) {
+        for (auto& [rmid, rslot] : area.roster) {
+          if (rmid == out.split_member) {
+            net.unicast(area.hub.id(), members[rslot].id(), kSplitLabel,
+                        lkh::serialize_path(out.split_member_update));
+            break;
+          }
+        }
+      }
+      area.roster[round % area.roster.size()] = {mid, victim_slot};
+
+      // Data: second full fan-out; every delivery churns an ack timer.
+      net.multicast(area.hub.id(), area.group, kDataLabel,
+                    Bytes(256, static_cast<std::uint8_t>(round)));
+    }
+    events_processed += net.run();
+  }
+  auto t3 = std::chrono::steady_clock::now();
+  double run_s = std::chrono::duration<double>(t3 - t2).count();
+
+  const net::NetStats& st = net.stats();
+  double events_per_sec = run_s > 0 ? events_processed / run_s : 0;
+  double copied = static_cast<double>(st.fanout_copied().bytes);
+  double expanded = static_cast<double>(st.fanout_expanded().bytes);
+  double ratio = copied > 0 ? expanded / copied : 0;
+
+  std::size_t in_sync = 0;
+  for (Area& area : areas) {
+    for (auto& [mid, slot] : area.roster) {
+      if (members[slot].keys.has_group_key() &&
+          members[slot].keys.group_key() == area.tree->root_key())
+        ++in_sync;
+    }
+  }
+
+  bench::print_rule();
+  std::printf("churn+rekey: %.2fs wall, %zu events, %.0f events/sec\n", run_s,
+              events_processed, events_per_sec);
+  std::printf("fan-out: %llu multicasts, copied %.1f MB, "
+              "copy-per-receiver would be %.1f MB (%.0fx reduction)\n",
+              (unsigned long long)st.fanout_copied().messages, copied / 1e6,
+              expanded / 1e6, ratio);
+  std::printf("delivered: %llu messages, %.1f MB wire\n",
+              (unsigned long long)st.recv_total().messages,
+              st.recv_total().bytes / 1e6);
+  std::printf("scheduler: peak slab %zu slots, %zu cancelled pending after "
+              "drain\n",
+              net.event_pool_slots(), net.cancelled_timers_pending());
+  std::printf("in sync: %zu/%zu members\n", in_sync, members.size());
+
+  bool ok = true;
+  if (in_sync != members.size()) {
+    std::printf("FAIL: %zu members out of sync\n", members.size() - in_sync);
+    ok = false;
+  }
+  if (ratio < 10.0) {
+    std::printf("FAIL: fan-out reduction %.1fx < 10x\n", ratio);
+    ok = false;
+  }
+  if (net.cancelled_timers_pending() != 0 || net.queued_events() != 0) {
+    std::printf("FAIL: scheduler residue after drain\n");
+    ok = false;
+  }
+
+  if (!opt.json_out.empty()) {
+    std::FILE* f = std::fopen(opt.json_out.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opt.json_out.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\"suite\": \"scale_members\", \"areas\": %zu, "
+        "\"members\": %zu, \"rounds\": %zu, \"setup_s\": %.2f, "
+        "\"run_s\": %.3f, \"events\": %zu, \"events_per_sec\": %.0f, "
+        "\"rekey_multicasts\": %llu, \"fanout_copied_bytes\": %llu, "
+        "\"fanout_expanded_bytes\": %llu, \"fanout_reduction\": %.1f, "
+        "\"peak_pool_slots\": %zu, \"in_sync\": %zu, \"ok\": %s}\n",
+        opt.areas, members.size(), opt.rounds, setup_s, run_s,
+        events_processed, events_per_sec,
+        (unsigned long long)rekey_multicasts,
+        (unsigned long long)st.fanout_copied().bytes,
+        (unsigned long long)st.fanout_expanded().bytes, ratio,
+        net.event_pool_slots(), in_sync, ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("appended -> %s\n", opt.json_out.c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -7,9 +7,9 @@ namespace mykil::iolus {
 
 namespace {
 
-constexpr const char* kLabelJoin = "iolus-join";
-constexpr const char* kLabelRekey = "iolus-rekey";
-constexpr const char* kLabelData = "iolus-data";
+const net::Label kLabelJoin{"iolus-join"};
+const net::Label kLabelRekey{"iolus-rekey"};
+const net::Label kLabelData{"iolus-data"};
 
 Bytes data_message(std::uint64_t msg_id, const crypto::SymmetricKey& group_key,
                    const crypto::SymmetricKey& data_key, ByteView payload_box,

@@ -2,12 +2,15 @@
 //
 // A member holds the keys on its root→leaf path. Rekey multicasts are
 // applied by decrypting exactly the entries sealed under a held key; every
-// other entry is skipped (it is meant for another subtree).
+// other entry is skipped (it is meant for another subtree). The held set IS
+// the member's path-node set, kept hashed so the skip test for each of the
+// O(n) off-path entries in a big batched rekey is one O(1) probe, never a
+// decrypt attempt or a tree walk.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <unordered_map>
 
 #include "crypto/keys.h"
 #include "lkh/rekey.h"
@@ -58,7 +61,7 @@ class MemberKeyState {
   };
   void remember_root(const Held& old_root) { prev_root_ = old_root.key; }
 
-  std::map<NodeIndex, Held> keys_;
+  std::unordered_map<NodeIndex, Held> keys_;
   std::optional<crypto::SymmetricKey> prev_root_;
 };
 

@@ -8,9 +8,9 @@ namespace mykil::lkh {
 
 namespace {
 
-constexpr const char* kLabelJoin = "lkh-join";
-constexpr const char* kLabelRekey = "lkh-rekey";
-constexpr const char* kLabelData = "lkh-data";
+const net::Label kLabelJoin{"lkh-join"};
+const net::Label kLabelRekey{"lkh-rekey"};
+const net::Label kLabelData{"lkh-data"};
 
 }  // namespace
 

@@ -41,8 +41,16 @@ struct RekeyMessage {
   [[nodiscard]] Bytes serialize() const;
   static RekeyMessage deserialize(ByteView data);
 
-  /// Total payload bytes (what the figure benchmarks measure).
-  [[nodiscard]] std::size_t wire_size() const { return serialize().size(); }
+  /// Total payload bytes (what the figure benchmarks measure). Computed
+  /// arithmetically from the wire layout — serialize() must agree exactly
+  /// (asserted in lkh_serialize_test) — so sizing a candidate batch never
+  /// materializes it.
+  [[nodiscard]] std::size_t wire_size() const {
+    std::size_t n = 8 + 4;  // epoch + entry count
+    for (const RekeyEntry& e : entries)
+      n += 4 + 8 + 4 + 4 + e.box.size();  // target+version+under+len+box
+    return n;
+  }
 };
 
 /// A (node, key) pair delivered by unicast when a member joins or is moved

@@ -9,14 +9,15 @@ namespace mykil::core {
 
 namespace {
 
-constexpr const char* kLabelJoin = "mykil-join";
-constexpr const char* kLabelRejoin = "mykil-rejoin";
-constexpr const char* kLabelRekey = "mykil-rekey";
-constexpr const char* kLabelData = "mykil-data";
-constexpr const char* kLabelAlive = "mykil-alive";
-constexpr const char* kLabelRepl = "mykil-repl";
-constexpr const char* kLabelArea = "mykil-area";
-constexpr const char* kLabelRecovery = "mykil-recovery";
+// Interned once at startup; per-send cost is a 2-byte copy.
+const net::Label kLabelJoin{"mykil-join"};
+const net::Label kLabelRejoin{"mykil-rejoin"};
+const net::Label kLabelRekey{"mykil-rekey"};
+const net::Label kLabelData{"mykil-data"};
+const net::Label kLabelAlive{"mykil-alive"};
+const net::Label kLabelRepl{"mykil-repl"};
+const net::Label kLabelArea{"mykil-area"};
+const net::Label kLabelRecovery{"mykil-recovery"};
 
 // Recurring timer tokens.
 constexpr std::uint64_t kTimerIdle = 1;
@@ -85,7 +86,7 @@ void AreaController::ensure_arq() {
   });
 }
 
-void AreaController::send_ctrl(net::NodeId to, const char* label,
+void AreaController::send_ctrl(net::NodeId to, net::Label label,
                                Bytes payload) {
   ensure_arq();
   arq_.send(to, label, std::move(payload));
@@ -168,7 +169,7 @@ bool AreaController::ts_fresh(net::SimTime ts) const {
   return skew <= config_.ts_window;
 }
 
-void AreaController::multicast_area(const char* label, Bytes payload) {
+void AreaController::multicast_area(net::Label label, Bytes payload) {
   network().multicast(id(), area_group_, label, std::move(payload));
   last_area_tx_ = network().now();
 }

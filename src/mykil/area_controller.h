@@ -202,7 +202,7 @@ class AreaController : public net::Node {
   /// area, with tracing/metrics (`batched_leaves` > 0 when the rekey
   /// collapses a leave batch).
   void emit_rekey(lkh::RekeyMessage msg, std::size_t batched_leaves);
-  void multicast_area(const char* label, Bytes payload);
+  void multicast_area(net::Label label, Bytes payload);
   void send_alive_if_idle();
   void scan_members();
   void check_parent_liveness();
@@ -223,7 +223,7 @@ class AreaController : public net::Node {
   /// Lazy ARQ setup (the network is only known after attach).
   void ensure_arq();
   /// Unicast control traffic through the ARQ layer.
-  void send_ctrl(net::NodeId to, const char* label, Bytes payload);
+  void send_ctrl(net::NodeId to, net::Label label, Bytes payload);
   [[nodiscard]] std::uint64_t timer_token(std::uint64_t kind) const;
   [[nodiscard]] Bytes issue_ticket(ClientId client, ByteView pubkey,
                                    net::SimTime join_time,

@@ -7,11 +7,12 @@ namespace mykil::core {
 
 namespace {
 
-constexpr const char* kLabelJoin = "mykil-join";
-constexpr const char* kLabelRejoin = "mykil-rejoin";
-constexpr const char* kLabelData = "mykil-data";
-constexpr const char* kLabelAlive = "mykil-alive";
-constexpr const char* kLabelRecovery = "mykil-recovery";
+// Interned once at startup; per-send cost is a 2-byte copy.
+const net::Label kLabelJoin{"mykil-join"};
+const net::Label kLabelRejoin{"mykil-rejoin"};
+const net::Label kLabelData{"mykil-data"};
+const net::Label kLabelAlive{"mykil-alive"};
+const net::Label kLabelRecovery{"mykil-recovery"};
 
 constexpr std::uint64_t kTimerAlive = 1;
 constexpr std::uint64_t kTimerWatchdog = 2;
@@ -37,7 +38,7 @@ void Member::ensure_arq() {
   });
 }
 
-void Member::send_ctrl(net::NodeId to, const char* label, Bytes payload) {
+void Member::send_ctrl(net::NodeId to, net::Label label, Bytes payload) {
   ensure_arq();
   arq_.send(to, label, std::move(payload));
 }
@@ -298,7 +299,11 @@ void Member::handle_rekey(const net::Message& msg) {
     // Fire-and-forget mode: apply blindly; a stale held key makes apply
     // throw AuthError, which the on_message catch swallows — the member
     // silently desynchronizes (the pre-recovery behavior).
-    keys_.apply(rk);
+    std::size_t applied = keys_.apply(rk);
+    if (applied > 0) {
+      ++rekeys_applied_;
+      rekey_entries_applied_ += applied;
+    }
     if (rk.epoch > area_epoch_) area_epoch_ = rk.epoch;
     return;
   }
@@ -312,7 +317,11 @@ void Member::handle_rekey(const net::Message& msg) {
     return;
   }
   try {
-    keys_.apply(rk);
+    std::size_t applied = keys_.apply(rk);
+    if (applied > 0) {
+      ++rekeys_applied_;
+      rekey_entries_applied_ += applied;
+    }
     area_epoch_ = rk.epoch;
   } catch (const AuthError&) {
     // A held key no longer matches what the AC encrypted under — we missed

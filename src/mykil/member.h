@@ -73,6 +73,13 @@ class Member : public net::Node {
   }
   /// Rekey-stream epoch this member has caught up to (DESIGN.md 9.2).
   [[nodiscard]] std::uint64_t area_epoch() const { return area_epoch_; }
+  /// Rekey multicasts that updated at least one held key, and the total
+  /// number of entries actually applied (off-path entries are skipped and
+  /// never counted). The batching benchmarks assert these.
+  [[nodiscard]] std::uint64_t rekeys_applied() const { return rekeys_applied_; }
+  [[nodiscard]] std::uint64_t rekey_entries_applied() const {
+    return rekey_entries_applied_;
+  }
   /// Completed key-recovery catch-ups (gap or stale-key triggered).
   [[nodiscard]] std::uint64_t key_recoveries() const { return key_recoveries_; }
   [[nodiscard]] const net::ArqEndpoint& arq() const { return arq_; }
@@ -114,7 +121,7 @@ class Member : public net::Node {
   /// Lazy ARQ setup (the network is only known after attach).
   void ensure_arq();
   /// Unicast control traffic through the ARQ layer.
-  void send_ctrl(net::NodeId to, const char* label, Bytes payload);
+  void send_ctrl(net::NodeId to, net::Label label, Bytes payload);
   [[nodiscard]] std::uint64_t timer_token(std::uint64_t kind) const;
 
   ClientId nic_id_;
@@ -168,6 +175,8 @@ class Member : public net::Node {
   /// horizon escalates to a ticket rejoin (we may have been evicted).
   net::SimTime recovery_started_ = 0;
   std::uint64_t key_recoveries_ = 0;
+  std::uint64_t rekeys_applied_ = 0;
+  std::uint64_t rekey_entries_applied_ = 0;
 
   std::vector<Bytes> received_data_;
   std::set<std::uint64_t> seen_data_;

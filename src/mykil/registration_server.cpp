@@ -6,7 +6,7 @@
 namespace mykil::core {
 
 namespace {
-constexpr const char* kLabelJoin = "mykil-join";
+const net::Label kLabelJoin{"mykil-join"};
 }
 
 RegistrationServer::RegistrationServer(MykilConfig config,
@@ -28,7 +28,7 @@ void RegistrationServer::ensure_arq() {
   // its own watchdog restarts the handshake.
 }
 
-void RegistrationServer::send_ctrl(net::NodeId to, const char* label,
+void RegistrationServer::send_ctrl(net::NodeId to, net::Label label,
                                    Bytes payload) {
   ensure_arq();
   arq_.send(to, label, std::move(payload));

@@ -69,7 +69,7 @@ class RegistrationServer : public net::Node {
   /// Lazy ARQ setup (the network is only known after attach).
   void ensure_arq();
   /// Unicast control traffic through the ARQ layer.
-  void send_ctrl(net::NodeId to, const char* label, Bytes payload);
+  void send_ctrl(net::NodeId to, net::Label label, Bytes payload);
   /// Round-robin area placement ("proximity to the client, load balancing,
   /// etc." — we rotate, which is load balancing).
   const AcInfo& pick_area();

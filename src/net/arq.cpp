@@ -63,14 +63,15 @@ void ArqEndpoint::transmit(const Flight& f) {
 
 void ArqEndpoint::send_ack(NodeId to, std::uint64_t incarnation,
                            std::uint64_t seq) {
+  static const Label kAckLabel{kArqAckLabel};
   ArqFrame ack;
   ack.tag = kArqAckTag;
   ack.incarnation = incarnation;  // echo the sender's, not ours
   ack.seq = seq;
-  net_->unicast(self_, to, kArqAckLabel, ack.serialize());
+  net_->unicast(self_, to, kAckLabel, ack.serialize());
 }
 
-void ArqEndpoint::send(NodeId to, const char* label, Bytes payload) {
+void ArqEndpoint::send(NodeId to, Label label, Bytes payload) {
   if (!enabled_) {
     net_->unicast(self_, to, label, std::move(payload));
     return;
@@ -153,14 +154,14 @@ bool ArqEndpoint::on_timer(std::uint64_t token) {
   Flight& f = it->second;
   if (f.retries >= config_.max_retries) {
     NodeId to = f.to;
-    std::string label = std::move(f.label);
+    Label label = f.label;
     flight_index_.erase({f.to, f.seq});
     flights_.erase(it);
     ++stats_.give_ups;
     count("arq.give_ups");
     if (auto* t = net_->tracer())
       t->instant(obs::EventKind::kArqGiveUp, self_, net_->now(), to, 0, label);
-    if (give_up_) give_up_(to, label);  // last: may re-enter send()
+    if (give_up_) give_up_(to, label.name());  // last: may re-enter send()
     return true;
   }
   ++f.retries;

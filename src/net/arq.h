@@ -118,7 +118,7 @@ class ArqEndpoint {
   void set_give_up_handler(GiveUpFn fn) { give_up_ = std::move(fn); }
 
   /// Send `payload` reliably (or plainly, when disabled) to `to`.
-  void send(NodeId to, const char* label, Bytes payload);
+  void send(NodeId to, Label label, Bytes payload);
 
   /// Classify an incoming message. On kDeliver, `unwrapped` is the same
   /// message with the ARQ header stripped from its payload.
@@ -144,8 +144,11 @@ class ArqEndpoint {
   struct Flight {
     NodeId to = kNoNode;
     std::uint64_t seq = 0;
-    std::string label;
-    Bytes frame;  ///< serialized ArqFrame, retransmitted verbatim
+    Label label;
+    /// Serialized ArqFrame, retransmitted verbatim. A Payload so every
+    /// retransmission re-sends the same refcounted buffer instead of
+    /// re-copying the frame bytes.
+    Payload frame;
     unsigned retries = 0;
     SimDuration rto = 0;
     Network::TimerId timer = 0;

@@ -2,9 +2,10 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <memory>
 
 #include "common/bytes.h"
+#include "net/label.h"
 
 namespace mykil::net {
 
@@ -16,15 +17,61 @@ inline constexpr NodeId kNoNode = 0xFFFFFFFF;
 using GroupId = std::uint32_t;
 inline constexpr GroupId kNoGroup = 0xFFFFFFFF;
 
+/// Refcounted immutable payload buffer.
+///
+/// A multicast to n receivers used to deep-copy its payload n times — once
+/// per queued delivery. Payload shares one immutable buffer across every
+/// Message that refers to it, so fan-out costs O(1) payload copies no
+/// matter the group size, and a message held by the event queue, a stats
+/// hook, and a test capture vector all alias the same bytes. Immutability
+/// makes the sharing safe: nothing can mutate a payload after send, which
+/// is also what a real datagram guarantees.
+///
+/// Converts implicitly from Bytes (the buffer is MOVED in, not copied) and
+/// to ByteView, so parse/crypto call sites written against ByteView keep
+/// working unchanged.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<const Bytes>(std::move(bytes))) {}
+
+  [[nodiscard]] ByteView view() const {
+    return data_ == nullptr ? ByteView{} : ByteView{*data_};
+  }
+  operator ByteView() const { return view(); }  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::size_t size() const {
+    return data_ == nullptr ? 0 : data_->size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const std::uint8_t* data() const { return view().data(); }
+
+  /// Materialize an owned copy (rarely needed; prefer view()).
+  [[nodiscard]] Bytes clone() const {
+    ByteView v = view();
+    return Bytes(v.begin(), v.end());
+  }
+
+  /// How many Messages/queued deliveries share this buffer (1 for a
+  /// freshly built payload, 0 for empty). Test/diagnostic API.
+  [[nodiscard]] long use_count() const { return data_.use_count(); }
+
+ private:
+  std::shared_ptr<const Bytes> data_;
+};
+
 /// A message in flight. `label` names the traffic class ("join", "rekey",
 /// "data", "alive", ...) purely for bandwidth accounting — protocols put
 /// their real message-type tag inside `payload`.
 struct Message {
   NodeId from = kNoNode;
   NodeId to = kNoNode;       ///< kNoNode when delivered via multicast
-  GroupId group = kNoGroup;   ///< group it was multicast to, if any
-  std::string label;
-  Bytes payload;
+  GroupId group = kNoGroup;  ///< group it was multicast to, if any
+  Label label;
+  Payload payload;
 
   /// Bytes this message occupies on the wire. The simulator charges only
   /// payload bytes so measurements line up with the paper's key-byte

@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace mykil::net {
@@ -68,11 +70,11 @@ std::uint32_t Network::partition_of(NodeId node) const {
 }
 
 void Network::block_link(NodeId from, NodeId to) {
-  blocked_links_.insert({from, to});
+  blocked_links_.insert(link_key(from, to));
 }
 
 void Network::unblock_link(NodeId from, NodeId to) {
-  blocked_links_.erase({from, to});
+  blocked_links_.erase(link_key(from, to));
 }
 
 GroupId Network::create_group() {
@@ -82,12 +84,16 @@ GroupId Network::create_group() {
 
 void Network::join_group(GroupId group, NodeId node) {
   if (group >= groups_.size()) throw SimError("join_group: unknown group");
-  groups_[group].insert(node);
+  auto& members = groups_[group];
+  auto it = std::lower_bound(members.begin(), members.end(), node);
+  if (it == members.end() || *it != node) members.insert(it, node);
 }
 
 void Network::leave_group(GroupId group, NodeId node) {
   if (group >= groups_.size()) throw SimError("leave_group: unknown group");
-  groups_[group].erase(node);
+  auto& members = groups_[group];
+  auto it = std::lower_bound(members.begin(), members.end(), node);
+  if (it != members.end() && *it == node) members.erase(it);
 }
 
 std::size_t Network::group_size(GroupId group) const {
@@ -99,7 +105,7 @@ bool Network::deliverable(NodeId from, NodeId to) const {
   if (to >= nodes_.size()) return false;
   if (!up_[to]) return false;
   if (from < nodes_.size() && partition_[from] != partition_[to]) return false;
-  if (blocked_links_.contains({from, to})) return false;
+  if (blocked_links_.contains(link_key(from, to))) return false;
   return true;
 }
 
@@ -112,6 +118,68 @@ SimDuration Network::delivery_latency(std::size_t bytes) {
          jitter;
 }
 
+// ---- event pool + 4-ary heap ----
+
+std::uint32_t Network::acquire_slot() {
+  if (!free_slots_.empty()) {
+    std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void Network::release_slot(std::uint32_t slot) {
+  Event& ev = pool_[slot];
+  ev.msg = Message{};  // drop the payload refcount now, not at slot reuse
+  ev.timer_id = 0;     // dead timer ids stop matching in cancel_timer
+  ev.cancelled = false;
+  free_slots_.push_back(slot);
+}
+
+void Network::schedule(Event ev) {
+  std::uint32_t slot = acquire_slot();
+  SimTime at = ev.at;
+  std::uint64_t key = ((next_seq_++ & 0xFFFFFFFFULL) << 32) | slot;
+  pool_[slot] = std::move(ev);
+  heap_push({at, key});
+}
+
+void Network::heap_push(EventRef ref) {
+  heap_.push_back(ref);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    std::size_t parent = (i - 1) / kHeapArity;
+    if (!ref_before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Network::heap_pop_min() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Network::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t first = i * kHeapArity + 1;
+    if (first >= n) return;
+    std::size_t last = std::min(first + kHeapArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (ref_before(heap_[c], heap_[best])) best = c;
+    if (!ref_before(heap_[best], heap_[i])) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+// ---- sending ----
+
 void Network::queue_delivery(Message msg, NodeId to) {
   if (config_.drop_probability > 0.0 &&
       prng_.uniform_double() < config_.drop_probability) {
@@ -123,18 +191,17 @@ void Network::queue_delivery(Message msg, NodeId to) {
   }
   Event ev;
   ev.at = now_ + delivery_latency(msg.wire_size());
-  ev.seq = next_seq_++;
   ev.kind = Event::Kind::kDeliver;
   ev.deliver_to = to;
   ev.msg = std::move(msg);
-  events_.push(std::move(ev));
+  schedule(std::move(ev));
 }
 
-void Network::unicast(NodeId from, NodeId to, std::string label, Bytes payload) {
+void Network::unicast(NodeId from, NodeId to, Label label, Payload payload) {
   Message msg;
   msg.from = from;
   msg.to = to;
-  msg.label = std::move(label);
+  msg.label = label;
   msg.payload = std::move(payload);
   stats_.record_send(msg);
   if (tracer_)
@@ -150,19 +217,20 @@ void Network::unicast(NodeId from, NodeId to, std::string label, Bytes payload) 
   queue_delivery(std::move(msg), to);
 }
 
-void Network::multicast(NodeId from, GroupId group, std::string label,
-                        Bytes payload) {
+void Network::multicast(NodeId from, GroupId group, Label label,
+                        Payload payload) {
   if (group >= groups_.size()) throw SimError("multicast: unknown group");
   Message proto;
   proto.from = from;
   proto.group = group;
-  proto.label = std::move(label);
+  proto.label = label;
   proto.payload = std::move(payload);
   // One send on the wire (IP multicast model) regardless of fan-out.
   stats_.record_send(proto);
   if (tracer_)
     tracer_->instant(obs::EventKind::kSend, from, now_, proto.wire_size(), 0,
                      proto.label);
+  std::size_t fan = 0;
   for (NodeId member : groups_[group]) {
     if (member == from) continue;
     if (!deliverable(from, member)) {
@@ -172,34 +240,56 @@ void Network::multicast(NodeId from, GroupId group, std::string label,
                          proto.wire_size(), 0, proto.label);
       continue;
     }
+    ++fan;
+    // Copying the prototype bumps the payload refcount; the buffer itself
+    // is shared by every delivery queued here.
     Message copy = proto;
     copy.to = member;
     queue_delivery(std::move(copy), member);
   }
+  if (fan > 0) stats_.record_fanout(proto.wire_size(), fan);
 }
+
+// ---- timers ----
 
 Network::TimerId Network::set_timer(NodeId node, SimDuration delay,
                                     std::uint64_t token) {
   if (node >= nodes_.size()) throw SimError("set_timer: unknown node");
-  Event ev;
+  std::uint32_t slot = acquire_slot();
+  TimerId id = (next_timer_seq_++ << 32) | slot;
+  Event& ev = pool_[slot];
   ev.at = now_ + delay;
-  ev.seq = next_seq_++;
   ev.kind = Event::Kind::kTimer;
+  ev.cancelled = false;
   ev.timer_node = node;
   ev.timer_token = token;
-  ev.timer_id = next_timer_id_++;
-  TimerId id = ev.timer_id;
-  events_.push(std::move(ev));
+  ev.timer_id = id;
+  std::uint64_t key = ((next_seq_++ & 0xFFFFFFFFULL) << 32) | slot;
+  heap_push({ev.at, key});
   return id;
 }
 
-void Network::cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
+void Network::cancel_timer(TimerId id) {
+  auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFF);
+  if (slot >= pool_.size()) return;
+  Event& ev = pool_[slot];
+  // The slot may have fired (timer_id cleared) or been recycled for a
+  // different event since this id was issued; only a live match cancels.
+  if (ev.timer_id != id || ev.cancelled) return;
+  ev.cancelled = true;
+  ++cancelled_pending_;
+}
+
+// ---- running ----
 
 bool Network::step() {
-  if (events_.empty()) return false;
-  if (queue_depth_) queue_depth_->record(events_.size());
-  Event ev = events_.top();
-  events_.pop();
+  if (heap_.empty()) return false;
+  if (queue_depth_) queue_depth_->record(heap_.size());
+  EventRef top = heap_[0];
+  heap_pop_min();
+  auto slot = static_cast<std::uint32_t>(top.key & 0xFFFFFFFF);
+  Event ev = std::move(pool_[slot]);
+  release_slot(slot);
   now_ = ev.at;
   switch (ev.kind) {
     case Event::Kind::kDeliver: {
@@ -221,7 +311,10 @@ bool Network::step() {
       break;
     }
     case Event::Kind::kTimer: {
-      if (cancelled_timers_.erase(ev.timer_id) > 0) break;
+      if (ev.cancelled) {
+        --cancelled_pending_;
+        break;
+      }
       if (!up_[ev.timer_node]) break;  // crashed node: timer suppressed
       nodes_[ev.timer_node]->on_timer(ev.timer_token);
       break;
@@ -238,7 +331,7 @@ std::size_t Network::run(std::size_t max_events) {
 
 std::size_t Network::run_until(SimTime deadline) {
   std::size_t n = 0;
-  while (!events_.empty() && events_.top().at <= deadline && step()) ++n;
+  while (!heap_.empty() && heap_[0].at <= deadline && step()) ++n;
   if (now_ < deadline) now_ = deadline;
   return n;
 }

@@ -15,6 +15,14 @@
 // calls delivers events in the same order. Ties in delivery time are broken
 // by event sequence number.
 //
+// Scale (DESIGN.md 10): the event queue is a 4-ary heap of 16-byte
+// {time, seq|slot} handles over a slab-allocated event pool, payloads are
+// refcounted (net/message.h) so a multicast to n members costs one buffer,
+// and labels are interned ids (net/label.h) so per-delivery accounting
+// never touches a string. Group membership is a sorted flat vector (same
+// iteration order std::set gave, contiguous for the fan-out loop), and
+// blocked links live in a hash set.
+//
 // Delivery guarantees (what protocol code may and may not assume):
 //   - Unicast/multicast delivery is AT MOST ONCE: a message is delivered
 //     zero or one times, never duplicated by the network itself.
@@ -37,14 +45,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <memory>
-#include <queue>
-#include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "crypto/prng.h"
+#include "net/label.h"
 #include "net/message.h"
 #include "net/node.h"
 #include "net/sim_time.h"
@@ -116,17 +121,22 @@ class Network {
   // ---- sending ----
 
   /// Queue a unicast message for delivery (callable from node callbacks).
-  void unicast(NodeId from, NodeId to, std::string label, Bytes payload);
+  void unicast(NodeId from, NodeId to, Label label, Payload payload);
 
   /// Queue one multicast: delivered to every current group member except
   /// the sender. Accounting charges one send (the paper's model: a single
-  /// multicast message) and one delivery per receiver.
-  void multicast(NodeId from, GroupId group, std::string label, Bytes payload);
+  /// multicast message) and one delivery per receiver; all deliveries
+  /// share one refcounted payload buffer (O(1) copies per fan-out).
+  void multicast(NodeId from, GroupId group, Label label, Payload payload);
 
   // ---- timers ----
 
   using TimerId = std::uint64_t;
   TimerId set_timer(NodeId node, SimDuration delay, std::uint64_t token);
+  /// Cancel a pending timer. O(1): the id addresses the timer's event-pool
+  /// slot directly. Cancelling an id that already fired (or never existed)
+  /// is a no-op — no bookkeeping is retained for it, so cancel-heavy runs
+  /// (ARQ retransmit churn) cannot accumulate state.
   void cancel_timer(TimerId id);
 
   // ---- running ----
@@ -140,10 +150,23 @@ class Network {
   bool step();
 
   [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] bool idle() const { return events_.empty(); }
+  [[nodiscard]] bool idle() const { return heap_.empty(); }
 
   NetStats& stats() { return stats_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
+
+  // ---- scheduler introspection (tests, benches) ----
+
+  /// Events currently queued (deliveries + pending timers).
+  [[nodiscard]] std::size_t queued_events() const { return heap_.size(); }
+  /// High-water slab size: slots ever allocated for queued events. Bounded
+  /// by peak queue depth, NOT by the total number of events scheduled.
+  [[nodiscard]] std::size_t event_pool_slots() const { return pool_.size(); }
+  /// Timers cancelled but not yet reaped from the queue (their slot frees
+  /// when the due time passes). Returns toward 0 as the run drains.
+  [[nodiscard]] std::size_t cancelled_timers_pending() const {
+    return cancelled_pending_;
+  }
 
   // ---- observability ----
 
@@ -157,24 +180,48 @@ class Network {
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
+  /// Slab-resident event record. Deliveries carry a Message whose payload
+  /// is a refcounted buffer shared with every sibling delivery of the same
+  /// multicast.
   struct Event {
-    SimTime at;
-    std::uint64_t seq;  // FIFO tie-break
-    enum class Kind { kDeliver, kTimer } kind;
+    SimTime at = 0;
+    enum class Kind : std::uint8_t { kDeliver, kTimer } kind = Kind::kDeliver;
+    bool cancelled = false;  ///< timers only; set by cancel_timer
     // deliver
     Message msg;
     NodeId deliver_to = kNoNode;
     // timer
     NodeId timer_node = kNoNode;
     std::uint64_t timer_token = 0;
-    TimerId timer_id = 0;
+    TimerId timer_id = 0;  ///< 0 when the slot is free or holds a delivery
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+
+  /// 16-byte heap handle. `key` packs (seq mod 2^32) in the high half and
+  /// the slab slot in the low half, so the comparator's (at, key) order is
+  /// exactly the old (at, seq) FIFO tie-break and the winning handle leads
+  /// straight to its slot. (The tie-break only ever compares events alive
+  /// at the same instant; a 2^32 wrap between such events cannot happen.)
+  struct EventRef {
+    SimTime at;
+    std::uint64_t key;
   };
+  static bool ref_before(const EventRef& a, const EventRef& b) {
+    return a.at != b.at ? a.at < b.at : a.key < b.key;
+  }
+
+  static constexpr std::size_t kHeapArity = 4;
+  void heap_push(EventRef ref);
+  void heap_pop_min();
+  void sift_down(std::size_t i);
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  /// Place `ev` in the pool and index it in the heap (assigns the seq).
+  void schedule(Event ev);
+
+  static std::uint64_t link_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
 
   void queue_delivery(Message msg, NodeId to);
   [[nodiscard]] bool deliverable(NodeId from, NodeId to) const;
@@ -184,16 +231,19 @@ class Network {
   crypto::Prng prng_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  TimerId next_timer_id_ = 1;
+  std::uint64_t next_timer_seq_ = 1;  ///< high half of TimerId; never 0
 
   std::vector<Node*> nodes_;
   std::vector<bool> up_;
   std::vector<std::uint32_t> partition_;
-  std::set<std::pair<NodeId, NodeId>> blocked_links_;
-  std::vector<std::set<NodeId>> groups_;
-  std::set<TimerId> cancelled_timers_;
+  std::unordered_set<std::uint64_t> blocked_links_;
+  std::vector<std::vector<NodeId>> groups_;  ///< each sorted, duplicate-free
 
-  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::vector<EventRef> heap_;  ///< 4-ary min-heap of handles
+  std::vector<Event> pool_;     ///< slab addressed by handle slot
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t cancelled_pending_ = 0;
+
   NetStats stats_;
 
   obs::Tracer* tracer_ = nullptr;

@@ -102,7 +102,7 @@ void Tracer::push(TraceEvent ev) {
 }
 
 void Tracer::instant(EventKind kind, std::uint32_t tid, net::SimTime ts,
-                     std::uint64_t a0, std::uint64_t a1, std::string label) {
+                     std::uint64_t a0, std::uint64_t a1, net::Label label) {
   TraceEvent ev;
   ev.kind = kind;
   ev.phase = TraceEvent::Phase::kInstant;
@@ -110,7 +110,7 @@ void Tracer::instant(EventKind kind, std::uint32_t tid, net::SimTime ts,
   ev.ts = ts;
   ev.a0 = a0;
   ev.a1 = a1;
-  ev.label = std::move(label);
+  ev.label = label;
   push(std::move(ev));
 }
 
@@ -195,7 +195,7 @@ std::string Tracer::to_chrome_trace() const {
       if (!ev.label.empty()) {
         if (!first_arg) out += ',';
         out += "\"label\":";
-        append_json_string(out, ev.label);
+        append_json_string(out, ev.label.name());
       }
       out += '}';
     }

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/label.h"
 #include "net/sim_time.h"
 
 namespace mykil::obs {
@@ -65,7 +66,7 @@ struct TraceEvent {
   net::SimTime ts = 0;
   std::uint64_t id = 0;  ///< span correlation id (begin/end only)
   std::uint64_t a0 = 0, a1 = 0;
-  std::string label;  ///< traffic class for send/deliver/drop, else empty
+  net::Label label;  ///< traffic class for send/deliver/drop, else empty
 };
 
 class Tracer {
@@ -76,7 +77,7 @@ class Tracer {
 
   void instant(EventKind kind, std::uint32_t tid, net::SimTime ts,
                std::uint64_t a0 = 0, std::uint64_t a1 = 0,
-               std::string label = {});
+               net::Label label = {});
   void span_begin(EventKind kind, std::uint64_t span_id, std::uint32_t tid,
                   net::SimTime ts);
   /// Returns the elapsed virtual time if a matching span_begin is open,

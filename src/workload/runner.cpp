@@ -100,6 +100,8 @@ RunReport ChurnRunner::run(const ChurnSchedule& schedule,
   report.rekey_bytes = net.stats().sent_by_label("mykil-rekey").bytes;
   report.data_bytes = net.stats().sent_by_label("mykil-data").bytes;
   report.alive_bytes = net.stats().sent_by_label("mykil-alive").bytes;
+  report.fanout_copied_bytes = net.stats().fanout_copied().bytes;
+  report.fanout_expanded_bytes = net.stats().fanout_expanded().bytes;
 
   if (obs::MetricsRegistry* m = net.metrics()) {
     auto summarize = [&](const char* name) {

@@ -20,6 +20,10 @@ struct RunReport {
   std::uint64_t rekey_bytes = 0;
   std::uint64_t data_bytes = 0;
   std::uint64_t alive_bytes = 0;
+  /// Payload bytes the zero-copy fan-out actually materialized vs. what a
+  /// copy-per-receiver fan-out would have (see NetStats::record_fanout).
+  std::uint64_t fanout_copied_bytes = 0;
+  std::uint64_t fanout_expanded_bytes = 0;
   /// Members whose key state matches their AC's area key at the end.
   std::size_t in_sync = 0;
   std::size_t out_of_sync = 0;

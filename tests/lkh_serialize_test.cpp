@@ -88,6 +88,37 @@ TEST(KeyTreeSerialize, PruneModeFreeListPreserved) {
   EXPECT_EQ(out1.leaf, out2.leaf);
 }
 
+// wire_size() is computed arithmetically (sizing a candidate batch must not
+// materialize it); it must agree byte-for-byte with serialize().
+TEST(RekeyWireSize, EmptyMessageMatchesSerializedSize) {
+  RekeyMessage msg;
+  msg.epoch = 42;
+  EXPECT_EQ(msg.wire_size(), msg.serialize().size());
+}
+
+TEST(RekeyWireSize, VariedBoxSizesMatchSerializedSize) {
+  RekeyMessage msg;
+  msg.epoch = 7;
+  for (std::size_t len : {0u, 1u, 17u, 48u, 1000u}) {
+    RekeyEntry e;
+    e.target = static_cast<NodeIndex>(len);
+    e.version = len * 3 + 1;
+    e.encrypted_under = static_cast<NodeIndex>(len + 1);
+    e.box = Bytes(len, 0xAB);
+    msg.entries.push_back(std::move(e));
+    EXPECT_EQ(msg.wire_size(), msg.serialize().size());
+  }
+}
+
+TEST(RekeyWireSize, RealTreeRekeysMatchSerializedSize) {
+  KeyTree t = build_tree(4, 30, 29);
+  RekeyMessage leave_msg = t.leave(11);
+  EXPECT_EQ(leave_msg.wire_size(), leave_msg.serialize().size());
+  auto join_out = t.join(200);
+  EXPECT_EQ(join_out.multicast.wire_size(),
+            join_out.multicast.serialize().size());
+}
+
 TEST(KeyTreeSerialize, TruncatedSnapshotRejected) {
   KeyTree t = build_tree(4, 10, 13);
   Bytes snap = t.serialize();

@@ -102,6 +102,41 @@ TEST(MykilBatching, ConsecutiveLeavesAggregateIntoOneRekey) {
   }
 }
 
+TEST(MykilBatching, AggregatedRekeyAppliesOnlyPathEntries) {
+  World w;
+  auto members = join_n(w, 8);
+  members[0]->send_data(to_bytes("settle joins"));
+  w.group.settle();
+
+  std::vector<std::uint64_t> rekeys_before, entries_before;
+  for (auto& m : members) {
+    rekeys_before.push_back(m->rekeys_applied());
+    entries_before.push_back(m->rekey_entries_applied());
+  }
+
+  members[6]->leave();
+  members[7]->leave();
+  members[0]->send_data(to_bytes("flush aggregated leave"));
+  w.group.settle();
+
+  // Exactly one aggregated multicast reached each survivor, and each
+  // applied it exactly once: at least the rotated root, and never more
+  // entries than keys it holds — the off-path entries in the union batch
+  // are skipped by lookup, not decrypt-attempted.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(members[i]->rekeys_applied(), rekeys_before[i] + 1) << i;
+    std::uint64_t applied =
+        members[i]->rekey_entries_applied() - entries_before[i];
+    EXPECT_GE(applied, 1u) << i;
+    EXPECT_LE(applied, members[i]->keys().key_count()) << i;
+  }
+  // The departed pair left the area group before the flush: no multicast,
+  // no application.
+  for (std::size_t i : {6u, 7u}) {
+    EXPECT_EQ(members[i]->rekeys_applied(), rekeys_before[i]) << i;
+  }
+}
+
 TEST(MykilBatching, AggregatedLeaveSmallerThanSerialLeaves) {
   // Two identical worlds; one batches 4 leaves, the other rekeys each.
   auto rekey_bytes = [](bool batching) {

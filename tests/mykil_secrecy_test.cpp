@@ -39,7 +39,7 @@ GroupOptions logic_options(std::uint64_t seed = 1) {
 class Eavesdropper : public net::Node {
  public:
   void on_message(const net::Message& msg) override {
-    captured.push_back(msg.payload);
+    captured.push_back(msg.payload.clone());
   }
   std::vector<Bytes> captured;
 };
