@@ -1,4 +1,19 @@
 // Shared helpers for the figure/table reproduction binaries.
+//
+// Bench output file formats (the BENCH_*.json files at the repo root):
+//
+//   - Single-document suites (BenchJson::write_file): ONE JSON object
+//     holding every row of one suite run — rewritten wholesale each run.
+//     Used when a suite is always regenerated as a unit (BENCH_crypto.json).
+//   - Per-run suites are JSONL: one self-contained JSON object PER LINE,
+//     appended per run/configuration (BenchJson::append_jsonl, or fprintf
+//     of a single line). Used when runs accumulate across configurations
+//     or commits (BENCH_sim.json, BENCH_chaos.json) — append keeps earlier
+//     rows' bytes intact, and `grep`/`jq -c` consume lines directly.
+//
+// The smoke gates accept both shapes: a parser should treat a leading '{'
+// on line one followed by more lines as a pretty-printed single document,
+// and otherwise parse line-by-line.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +24,21 @@
 #include "obs/metrics.h"
 
 namespace mykil::bench {
+
+/// Peak resident set size of this process in MiB (VmHWM from
+/// /proc/self/status), or 0 where unavailable. Scale benches record it so
+/// memory growth at 1M members shows up in the JSON trajectory.
+inline std::size_t peak_rss_mb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb / 1024;
+}
 
 /// Print a header line followed by a separator sized to it.
 inline void print_header(const std::string& title) {

@@ -1,23 +1,30 @@
-// Paper-scale simulator benchmark: 100,000 members (20 areas x 5,000)
-// under churn + rekey + data fan-out (Section V sizes Mykil for groups of
-// this order; the figure benches top out far below it without the zero-copy
-// fan-out and slab scheduler, DESIGN.md 10).
+// Paper-scale simulator benchmark: up to 1,000,000 members under churn +
+// rekey + data fan-out (Section V sizes Mykil areas at ~5,000 members; the
+// figure benches top out far below this without the zero-copy fan-out,
+// slab scheduler, and sharded parallel engine, DESIGN.md 10-11).
 //
 // Each area is a lightweight hub driving a REAL KeyTree over REAL sealed
 // rekey ciphertext; members hold real MemberKeyState and decrypt what is
 // theirs. Only the RSA handshakes of the full protocol are elided (200ms of
 // keygen per member makes 100k infeasible and measures crypto, not the
 // simulator). Every measured round, per area: one leave (rekey multicast to
-// ~5,000 members), one rejoin (path unicast), one data multicast, and an
+// the area), one rejoin (path unicast), one data multicast, and an
 // ack-delay timer set/cancel per data delivery — the ARQ-shaped churn that
 // used to leak cancellation bookkeeping.
 //
-// Reported: events/sec through the scheduler, wall-clock, and fan-out bytes
-// physically copied vs. what copy-per-receiver would have allocated (the
-// >= 10x acceptance ratio). Appends one JSON object per run to BENCH_sim.json.
+// --workers sweeps the parallel engine: the WHOLE benchmark (setup + all
+// rounds) reruns per worker count, each run folds every member's observed
+// deliveries into a digest in node order, and the digests must be
+// bit-identical across the sweep — the throughput comparison is only
+// meaningful because the work is provably the same work.
+//
+// Reported per worker count: events/sec through the scheduler, wall-clock,
+// peak RSS, fan-out bytes physically copied vs. copy-per-receiver, and the
+// run digest. Appends one JSON object per run to BENCH_sim.json (JSONL —
+// see bench_util.h).
 //
 //   scale_members [--members=100000] [--areas=20] [--rounds=10]
-//                 [--smoke] [--json_out=BENCH_sim.json]
+//                 [--workers=1,2,8] [--smoke] [--json_out=BENCH_sim.json]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -96,7 +103,25 @@ struct Options {
   std::size_t members = 100000;
   std::size_t areas = 20;
   std::size_t rounds = 10;
+  std::vector<unsigned> workers{1};
   std::string json_out;
+};
+
+struct RunResult {
+  double setup_s = 0;
+  double run_s = 0;
+  std::size_t events = 0;
+  double events_per_sec = 0;
+  std::uint64_t rekey_multicasts = 0;
+  std::uint64_t fanout_copied_bytes = 0;
+  std::uint64_t fanout_expanded_bytes = 0;
+  double fanout_reduction = 0;
+  std::size_t pool_slots = 0;
+  std::size_t in_sync = 0;
+  std::size_t members = 0;
+  std::size_t peak_rss_mb = 0;
+  std::uint64_t digest = 0;
+  bool residue = false;
 };
 
 bool flag_value(const char* arg, const char* name, std::string& out) {
@@ -106,36 +131,23 @@ bool flag_value(const char* arg, const char* name, std::string& out) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Options opt;
-  std::string v;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      opt.members = 100;
-      opt.areas = 2;
-      opt.rounds = 2;
-    } else if (flag_value(argv[i], "--members", v)) {
-      opt.members = static_cast<std::size_t>(std::atoll(v.c_str()));
-    } else if (flag_value(argv[i], "--areas", v)) {
-      opt.areas = static_cast<std::size_t>(std::atoll(v.c_str()));
-    } else if (flag_value(argv[i], "--rounds", v)) {
-      opt.rounds = static_cast<std::size_t>(std::atoll(v.c_str()));
-    } else if (flag_value(argv[i], "--json_out", v)) {
-      opt.json_out = v;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      return 2;
-    }
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 1099511628211ull;
   }
+  return h;
+}
+
+/// One full benchmark pass at a given worker count. Everything — topology,
+/// tree randomness, schedule — derives from the options alone, so two
+/// passes differ ONLY in how the engine executes the identical schedule.
+RunResult run_one(const Options& opt, unsigned workers) {
+  RunResult res;
   const std::size_t per_area = opt.members / opt.areas;
 
-  bench::print_header("scale_members: zero-copy fan-out + slab scheduler");
-  std::printf("%zu areas x %zu members (%zu total), %zu churn rounds\n",
-              opt.areas, per_area, opt.areas * per_area, opt.rounds);
-
   net::Network net;  // default latency model, no loss: measures the engine
+  net.set_workers(workers);
   std::deque<ScaleMember> members;  // stable addresses: Network keeps Node*
   std::deque<Area> areas;
   lkh::MemberId next_mid = 1;
@@ -144,6 +156,11 @@ int main(int argc, char** argv) {
   for (std::size_t a = 0; a < opt.areas; ++a) {
     Area& area = areas.emplace_back();
     net.attach(area.hub);
+    // One shard per area (shard 0 is left to drivers/registration in the
+    // full stack; the bench has no such node).
+    std::uint32_t shard =
+        1 + static_cast<std::uint32_t>(a % (net::Network::kMaxShards - 1));
+    net.set_shard(area.hub.id(), shard);
     area.group = net.create_group();
     lkh::KeyTree::Config tcfg;
     tcfg.fanout = 4;
@@ -156,6 +173,7 @@ int main(int argc, char** argv) {
       std::size_t slot = members.size();
       ScaleMember& member = members.emplace_back();
       net.attach(member);
+      net.set_shard(member.id(), shard);
       net.join_group(area.group, member.id());
       lkh::MemberId mid = next_mid++;
       auto out = area.tree->join(mid);
@@ -172,13 +190,9 @@ int main(int argc, char** argv) {
     }
   }
   auto t1 = std::chrono::steady_clock::now();
-  double setup_s = std::chrono::duration<double>(t1 - t0).count();
-  std::printf("setup: %.2fs (%zu nodes, %zu tree joins)\n", setup_s,
-              members.size() + areas.size(), members.size());
+  res.setup_s = std::chrono::duration<double>(t1 - t0).count();
 
   net.stats().reset();
-  std::size_t events_processed = 0;
-  std::uint64_t rekey_multicasts = 0;
 
   auto t2 = std::chrono::steady_clock::now();
   for (std::size_t round = 0; round < opt.rounds; ++round) {
@@ -194,7 +208,7 @@ int main(int argc, char** argv) {
       victim.keys.clear();
       lkh::RekeyMessage rk = area.tree->leave(victim_mid);
       net.multicast(area.hub.id(), area.group, kRekeyLabel, rk.serialize());
-      ++rekey_multicasts;
+      ++res.rekey_multicasts;
 
       // Rejoin the same node as a fresh member: path by unicast.
       lkh::MemberId mid = next_mid++;
@@ -217,76 +231,173 @@ int main(int argc, char** argv) {
       net.multicast(area.hub.id(), area.group, kDataLabel,
                     Bytes(256, static_cast<std::uint8_t>(round)));
     }
-    events_processed += net.run();
+    res.events += net.run();
   }
   auto t3 = std::chrono::steady_clock::now();
-  double run_s = std::chrono::duration<double>(t3 - t2).count();
+  res.run_s = std::chrono::duration<double>(t3 - t2).count();
 
   const net::NetStats& st = net.stats();
-  double events_per_sec = run_s > 0 ? events_processed / run_s : 0;
+  res.events_per_sec = res.run_s > 0 ? res.events / res.run_s : 0;
   double copied = static_cast<double>(st.fanout_copied().bytes);
   double expanded = static_cast<double>(st.fanout_expanded().bytes);
-  double ratio = copied > 0 ? expanded / copied : 0;
+  res.fanout_copied_bytes = st.fanout_copied().bytes;
+  res.fanout_expanded_bytes = st.fanout_expanded().bytes;
+  res.fanout_reduction = copied > 0 ? expanded / copied : 0;
+  res.pool_slots = net.event_pool_slots();
+  res.members = members.size();
+  res.residue =
+      net.cancelled_timers_pending() != 0 || net.queued_events() != 0;
 
-  std::size_t in_sync = 0;
   for (Area& area : areas) {
     for (auto& [mid, slot] : area.roster) {
       if (members[slot].keys.has_group_key() &&
           members[slot].keys.group_key() == area.tree->root_key())
-        ++in_sync;
+        ++res.in_sync;
     }
   }
 
-  bench::print_rule();
-  std::printf("churn+rekey: %.2fs wall, %zu events, %.0f events/sec\n", run_s,
-              events_processed, events_per_sec);
-  std::printf("fan-out: %llu multicasts, copied %.1f MB, "
-              "copy-per-receiver would be %.1f MB (%.0fx reduction)\n",
-              (unsigned long long)st.fanout_copied().messages, copied / 1e6,
-              expanded / 1e6, ratio);
-  std::printf("delivered: %llu messages, %.1f MB wire\n",
-              (unsigned long long)st.recv_total().messages,
-              st.recv_total().bytes / 1e6);
-  std::printf("scheduler: peak slab %zu slots, %zu cancelled pending after "
-              "drain\n",
-              net.event_pool_slots(), net.cancelled_timers_pending());
-  std::printf("in sync: %zu/%zu members\n", in_sync, members.size());
+  // Fold every member's observations in node-id order, then the global
+  // traffic totals: identical digests across worker counts certify the
+  // engine executed the same delivery schedule.
+  std::uint64_t d = 14695981039346656037ull;
+  for (const ScaleMember& m : members) {
+    d = fnv(d, m.data_received);
+    d = fnv(d, m.rekeys_applied);
+    d = fnv(d, m.entries_applied);
+    d = fnv(d, m.timer_fires);
+  }
+  d = fnv(d, st.sent_total().messages);
+  d = fnv(d, st.sent_total().bytes);
+  d = fnv(d, st.recv_total().messages);
+  d = fnv(d, st.recv_total().bytes);
+  d = fnv(d, net.now());
+  res.digest = d;
+  res.peak_rss_mb = bench::peak_rss_mb();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.members = 100;
+      opt.areas = 2;
+      opt.rounds = 2;
+      opt.workers = {1, 2};
+    } else if (flag_value(argv[i], "--members", v)) {
+      opt.members = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (flag_value(argv[i], "--areas", v)) {
+      opt.areas = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (flag_value(argv[i], "--rounds", v)) {
+      opt.rounds = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (flag_value(argv[i], "--workers", v)) {
+      opt.workers.clear();
+      for (std::size_t pos = 0; pos < v.size();) {
+        std::size_t comma = v.find(',', pos);
+        if (comma == std::string::npos) comma = v.size();
+        opt.workers.push_back(static_cast<unsigned>(
+            std::atoi(v.substr(pos, comma - pos).c_str())));
+        pos = comma + 1;
+      }
+      if (opt.workers.empty()) opt.workers = {1};
+    } else if (flag_value(argv[i], "--json_out", v)) {
+      opt.json_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const std::size_t per_area = opt.members / opt.areas;
+
+  bench::print_header(
+      "scale_members: zero-copy fan-out + slab scheduler + sharded engine");
+  std::printf("%zu areas x %zu members (%zu total), %zu churn rounds, "
+              "worker sweep:",
+              opt.areas, per_area, opt.areas * per_area, opt.rounds);
+  for (unsigned w : opt.workers) std::printf(" %u", w);
+  std::printf("\n");
 
   bool ok = true;
-  if (in_sync != members.size()) {
-    std::printf("FAIL: %zu members out of sync\n", members.size() - in_sync);
-    ok = false;
-  }
-  if (ratio < 10.0) {
-    std::printf("FAIL: fan-out reduction %.1fx < 10x\n", ratio);
-    ok = false;
-  }
-  if (net.cancelled_timers_pending() != 0 || net.queued_events() != 0) {
-    std::printf("FAIL: scheduler residue after drain\n");
-    ok = false;
-  }
-
+  std::uint64_t base_digest = 0;
+  double base_eps = 0;
+  std::FILE* json = nullptr;
   if (!opt.json_out.empty()) {
-    std::FILE* f = std::fopen(opt.json_out.c_str(), "a");
-    if (f == nullptr) {
+    json = std::fopen(opt.json_out.c_str(), "a");
+    if (json == nullptr) {
       std::fprintf(stderr, "cannot open %s\n", opt.json_out.c_str());
       return 1;
     }
-    std::fprintf(
-        f,
-        "{\"suite\": \"scale_members\", \"areas\": %zu, "
-        "\"members\": %zu, \"rounds\": %zu, \"setup_s\": %.2f, "
-        "\"run_s\": %.3f, \"events\": %zu, \"events_per_sec\": %.0f, "
-        "\"rekey_multicasts\": %llu, \"fanout_copied_bytes\": %llu, "
-        "\"fanout_expanded_bytes\": %llu, \"fanout_reduction\": %.1f, "
-        "\"peak_pool_slots\": %zu, \"in_sync\": %zu, \"ok\": %s}\n",
-        opt.areas, members.size(), opt.rounds, setup_s, run_s,
-        events_processed, events_per_sec,
-        (unsigned long long)rekey_multicasts,
-        (unsigned long long)st.fanout_copied().bytes,
-        (unsigned long long)st.fanout_expanded().bytes, ratio,
-        net.event_pool_slots(), in_sync, ok ? "true" : "false");
-    std::fclose(f);
+  }
+
+  for (std::size_t wi = 0; wi < opt.workers.size(); ++wi) {
+    unsigned workers = opt.workers[wi];
+    RunResult r = run_one(opt, workers);
+
+    bench::print_rule();
+    std::printf("workers=%u\n", workers);
+    std::printf("setup: %.2fs (%zu nodes, %zu tree joins)\n", r.setup_s,
+                r.members + opt.areas, r.members);
+    std::printf("churn+rekey: %.2fs wall, %zu events, %.0f events/sec",
+                r.run_s, r.events, r.events_per_sec);
+    if (wi > 0 && base_eps > 0)
+      std::printf(" (%.2fx vs workers=%u)", r.events_per_sec / base_eps,
+                  opt.workers[0]);
+    std::printf("\n");
+    std::printf("fan-out: copied %.1f MB, copy-per-receiver would be "
+                "%.1f MB (%.0fx reduction)\n",
+                r.fanout_copied_bytes / 1e6, r.fanout_expanded_bytes / 1e6,
+                r.fanout_reduction);
+    std::printf("scheduler: peak slab %zu slots; peak RSS %zu MB\n",
+                r.pool_slots, r.peak_rss_mb);
+    std::printf("in sync: %zu/%zu members; digest %016llx\n", r.in_sync,
+                r.members, (unsigned long long)r.digest);
+
+    if (r.in_sync != r.members) {
+      std::printf("FAIL: %zu members out of sync\n", r.members - r.in_sync);
+      ok = false;
+    }
+    if (r.fanout_reduction < 10.0) {
+      std::printf("FAIL: fan-out reduction %.1fx < 10x\n", r.fanout_reduction);
+      ok = false;
+    }
+    if (r.residue) {
+      std::printf("FAIL: scheduler residue after drain\n");
+      ok = false;
+    }
+    if (wi == 0) {
+      base_digest = r.digest;
+      base_eps = r.events_per_sec;
+    } else if (r.digest != base_digest) {
+      std::printf("FAIL: digest differs from workers=%u run\n",
+                  opt.workers[0]);
+      ok = false;
+    }
+
+    if (json != nullptr) {
+      std::fprintf(
+          json,
+          "{\"suite\": \"scale_members\", \"areas\": %zu, "
+          "\"members\": %zu, \"rounds\": %zu, \"workers\": %u, "
+          "\"setup_s\": %.2f, \"run_s\": %.3f, \"events\": %zu, "
+          "\"events_per_sec\": %.0f, \"rekey_multicasts\": %llu, "
+          "\"fanout_copied_bytes\": %llu, \"fanout_expanded_bytes\": %llu, "
+          "\"fanout_reduction\": %.1f, \"peak_pool_slots\": %zu, "
+          "\"peak_rss_mb\": %zu, \"in_sync\": %zu, "
+          "\"digest\": \"%016llx\", \"ok\": %s}\n",
+          opt.areas, r.members, opt.rounds, workers, r.setup_s, r.run_s,
+          r.events, r.events_per_sec, (unsigned long long)r.rekey_multicasts,
+          (unsigned long long)r.fanout_copied_bytes,
+          (unsigned long long)r.fanout_expanded_bytes, r.fanout_reduction,
+          r.pool_slots, r.peak_rss_mb, r.in_sync,
+          (unsigned long long)r.digest, ok ? "true" : "false");
+    }
+  }
+
+  if (json != nullptr) {
+    std::fclose(json);
     std::printf("appended -> %s\n", opt.json_out.c_str());
   }
   return ok ? 0 : 1;

@@ -80,4 +80,30 @@ Prng Prng::fork() {
   return Prng(ByteView(child_seed));
 }
 
+namespace {
+
+Bytes stream_prf_key(std::uint64_t seed) {
+  WireWriter w;
+  w.str("mykil-stream-prf");
+  w.u64(seed);
+  Bytes digest = Sha256::digest(w.data());
+  digest.resize(Speck128::kKeySize);
+  return digest;
+}
+
+}  // namespace
+
+StreamPrf::StreamPrf(std::uint64_t seed) : prf_(stream_prf_key(seed)) {}
+
+std::uint64_t StreamPrf::uniform(std::uint64_t stream, std::uint64_t& counter,
+                                 std::uint64_t bound) const {
+  if (bound == 0) throw CryptoError("StreamPrf::uniform bound must be > 0");
+  std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t v;
+  do {
+    v = u64(stream, counter++);
+  } while (v >= limit);
+  return v % bound;
+}
+
 }  // namespace mykil::crypto

@@ -109,6 +109,8 @@ Bytes Sha256::digest(ByteView data) {
 }
 
 void Sha256::process_block(const std::uint8_t* block) {
+  // Schedule precomputed up front (64 words): the round loop below then
+  // touches only registers plus two constant tables.
   std::array<std::uint32_t, 64> w;
   for (int i = 0; i < 16; ++i) w[i] = load_be32(block + i * 4);
   for (int i = 16; i < 64; ++i) {
@@ -117,23 +119,37 @@ void Sha256::process_block(const std::uint8_t* block) {
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  auto [a, b, c, d, e, f, g, h] = state_;
-  for (int i = 0; i < 64; ++i) {
-    std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    std::uint32_t ch = (e & f) ^ (~e & g);
-    std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
-    std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+  // Rotation-free 8-round pattern: instead of shifting a..h down one slot
+  // per round (eight register moves the compiler must chew through), each
+  // of the eight unrolled rounds names the variables in their rotated
+  // positions directly, so after 8 rounds the naming is back where it
+  // started and the "rotation" costs nothing.
+#define MYKIL_SHA256_ROUND(a, b, c, d, e, f, g, h, i)                        \
+  do {                                                                       \
+    std::uint32_t t1 = (h) + (rotr((e), 6) ^ rotr((e), 11) ^ rotr((e), 25)) +\
+                       (((e) & (f)) ^ (~(e) & (g))) + kRoundConstants[(i)] + \
+                       w[(i)];                                               \
+    std::uint32_t t2 = (rotr((a), 2) ^ rotr((a), 13) ^ rotr((a), 22)) +      \
+                       (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));            \
+    (d) += t1;                                                               \
+    (h) = t1 + t2;                                                           \
+  } while (0)
+
+  for (int i = 0; i < 64; i += 8) {
+    MYKIL_SHA256_ROUND(a, b, c, d, e, f, g, h, i + 0);
+    MYKIL_SHA256_ROUND(h, a, b, c, d, e, f, g, i + 1);
+    MYKIL_SHA256_ROUND(g, h, a, b, c, d, e, f, i + 2);
+    MYKIL_SHA256_ROUND(f, g, h, a, b, c, d, e, i + 3);
+    MYKIL_SHA256_ROUND(e, f, g, h, a, b, c, d, i + 4);
+    MYKIL_SHA256_ROUND(d, e, f, g, h, a, b, c, i + 5);
+    MYKIL_SHA256_ROUND(c, d, e, f, g, h, a, b, i + 6);
+    MYKIL_SHA256_ROUND(b, c, d, e, f, g, h, a, i + 7);
   }
+#undef MYKIL_SHA256_ROUND
+
   state_[0] += a;
   state_[1] += b;
   state_[2] += c;

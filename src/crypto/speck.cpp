@@ -84,6 +84,22 @@ void Speck128::ctr_block(std::uint64_t nonce, std::uint64_t counter,
   hi = x;
 }
 
+void Speck128::ctr_block2(std::uint64_t nonce, std::uint64_t counter,
+                          std::uint64_t& lo0, std::uint64_t& hi0,
+                          std::uint64_t& lo1, std::uint64_t& hi1) const {
+  std::uint64_t y0 = nonce, x0 = counter;
+  std::uint64_t y1 = nonce, x1 = counter + 1;
+  for (int i = 0; i < kRounds; ++i) {
+    const std::uint64_t k = round_keys_[i];
+    round_enc(x0, y0, k);
+    round_enc(x1, y1, k);
+  }
+  lo0 = y0;
+  hi0 = x0;
+  lo1 = y1;
+  hi1 = x1;
+}
+
 Bytes speck_ctr(ByteView key, ByteView nonce, ByteView data) {
   if (nonce.size() != 8) throw CryptoError("speck_ctr nonce must be 8 bytes");
   Speck128 cipher(key);
@@ -91,8 +107,19 @@ Bytes speck_ctr(ByteView key, ByteView nonce, ByteView data) {
   const std::uint64_t n0 = load_le64(nonce.data());
   std::uint64_t counter = 0;
   std::size_t off = 0;
-  // Full blocks: the counter block and keystream live in registers; the
-  // data words round-trip through 64-bit loads/XOR/stores.
+  // Full blocks: the counter blocks and keystream live in registers; the
+  // data words round-trip through 64-bit loads/XOR/stores. Two blocks per
+  // iteration keeps both of ctr_block2's dependency chains fed.
+  while (out.size() - off >= 2 * Speck128::kBlockSize) {
+    std::uint64_t lo0, hi0, lo1, hi1;
+    cipher.ctr_block2(n0, counter, lo0, hi0, lo1, hi1);
+    counter += 2;
+    store_le64(&out[off], load_le64(&out[off]) ^ lo0);
+    store_le64(&out[off + 8], load_le64(&out[off + 8]) ^ hi0);
+    store_le64(&out[off + 16], load_le64(&out[off + 16]) ^ lo1);
+    store_le64(&out[off + 24], load_le64(&out[off + 24]) ^ hi1);
+    off += 2 * Speck128::kBlockSize;
+  }
   while (out.size() - off >= Speck128::kBlockSize) {
     std::uint64_t lo, hi;
     cipher.ctr_block(n0, counter++, lo, hi);

@@ -34,6 +34,15 @@ class Speck128 {
   void ctr_block(std::uint64_t nonce, std::uint64_t counter,
                  std::uint64_t& lo, std::uint64_t& hi) const;
 
+  /// Two consecutive CTR keystream blocks (counter, counter+1) computed with
+  /// the round loop interleaved. Speck's ARX rounds form one serial
+  /// dependency chain per block; running two independent chains through the
+  /// same loop lets the CPU overlap them (ILP), roughly halving cycles per
+  /// byte versus two ctr_block calls.
+  void ctr_block2(std::uint64_t nonce, std::uint64_t counter,
+                  std::uint64_t& lo0, std::uint64_t& hi0, std::uint64_t& lo1,
+                  std::uint64_t& hi1) const;
+
  private:
   std::array<std::uint64_t, kRounds> round_keys_;
 };

@@ -18,7 +18,16 @@ MykilGroup::MykilGroup(net::Network& net, GroupOptions options)
   crypto::RsaKeyPair rs_keys = crypto::rsa_generate(options_.rsa_bits, prng_);
   rs_ = std::make_unique<RegistrationServer>(options_.config, std::move(rs_keys),
                                              prng_.fork());
-  net_.attach(*rs_);
+  net_.attach(*rs_);  // shard 0: the RS shares a shard with no area
+  net_.set_workers(options_.workers);
+}
+
+std::uint32_t MykilGroup::area_shard(std::size_t area_index) const {
+  // One shard per area, wrapping only past the simulator's 255-shard
+  // ceiling (far beyond the paper's deployments). Shard placement is a
+  // locality hint: protocol traffic is correct whatever the assignment.
+  return 1 + static_cast<std::uint32_t>(
+                 area_index % (net::Network::kMaxShards - 1));
 }
 
 std::size_t MykilGroup::add_area(std::optional<std::size_t> parent) {
@@ -35,6 +44,7 @@ std::size_t MykilGroup::add_area(std::optional<std::size_t> parent) {
       area.ac_id, options_.config, std::move(keys), k_shared_,
       rs_->public_key(), prng_.fork(), AreaController::Role::kPrimary);
   net_.attach(*area.primary);
+  net_.set_shard(area.primary->id(), area_shard(areas_.size()));
   area.primary->open_area(net_);
 
   if (options_.with_backups) {
@@ -43,6 +53,7 @@ std::size_t MykilGroup::add_area(std::optional<std::size_t> parent) {
         area.ac_id, options_.config, std::move(bkeys), k_shared_,
         rs_->public_key(), prng_.fork(), AreaController::Role::kBackup);
     net_.attach(*area.backup);
+    net_.set_shard(area.backup->id(), area_shard(areas_.size()));
   }
 
   areas_.push_back(std::move(area));
@@ -90,6 +101,12 @@ std::unique_ptr<Member> MykilGroup::make_member(ClientId client,
   auto m = std::make_unique<Member>(client, options_.config, std::move(keys),
                                     rs_->public_key(), prng_.fork());
   net_.attach(*m);
+  // Colocate the member with the area the RS's round-robin will hand it
+  // (best effort: exact when members join in creation order). A member
+  // that later moves to another area keeps its shard — traffic just
+  // crosses shards, which is correct, merely less local.
+  if (!areas_.empty())
+    net_.set_shard(m->id(), area_shard(member_seq_++ % areas_.size()));
   m->start_timers();
   return m;
 }

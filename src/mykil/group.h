@@ -30,6 +30,11 @@ struct GroupOptions {
   /// Arm the periodic protocol timers (alive/eviction/rekey/heartbeat).
   /// Disable for protocol-logic tests that drive the network manually.
   bool enable_timers = true;
+  /// Worker threads for the simulator's parallel engine. The deployment is
+  /// sharded by area either way (RS in shard 0, area i in shard i + 1);
+  /// 1 keeps execution inline, >= 2 runs shards concurrently. The
+  /// delivery schedule is identical for every value.
+  unsigned workers = 1;
 };
 
 class MykilGroup {
@@ -79,8 +84,12 @@ class MykilGroup {
     AcId ac_id = 0;
   };
 
+  /// Shard for a new area / the next member (area-sharded, RS in 0).
+  [[nodiscard]] std::uint32_t area_shard(std::size_t area_index) const;
+
   net::Network& net_;
   GroupOptions options_;
+  std::size_t member_seq_ = 0;  ///< mirrors the RS round-robin for sharding
   crypto::Prng prng_;
   crypto::SymmetricKey k_shared_;
   std::unique_ptr<RegistrationServer> rs_;

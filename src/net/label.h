@@ -17,12 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace mykil::net {
 
@@ -44,14 +45,17 @@ class Label {
   /// Stats queries use this so asking about "never-sent" traffic does not
   /// grow the registry.
   [[nodiscard]] static Label find(std::string_view name) {
-    const Registry& reg = registry();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
     auto it = reg.ids.find(name);
     return it == reg.ids.end() ? Label() : Label(it->second, FromId{});
   }
 
   /// Number of distinct labels interned so far (including the empty one).
   [[nodiscard]] static std::size_t registry_size() {
-    return registry().names.size();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    return reg.names.size();
   }
 
   friend bool operator==(Label a, Label b) { return a.id_ == b.id_; }
@@ -70,7 +74,12 @@ class Label {
     }
   };
   struct Registry {
-    std::vector<std::string> names{std::string()};  ///< slot 0: empty label
+    // Guarded by mu: most labels are interned during static init, but test
+    // and tooling code may construct labels from strings at runtime, and
+    // the parallel engine's shard workers may resolve names concurrently.
+    // names is a deque so the reference name() hands out survives growth.
+    std::mutex mu;
+    std::deque<std::string> names{std::string()};  ///< slot 0: empty label
     std::unordered_map<std::string, LabelId, StringHash, std::equal_to<>> ids{
         {std::string(), 0}};
   };
@@ -81,6 +90,7 @@ class Label {
 
   static LabelId intern(std::string_view name) {
     Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
     auto it = reg.ids.find(name);
     if (it != reg.ids.end()) return it->second;
     if (reg.names.size() > 0xFFFF)
@@ -92,7 +102,9 @@ class Label {
   }
 
   static const std::string& name_of(LabelId id) {
-    return registry().names[id];
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    return reg.names[id];
   }
 
   LabelId id_ = 0;

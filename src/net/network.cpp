@@ -1,18 +1,49 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
 
 namespace mykil::net {
+
+namespace {
+
+/// Sentinel for "no queued event anywhere".
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+// Purpose tags for the per-node randomness streams: the StreamPrf stream
+// id packs ((node + 1) << 8 | purpose), with 0 as the synthetic origin for
+// API calls that carry no sending node.
+constexpr std::uint64_t kPurposeJitter = 0;
+constexpr std::uint64_t kPurposeDrop = 1;
+
+/// Thread-local execution context. Set around every node callback so API
+/// calls made from inside the callback know (a) which network and shard
+/// they are executing on, (b) which node is running (the origin for
+/// buffered group ops), and (c) whether cross-shard effects must be
+/// buffered (true only on worker threads inside a parallel window).
+struct CallCtx {
+  const void* net = nullptr;
+  void* shard = nullptr;  ///< Network::Shard*
+  NodeId active_node = kNoNode;
+  bool buffered = false;
+};
+thread_local CallCtx tls_ctx;
+
+}  // namespace
 
 Network& Node::network() const {
   if (network_ == nullptr) throw SimError("node not attached to a network");
   return *network_;
 }
 
-Network::Network(NetworkConfig config)
-    : config_(config), prng_(config.seed) {}
+Network::Network(NetworkConfig config) : config_(config), prf_(config.seed) {
+  origin_.emplace_back();  // index 0: the kNoNode origin
+  shards_.push_back(std::make_unique<Shard>());
+}
+
+Network::~Network() { stop_workers(); }
 
 void Network::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
@@ -20,22 +51,86 @@ void Network::set_metrics(obs::MetricsRegistry* metrics) {
       metrics == nullptr ? nullptr : &metrics->histogram("net.queue_depth");
 }
 
+bool Network::in_callback() const {
+  return tls_ctx.net == this && tls_ctx.shard != nullptr;
+}
+
+SimTime Network::local_now() const {
+  return in_callback() ? static_cast<Shard*>(tls_ctx.shard)->now : now_;
+}
+
+SimTime Network::now() const { return local_now(); }
+
+NetStats& Network::active_stats() {
+  if (in_callback() && tls_ctx.buffered)
+    return static_cast<Shard*>(tls_ctx.shard)->stats_delta;
+  return stats_;
+}
+
 NodeId Network::attach(Node& node) {
   if (node.attached()) throw SimError("node already attached");
+  if (in_callback() && tls_ctx.buffered)
+    throw SimError("attach during a parallel window");
+  if (nodes_.size() >= (std::size_t{1} << 24) - 1)
+    throw SimError("attach: node limit (2^24 - 2) reached");
   NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(&node);
   up_.push_back(true);
   partition_.push_back(0);
+  node_shard_.push_back(0);
+  origin_.emplace_back();
   node.network_ = this;
   node.id_ = id;
   return id;
+}
+
+void Network::set_shard(NodeId node, std::uint32_t shard) {
+  if (node >= nodes_.size()) throw SimError("set_shard: unknown node");
+  if (shard >= kMaxShards) throw SimError("set_shard: shard must be < 256");
+  if (in_callback()) throw SimError("set_shard from a node callback");
+  // The caller must ensure no queued events or live timers target the
+  // node (in practice: call right after attach). Events already queued in
+  // the old shard would otherwise execute there, racing the new shard.
+  while (shards_.size() <= shard) shards_.push_back(std::make_unique<Shard>());
+  node_shard_[node] = shard;
+}
+
+std::uint32_t Network::shard_of(NodeId node) const {
+  if (node >= nodes_.size()) throw SimError("shard_of: unknown node");
+  return node_shard_[node];
+}
+
+void Network::set_workers(unsigned n) {
+  if (in_callback()) throw SimError("set_workers from a node callback");
+  if (n == 0) n = 1;
+  if (n == workers_) return;
+  stop_workers();
+  workers_ = n;
+  if (n >= 2) {
+    threads_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+      threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void Network::stop_workers() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  shutdown_ = false;
 }
 
 void Network::crash(NodeId node) {
   if (node >= nodes_.size()) throw SimError("crash: unknown node");
   if (!up_[node]) return;
   up_[node] = false;
-  if (tracer_) tracer_->instant(obs::EventKind::kCrash, node, now_, node);
+  if (tracer_)
+    tracer_->instant(obs::EventKind::kCrash, node, local_now(), node);
   nodes_[node]->on_crash();
 }
 
@@ -43,7 +138,8 @@ void Network::recover(NodeId node) {
   if (node >= nodes_.size()) throw SimError("recover: unknown node");
   if (up_[node]) return;
   up_[node] = true;
-  if (tracer_) tracer_->instant(obs::EventKind::kRecover, node, now_, node);
+  if (tracer_)
+    tracer_->instant(obs::EventKind::kRecover, node, local_now(), node);
   nodes_[node]->on_recover();
 }
 
@@ -56,12 +152,13 @@ void Network::set_partition(NodeId node, std::uint32_t partition) {
   if (node >= nodes_.size()) throw SimError("set_partition: unknown node");
   partition_[node] = partition;
   if (tracer_)
-    tracer_->instant(obs::EventKind::kPartition, node, now_, node, partition);
+    tracer_->instant(obs::EventKind::kPartition, node, local_now(), node,
+                     partition);
 }
 
 void Network::heal_partitions() {
   for (auto& p : partition_) p = 0;
-  if (tracer_) tracer_->instant(obs::EventKind::kHeal, 0, now_);
+  if (tracer_) tracer_->instant(obs::EventKind::kHeal, 0, local_now());
 }
 
 std::uint32_t Network::partition_of(NodeId node) const {
@@ -77,23 +174,54 @@ void Network::unblock_link(NodeId from, NodeId to) {
   blocked_links_.erase(link_key(from, to));
 }
 
+// ---- multicast groups ----
+
 GroupId Network::create_group() {
+  if (in_callback() && tls_ctx.buffered)
+    throw SimError("create_group during a parallel window");
   groups_.emplace_back();
   return static_cast<GroupId>(groups_.size() - 1);
 }
 
-void Network::join_group(GroupId group, NodeId node) {
-  if (group >= groups_.size()) throw SimError("join_group: unknown group");
+void Network::raw_join(GroupId group, NodeId node) {
   auto& members = groups_[group];
   auto it = std::lower_bound(members.begin(), members.end(), node);
   if (it == members.end() || *it != node) members.insert(it, node);
 }
 
-void Network::leave_group(GroupId group, NodeId node) {
-  if (group >= groups_.size()) throw SimError("leave_group: unknown group");
+void Network::raw_leave(GroupId group, NodeId node) {
   auto& members = groups_[group];
   auto it = std::lower_bound(members.begin(), members.end(), node);
   if (it != members.end() && *it == node) members.erase(it);
+}
+
+void Network::join_group(GroupId group, NodeId node) {
+  if (group >= groups_.size()) throw SimError("join_group: unknown group");
+  if (in_callback()) {
+    // Buffer: membership is frozen while a window executes, and applying
+    // at window boundaries in canonical order in EVERY mode keeps the view
+    // a multicast sees identical for every worker count.
+    Shard& sh = *static_cast<Shard*>(tls_ctx.shard);
+    NodeId origin = tls_ctx.active_node;
+    std::uint32_t o = origin == kNoNode ? 0 : origin + 1;
+    sh.group_ops.push_back(
+        {sh.now, origin, origin_[o].group_op_ctr++, group, node, true});
+    return;
+  }
+  raw_join(group, node);
+}
+
+void Network::leave_group(GroupId group, NodeId node) {
+  if (group >= groups_.size()) throw SimError("leave_group: unknown group");
+  if (in_callback()) {
+    Shard& sh = *static_cast<Shard*>(tls_ctx.shard);
+    NodeId origin = tls_ctx.active_node;
+    std::uint32_t o = origin == kNoNode ? 0 : origin + 1;
+    sh.group_ops.push_back(
+        {sh.now, origin, origin_[o].group_op_ctr++, group, node, false});
+    return;
+  }
+  raw_leave(group, node);
 }
 
 std::size_t Network::group_size(GroupId group) const {
@@ -109,88 +237,128 @@ bool Network::deliverable(NodeId from, NodeId to) const {
   return true;
 }
 
-SimDuration Network::delivery_latency(std::size_t bytes) {
-  SimDuration jitter =
-      config_.jitter == 0 ? 0 : prng_.uniform(config_.jitter);
+SimDuration Network::delivery_latency(std::size_t bytes, NodeId sender) {
+  SimDuration jitter = 0;
+  if (config_.jitter != 0) {
+    std::uint32_t o = sender == kNoNode ? 0 : sender + 1;
+    std::uint64_t stream =
+        (static_cast<std::uint64_t>(o) << 8) | kPurposeJitter;
+    jitter = prf_.uniform(stream, origin_[o].jitter_ctr, config_.jitter);
+  }
   return config_.base_latency +
          static_cast<SimDuration>(config_.per_byte_latency_us *
                                   static_cast<double>(bytes)) +
          jitter;
 }
 
-// ---- event pool + 4-ary heap ----
+// ---- event pool + 4-ary heap (per shard) ----
 
-std::uint32_t Network::acquire_slot() {
-  if (!free_slots_.empty()) {
-    std::uint32_t slot = free_slots_.back();
-    free_slots_.pop_back();
+std::uint32_t Network::acquire_slot(Shard& sh) {
+  if (!sh.free_slots.empty()) {
+    std::uint32_t slot = sh.free_slots.back();
+    sh.free_slots.pop_back();
     return slot;
   }
-  pool_.emplace_back();
-  return static_cast<std::uint32_t>(pool_.size() - 1);
+  sh.pool.emplace_back();
+  return static_cast<std::uint32_t>(sh.pool.size() - 1);
 }
 
-void Network::release_slot(std::uint32_t slot) {
-  Event& ev = pool_[slot];
+void Network::release_slot(Shard& sh, std::uint32_t slot) {
+  Event& ev = sh.pool[slot];
   ev.msg = Message{};  // drop the payload refcount now, not at slot reuse
   ev.timer_id = 0;     // dead timer ids stop matching in cancel_timer
   ev.cancelled = false;
-  free_slots_.push_back(slot);
+  sh.free_slots.push_back(slot);
 }
 
-void Network::schedule(Event ev) {
-  std::uint32_t slot = acquire_slot();
-  SimTime at = ev.at;
-  std::uint64_t key = ((next_seq_++ & 0xFFFFFFFFULL) << 32) | slot;
-  pool_[slot] = std::move(ev);
-  heap_push({at, key});
-}
-
-void Network::heap_push(EventRef ref) {
-  heap_.push_back(ref);
-  std::size_t i = heap_.size() - 1;
+void Network::heap_push(Shard& sh, EventRef ref) {
+  auto& heap = sh.heap;
+  heap.push_back(ref);
+  std::size_t i = heap.size() - 1;
   while (i > 0) {
     std::size_t parent = (i - 1) / kHeapArity;
-    if (!ref_before(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
+    if (!ref_before(heap[i], heap[parent])) break;
+    std::swap(heap[i], heap[parent]);
     i = parent;
   }
 }
 
-void Network::heap_pop_min() {
-  heap_[0] = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+void Network::heap_pop_min(Shard& sh) {
+  sh.heap[0] = sh.heap.back();
+  sh.heap.pop_back();
+  if (!sh.heap.empty()) sift_down(sh, 0);
 }
 
-void Network::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
+void Network::sift_down(Shard& sh, std::size_t i) {
+  auto& heap = sh.heap;
+  const std::size_t n = heap.size();
   for (;;) {
     std::size_t first = i * kHeapArity + 1;
     if (first >= n) return;
     std::size_t last = std::min(first + kHeapArity, n);
     std::size_t best = first;
     for (std::size_t c = first + 1; c < last; ++c)
-      if (ref_before(heap_[c], heap_[best])) best = c;
-    if (!ref_before(heap_[best], heap_[i])) return;
-    std::swap(heap_[i], heap_[best]);
+      if (ref_before(heap[c], heap[best])) best = c;
+    if (!ref_before(heap[best], heap[i])) return;
+    std::swap(heap[i], heap[best]);
     i = best;
   }
+}
+
+std::uint64_t Network::make_key(NodeId origin) {
+  // Calls from outside the event loop share origin slot 0: the API call
+  // sequence is identical for every worker count, so a single counter is
+  // deterministic AND preserves cross-sender FIFO for equal-time sends
+  // issued back-to-back from driver code. Calls from node callbacks must
+  // use per-origin counters — callbacks on different shards run
+  // concurrently, and only a per-node counter advances identically in
+  // every interleaving.
+  std::uint32_t o =
+      !in_callback() || origin == kNoNode ? 0 : origin + 1;
+  OriginState& st = origin_[o];
+  return (static_cast<std::uint64_t>(o) << 40) |
+         (st.key_ctr++ & 0xFFFFFFFFFFULL);
+}
+
+void Network::place(Shard& sh, Event ev, std::uint64_t key) {
+  std::uint32_t slot = acquire_slot(sh);
+  SimTime at = ev.at;
+  sh.pool[slot] = std::move(ev);
+  heap_push(sh, {at, key, slot});
+}
+
+void Network::schedule(Event ev) {
+  NodeId dest =
+      ev.kind == Event::Kind::kDeliver ? ev.deliver_to : ev.timer_node;
+  NodeId origin = ev.kind == Event::Kind::kDeliver ? ev.msg.from : ev.timer_node;
+  std::uint64_t key = make_key(origin);
+  std::uint32_t dshard = node_shard_[dest];
+  if (in_callback() && tls_ctx.buffered &&
+      static_cast<Shard*>(tls_ctx.shard) != shards_[dshard].get()) {
+    static_cast<Shard*>(tls_ctx.shard)
+        ->outbox.push_back({std::move(ev), key, dshard});
+    return;
+  }
+  place(*shards_[dshard], std::move(ev), key);
 }
 
 // ---- sending ----
 
 void Network::queue_delivery(Message msg, NodeId to) {
-  if (config_.drop_probability > 0.0 &&
-      prng_.uniform_double() < config_.drop_probability) {
-    stats_.record_drop(msg);
-    if (tracer_)
-      tracer_->instant(obs::EventKind::kDrop, to, now_, msg.wire_size(), 0,
-                       msg.label);
-    return;
+  if (config_.drop_probability > 0.0) {
+    std::uint32_t o = msg.from == kNoNode ? 0 : msg.from + 1;
+    std::uint64_t stream = (static_cast<std::uint64_t>(o) << 8) | kPurposeDrop;
+    if (prf_.uniform_double(stream, origin_[o].drop_ctr) <
+        config_.drop_probability) {
+      active_stats().record_drop(msg);
+      if (tracer_)
+        tracer_->instant(obs::EventKind::kDrop, to, local_now(),
+                         msg.wire_size(), 0, msg.label);
+      return;
+    }
   }
   Event ev;
-  ev.at = now_ + delivery_latency(msg.wire_size());
+  ev.at = local_now() + delivery_latency(msg.wire_size(), msg.from);
   ev.kind = Event::Kind::kDeliver;
   ev.deliver_to = to;
   ev.msg = std::move(msg);
@@ -203,15 +371,15 @@ void Network::unicast(NodeId from, NodeId to, Label label, Payload payload) {
   msg.to = to;
   msg.label = label;
   msg.payload = std::move(payload);
-  stats_.record_send(msg);
+  active_stats().record_send(msg);
   if (tracer_)
-    tracer_->instant(obs::EventKind::kSend, from, now_, msg.wire_size(), 0,
-                     msg.label);
+    tracer_->instant(obs::EventKind::kSend, from, local_now(), msg.wire_size(),
+                     0, msg.label);
   if (!deliverable(from, to)) {
-    stats_.record_drop(msg);
+    active_stats().record_drop(msg);
     if (tracer_)
-      tracer_->instant(obs::EventKind::kDrop, to, now_, msg.wire_size(), 0,
-                       msg.label);
+      tracer_->instant(obs::EventKind::kDrop, to, local_now(), msg.wire_size(),
+                       0, msg.label);
     return;
   }
   queue_delivery(std::move(msg), to);
@@ -226,17 +394,17 @@ void Network::multicast(NodeId from, GroupId group, Label label,
   proto.label = label;
   proto.payload = std::move(payload);
   // One send on the wire (IP multicast model) regardless of fan-out.
-  stats_.record_send(proto);
+  active_stats().record_send(proto);
   if (tracer_)
-    tracer_->instant(obs::EventKind::kSend, from, now_, proto.wire_size(), 0,
-                     proto.label);
+    tracer_->instant(obs::EventKind::kSend, from, local_now(),
+                     proto.wire_size(), 0, proto.label);
   std::size_t fan = 0;
   for (NodeId member : groups_[group]) {
     if (member == from) continue;
     if (!deliverable(from, member)) {
-      stats_.record_drop(proto);
+      active_stats().record_drop(proto);
       if (tracer_)
-        tracer_->instant(obs::EventKind::kDrop, member, now_,
+        tracer_->instant(obs::EventKind::kDrop, member, local_now(),
                          proto.wire_size(), 0, proto.label);
       continue;
     }
@@ -247,7 +415,7 @@ void Network::multicast(NodeId from, GroupId group, Label label,
     copy.to = member;
     queue_delivery(std::move(copy), member);
   }
-  if (fan > 0) stats_.record_fanout(proto.wire_size(), fan);
+  if (fan > 0) active_stats().record_fanout(proto.wire_size(), fan);
 }
 
 // ---- timers ----
@@ -255,84 +423,296 @@ void Network::multicast(NodeId from, GroupId group, Label label,
 Network::TimerId Network::set_timer(NodeId node, SimDuration delay,
                                     std::uint64_t token) {
   if (node >= nodes_.size()) throw SimError("set_timer: unknown node");
-  std::uint32_t slot = acquire_slot();
-  TimerId id = (next_timer_seq_++ << 32) | slot;
-  Event& ev = pool_[slot];
-  ev.at = now_ + delay;
+  std::uint32_t sidx = node_shard_[node];
+  Shard& sh = *shards_[sidx];
+  if (in_callback() && tls_ctx.buffered &&
+      static_cast<Shard*>(tls_ctx.shard) != &sh)
+    throw SimError("set_timer: cross-shard timer during a parallel window");
+  std::uint32_t slot = acquire_slot(sh);
+  std::uint32_t seq = sh.next_timer_seq++ & 0xFFFFFF;
+  if (seq == 0) seq = sh.next_timer_seq++ & 0xFFFFFF;  // ids stay nonzero
+  TimerId id = (static_cast<std::uint64_t>(seq) << 40) |
+               (static_cast<std::uint64_t>(sidx) << 32) | slot;
+  Event& ev = sh.pool[slot];
+  ev.at = local_now() + delay;
   ev.kind = Event::Kind::kTimer;
   ev.cancelled = false;
   ev.timer_node = node;
   ev.timer_token = token;
   ev.timer_id = id;
-  std::uint64_t key = ((next_seq_++ & 0xFFFFFFFFULL) << 32) | slot;
-  heap_push({ev.at, key});
+  heap_push(sh, {ev.at, make_key(node), slot});
   return id;
 }
 
 void Network::cancel_timer(TimerId id) {
+  auto sidx = static_cast<std::uint32_t>((id >> 32) & 0xFF);
   auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFF);
-  if (slot >= pool_.size()) return;
-  Event& ev = pool_[slot];
+  if (sidx >= shards_.size()) return;
+  Shard& sh = *shards_[sidx];
+  if (in_callback() && tls_ctx.buffered &&
+      static_cast<Shard*>(tls_ctx.shard) != &sh)
+    throw SimError("cancel_timer: cross-shard cancel during a parallel window");
+  if (slot >= sh.pool.size()) return;
+  Event& ev = sh.pool[slot];
   // The slot may have fired (timer_id cleared) or been recycled for a
   // different event since this id was issued; only a live match cancels.
   if (ev.timer_id != id || ev.cancelled) return;
   ev.cancelled = true;
-  ++cancelled_pending_;
+  ++sh.cancelled_pending;
 }
 
 // ---- running ----
 
-bool Network::step() {
-  if (heap_.empty()) return false;
-  if (queue_depth_) queue_depth_->record(heap_.size());
-  EventRef top = heap_[0];
-  heap_pop_min();
-  auto slot = static_cast<std::uint32_t>(top.key & 0xFFFFFFFF);
-  Event ev = std::move(pool_[slot]);
-  release_slot(slot);
-  now_ = ev.at;
+SimDuration Network::lookahead() const {
+  // base_latency is the minimum latency of every link, which bounds how
+  // soon an event can affect another shard. A zero base latency degrades
+  // the window to a single timestamp (and parallel dispatch is disabled:
+  // a zero-latency cross-shard send could land inside the open window).
+  return config_.base_latency > 0 ? config_.base_latency : 1;
+}
+
+SimTime Network::next_event_time() const {
+  SimTime t = kNever;
+  for (const auto& shp : shards_)
+    if (!shp->heap.empty() && shp->heap[0].at < t) t = shp->heap[0].at;
+  return t;
+}
+
+void Network::flush_window() {
+  std::vector<GroupOp> ops;
+  for (auto& shp : shards_) {
+    ops.insert(ops.end(), shp->group_ops.begin(), shp->group_ops.end());
+    shp->group_ops.clear();
+  }
+  if (!ops.empty()) {
+    // Canonical order: (time, origin node, per-origin seq) — unique and
+    // identical in every execution mode.
+    std::sort(ops.begin(), ops.end(), [](const GroupOp& a, const GroupOp& b) {
+      if (a.at != b.at) return a.at < b.at;
+      if (a.origin != b.origin) return a.origin < b.origin;
+      return a.seq < b.seq;
+    });
+    for (const GroupOp& op : ops)
+      op.join ? raw_join(op.group, op.node) : raw_leave(op.group, op.node);
+  }
+  win_end_ = 0;
+}
+
+void Network::merge_outboxes() {
+  // Canonical keys were assigned at send time, so the heap order is
+  // independent of the merge order; iterating shards in index order just
+  // keeps slot assignment tidy.
+  for (auto& shp : shards_) {
+    for (PendingEvent& p : shp->outbox)
+      place(*shards_[p.dest_shard], std::move(p.ev), p.key);
+    shp->outbox.clear();
+  }
+}
+
+void Network::merge_stats_deltas() {
+  for (auto& shp : shards_) {
+    NetStats& d = shp->stats_delta;
+    if (d.sent_total().messages == 0 && d.recv_total().messages == 0 &&
+        d.dropped().messages == 0)
+      continue;
+    stats_.merge(d);
+    d.reset();
+  }
+}
+
+void Network::process_event(Shard& sh, EventRef ref, bool buffered) {
+  Event ev = std::move(sh.pool[ref.slot]);
+  release_slot(sh, ref.slot);
+  sh.now = ev.at;
+  if (queue_depth_) queue_depth_->record(sh.heap.size() + 1);
+  CallCtx saved = tls_ctx;
+  tls_ctx.net = this;
+  tls_ctx.shard = &sh;
+  tls_ctx.buffered = buffered;
   switch (ev.kind) {
     case Event::Kind::kDeliver: {
       NodeId to = ev.deliver_to;
+      tls_ctx.active_node = to;
       // Re-check liveness/partition at delivery time: a message in flight
       // to a node that crashed or got partitioned meanwhile is lost.
       if (!deliverable(ev.msg.from, to)) {
-        stats_.record_drop(ev.msg);
+        active_stats().record_drop(ev.msg);
         if (tracer_)
-          tracer_->instant(obs::EventKind::kDrop, to, now_,
+          tracer_->instant(obs::EventKind::kDrop, to, sh.now,
                            ev.msg.wire_size(), 0, ev.msg.label);
         break;
       }
-      stats_.record_delivery(ev.msg, to);
+      active_stats().record_delivery(ev.msg, to);
       if (tracer_)
-        tracer_->instant(obs::EventKind::kDeliver, to, now_,
+        tracer_->instant(obs::EventKind::kDeliver, to, sh.now,
                          ev.msg.wire_size(), 0, ev.msg.label);
       nodes_[to]->on_message(ev.msg);
       break;
     }
     case Event::Kind::kTimer: {
       if (ev.cancelled) {
-        --cancelled_pending_;
+        --sh.cancelled_pending;
         break;
       }
       if (!up_[ev.timer_node]) break;  // crashed node: timer suppressed
+      tls_ctx.active_node = ev.timer_node;
       nodes_[ev.timer_node]->on_timer(ev.timer_token);
       break;
     }
   }
+  tls_ctx = saved;
+}
+
+std::size_t Network::drain_shard(Shard& sh, SimTime cap, bool buffered) {
+  std::size_t n = 0;
+  while (!sh.heap.empty() && sh.heap[0].at <= cap) {
+    EventRef top = sh.heap[0];
+    heap_pop_min(sh);
+    process_event(sh, top, buffered);
+    ++n;
+  }
+  return n;
+}
+
+bool Network::step_one(SimTime deadline) {
+  // Global minimum across shard heaps: with one shard this is the plain
+  // sequential scheduler; with many it is the same total (at, key) order
+  // the parallel engine realizes window by window.
+  Shard* best = nullptr;
+  for (auto& shp : shards_) {
+    if (shp->heap.empty()) continue;
+    if (best == nullptr || ref_before(shp->heap[0], best->heap[0]))
+      best = shp.get();
+  }
+  if (best == nullptr) return false;
+  EventRef top = best->heap[0];
+  if (top.at > deadline) return false;
+  if (win_end_ != 0 && top.at >= win_end_) flush_window();
+  if (win_end_ == 0) win_end_ = top.at + lookahead();
+  heap_pop_min(*best);
+  now_ = top.at;
+  process_event(*best, top, false);
   return true;
 }
 
-std::size_t Network::run(std::size_t max_events) {
+std::size_t Network::run_sequential(SimTime deadline, std::size_t max_events) {
   std::size_t n = 0;
-  while (n < max_events && step()) ++n;
+  while (n < max_events && step_one(deadline)) ++n;
+  return n;
+}
+
+void Network::run_epoch(SimTime cap) {
+  for (auto& shp : shards_) shp->processed = 0;
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  epoch_cap_ = cap;
+  running_ = static_cast<unsigned>(threads_.size());
+  ++epoch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return running_ == 0; });
+}
+
+void Network::worker_main(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime cap;
+    {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      work_cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+      cap = epoch_cap_;
+    }
+    for (std::size_t s = index; s < shards_.size(); s += workers_) {
+      Shard& sh = *shards_[s];
+      sh.processed = drain_shard(sh, cap, /*buffered=*/true);
+    }
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      if (--running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+std::size_t Network::run_parallel(SimTime deadline) {
+  std::size_t total = 0;
+  for (;;) {
+    SimTime t_min = next_event_time();
+    if (t_min == kNever || t_min > deadline) break;
+    if (win_end_ != 0 && t_min >= win_end_) flush_window();
+    if (win_end_ == 0) win_end_ = t_min + lookahead();
+    SimTime cap = std::min(deadline, win_end_ - 1);
+    // Shards with work this window. Sparse phases (heartbeat-only tails)
+    // usually light up a single shard: drain it inline and skip the
+    // worker handshake — the result is identical because the window's
+    // outcome never depends on the interleaving.
+    Shard* solo = nullptr;
+    unsigned active = 0;
+    for (auto& shp : shards_) {
+      if (!shp->heap.empty() && shp->heap[0].at <= cap) {
+        ++active;
+        solo = shp.get();
+      }
+    }
+    if (active <= 1) {
+      if (solo != nullptr) total += drain_shard(*solo, cap, false);
+    } else {
+      run_epoch(cap);
+      for (auto& shp : shards_) total += shp->processed;
+      merge_outboxes();
+    }
+  }
+  for (auto& shp : shards_)
+    if (shp->now > now_) now_ = shp->now;
+  return total;
+}
+
+std::size_t Network::run(std::size_t max_events) {
+  std::size_t n;
+  if (max_events == SIZE_MAX && workers_ >= 2 && shards_.size() >= 2 &&
+      config_.base_latency > 0)
+    n = run_parallel(kNever);
+  else
+    n = run_sequential(kNever, max_events);
+  if (next_event_time() == kNever) flush_window();
+  merge_stats_deltas();
   return n;
 }
 
 std::size_t Network::run_until(SimTime deadline) {
-  std::size_t n = 0;
-  while (!heap_.empty() && heap_[0].at <= deadline && step()) ++n;
+  std::size_t n;
+  if (workers_ >= 2 && shards_.size() >= 2 && config_.base_latency > 0)
+    n = run_parallel(deadline);
+  else
+    n = run_sequential(deadline, SIZE_MAX);
   if (now_ < deadline) now_ = deadline;
+  if (next_event_time() == kNever) flush_window();
+  merge_stats_deltas();
+  return n;
+}
+
+bool Network::step() {
+  bool advanced = step_one(kNever);
+  if (advanced && next_event_time() == kNever) flush_window();
+  return advanced;
+}
+
+// ---- introspection ----
+
+std::size_t Network::queued_events() const {
+  std::size_t n = 0;
+  for (const auto& shp : shards_) n += shp->heap.size();
+  return n;
+}
+
+std::size_t Network::event_pool_slots() const {
+  std::size_t n = 0;
+  for (const auto& shp : shards_) n += shp->pool.size();
+  return n;
+}
+
+std::size_t Network::cancelled_timers_pending() const {
+  std::size_t n = 0;
+  for (const auto& shp : shards_) n += shp->cancelled_pending;
   return n;
 }
 

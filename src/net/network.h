@@ -1,4 +1,5 @@
-// Deterministic discrete-event network simulator.
+// Deterministic discrete-event network simulator with an optional
+// parallel (area-sharded) execution mode.
 //
 // Substitutes for the paper's testbed (a LAN of Linux workstations with
 // TCP between area controllers and IP multicast within areas). The
@@ -12,16 +13,40 @@
 //   - byte/message accounting per traffic class for the figure benchmarks.
 //
 // Determinism: every run with the same seed and the same sequence of API
-// calls delivers events in the same order. Ties in delivery time are broken
-// by event sequence number.
+// calls delivers events in the same order — REGARDLESS of the worker
+// count (see DESIGN.md 11). Two mechanisms make that structural rather
+// than accidental:
+//   - Canonical event keys. Every scheduled event carries a key
+//     (origin-node, per-origin sequence) assigned at scheduling time; ties
+//     in delivery time are broken by that key. A node's callbacks run in a
+//     deterministic order, so its per-origin counter advances identically
+//     in every mode — the total (at, key) order is a property of the
+//     schedule, not of the execution interleaving.
+//   - Order-independent randomness. Latency jitter and drop coins come
+//     from a counter-mode PRF (crypto::StreamPrf) keyed per
+//     (seed, node, purpose) with a per-node counter, so the i-th draw of a
+//     node's stream has the same value no matter how shards interleave.
 //
-// Scale (DESIGN.md 10): the event queue is a 4-ary heap of 16-byte
-// {time, seq|slot} handles over a slab-allocated event pool, payloads are
+// Parallel mode (DESIGN.md 11): nodes are partitioned into shards
+// (Network::set_shard; the Mykil layer assigns one shard per area). Each
+// shard owns its own event heap/pool, and time advances in conservative
+// windows of width `lookahead = base_latency` — the minimum latency of any
+// link, hence the soonest an event executed in this window can affect
+// another shard. Within a window shards run independently on a worker
+// pool; cross-shard sends are buffered in per-shard outboxes and merged at
+// the window barrier (the canonical keys make merge order irrelevant).
+// Group membership mutations issued from node callbacks are buffered and
+// applied at window boundaries in canonical (time, origin, seq) order in
+// EVERY mode — including workers=1 — so the membership visible to a
+// multicast is identical whatever the worker count.
+//
+// Scale (DESIGN.md 10): per shard, the event queue is a 4-ary heap of
+// {time, key, slot} handles over a slab-allocated event pool, payloads are
 // refcounted (net/message.h) so a multicast to n members costs one buffer,
 // and labels are interned ids (net/label.h) so per-delivery accounting
-// never touches a string. Group membership is a sorted flat vector (same
-// iteration order std::set gave, contiguous for the fan-out loop), and
-// blocked links live in a hash set.
+// never touches a string. Group membership is a sorted flat vector,
+// blocked links live in a hash set, and per-node stats pages allocate on
+// first touch (net/stats.h).
 //
 // Delivery guarantees (what protocol code may and may not assume):
 //   - Unicast/multicast delivery is AT MOST ONCE: a message is delivered
@@ -32,19 +57,33 @@
 //     message in flight to a node that crashes or gets partitioned before
 //     it arrives is gone, exactly like a real datagram.
 //   - Ordering: two messages with equal computed delivery time arrive in
-//     send order (FIFO tie-break); jitter and size-dependent latency can
-//     reorder everything else.
+//     canonical key order — sends issued from outside the event loop
+//     arrive in call order (they share one sequence counter); sends from
+//     node callbacks keep per-sender FIFO and tie-break across senders by
+//     sender id (outside-the-loop sends sort first). Jitter and
+//     size-dependent latency can reorder everything else.
+//   - Group membership changes made from inside node callbacks take
+//     effect at the next window boundary (within `lookahead` of the call,
+//     i.e. sooner than any message the caller sends could arrive
+//     anywhere). Calls from outside the event loop apply immediately.
 //   - Timers and crashes: a timer whose due time falls inside the node's
 //     down window is SUPPRESSED, not deferred — it never fires, and
 //     recover() does not resurrect it. A timer armed before a crash whose
 //     due time lands after recover() fires normally. Nodes that need
 //     periodic timers across failures must re-arm them in on_recover()
 //     (the Mykil entities do; see also ArqEndpoint::on_recover).
+//   - Timers are shard-local: with workers >= 2, a node callback may only
+//     set or cancel timers on nodes in its own shard (every Mykil timer is
+//     self-targeted, so this never binds in practice).
 //   - Reliability, retransmission, and duplicate suppression are therefore
 //     the job of the layer above: see net/arq.h.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -60,7 +99,10 @@
 namespace mykil::net {
 
 struct NetworkConfig {
-  /// Fixed one-way latency added to every delivery.
+  /// Fixed one-way latency added to every delivery. Doubles as the
+  /// parallel engine's lookahead: with base_latency == 0 the engine
+  /// degrades to single-threaded execution (still windowed, still
+  /// deterministic).
   SimDuration base_latency = usec(200);
   /// Additional latency per payload byte (models serialization/bandwidth).
   double per_byte_latency_us = 0.001;  // ~1 GB/s links
@@ -79,10 +121,15 @@ struct NetworkConfig {
 class Network {
  public:
   explicit Network(NetworkConfig config = {});
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   // ---- topology ----
 
-  /// Register a node; assigns its NodeId. The node must outlive the network.
+  /// Register a node; assigns its NodeId. The node must outlive the
+  /// network. At most 2^24 - 2 nodes (the canonical event key packs the
+  /// origin node into 24 bits).
   NodeId attach(Node& node);
 
   /// Crash-stop failure: the node receives nothing (messages addressed to
@@ -111,9 +158,36 @@ class Network {
     return config_.drop_probability;
   }
 
+  // ---- sharding / parallel execution ----
+
+  /// Maximum shards (the TimerId encoding reserves 8 bits for the shard).
+  static constexpr std::uint32_t kMaxShards = 256;
+
+  /// Assign `node` to a shard (creating shards up to `shard`). All nodes
+  /// start in shard 0. Must be called from outside the event loop, and
+  /// only while no events or timers target the node — in practice,
+  /// immediately after attach(). The Mykil layer shards by area: the
+  /// registration server in shard 0, area i in shard i + 1.
+  void set_shard(NodeId node, std::uint32_t shard);
+  [[nodiscard]] std::uint32_t shard_of(NodeId node) const;
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Size the worker pool. 1 (the default) processes events inline on the
+  /// calling thread; n >= 2 spawns n worker threads that execute shards
+  /// concurrently inside each lookahead window. The delivery schedule is
+  /// bit-identical for every value. Must be called from outside the event
+  /// loop.
+  void set_workers(unsigned n);
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
   // ---- multicast groups ----
 
   GroupId create_group();
+  /// Membership changes from node callbacks are buffered and applied at
+  /// the next window boundary (canonical order); from outside the event
+  /// loop they apply immediately. See the delivery guarantees above.
   void join_group(GroupId group, NodeId node);
   void leave_group(GroupId group, NodeId node);
   [[nodiscard]] std::size_t group_size(GroupId group) const;
@@ -142,31 +216,33 @@ class Network {
   // ---- running ----
 
   /// Process events until the queue is empty or `max_events` processed.
-  /// Returns the number of events processed.
+  /// Returns the number of events processed. (A bounded max_events runs
+  /// single-threaded so the cut point is exact; the schedule is identical
+  /// either way.)
   std::size_t run(std::size_t max_events = SIZE_MAX);
   /// Process events with time <= deadline.
   std::size_t run_until(SimTime deadline);
   /// Advance over one event. Returns false if queue empty.
   bool step();
 
-  [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] bool idle() const { return heap_.empty(); }
+  /// Current virtual time. From inside a node callback this is the time
+  /// of the event being processed (shard-local during parallel windows).
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] bool idle() const { return queued_events() == 0; }
 
   NetStats& stats() { return stats_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
 
   // ---- scheduler introspection (tests, benches) ----
 
-  /// Events currently queued (deliveries + pending timers).
-  [[nodiscard]] std::size_t queued_events() const { return heap_.size(); }
+  /// Events currently queued (deliveries + pending timers), all shards.
+  [[nodiscard]] std::size_t queued_events() const;
   /// High-water slab size: slots ever allocated for queued events. Bounded
   /// by peak queue depth, NOT by the total number of events scheduled.
-  [[nodiscard]] std::size_t event_pool_slots() const { return pool_.size(); }
+  [[nodiscard]] std::size_t event_pool_slots() const;
   /// Timers cancelled but not yet reaped from the queue (their slot frees
   /// when the due time passes). Returns toward 0 as the run drains.
-  [[nodiscard]] std::size_t cancelled_timers_pending() const {
-    return cancelled_pending_;
-  }
+  [[nodiscard]] std::size_t cancelled_timers_pending() const;
 
   // ---- observability ----
 
@@ -196,55 +272,147 @@ class Network {
     TimerId timer_id = 0;  ///< 0 when the slot is free or holds a delivery
   };
 
-  /// 16-byte heap handle. `key` packs (seq mod 2^32) in the high half and
-  /// the slab slot in the low half, so the comparator's (at, key) order is
-  /// exactly the old (at, seq) FIFO tie-break and the winning handle leads
-  /// straight to its slot. (The tie-break only ever compares events alive
-  /// at the same instant; a 2^32 wrap between such events cannot happen.)
+  /// Heap handle. `key` is the canonical tie-break — (origin + 1) in the
+  /// top 24 bits, the origin's scheduling counter in the low 40 — and
+  /// `slot` addresses the slab. The key is assigned at scheduling time
+  /// from per-node counters, so it is identical in every execution mode;
+  /// slots are an execution detail and never influence ordering.
   struct EventRef {
     SimTime at;
     std::uint64_t key;
+    std::uint32_t slot;
   };
   static bool ref_before(const EventRef& a, const EventRef& b) {
     return a.at != b.at ? a.at < b.at : a.key < b.key;
   }
 
-  static constexpr std::size_t kHeapArity = 4;
-  void heap_push(EventRef ref);
-  void heap_pop_min();
-  void sift_down(std::size_t i);
+  /// A cross-shard send buffered during a parallel window; merged into the
+  /// destination shard's heap at the window barrier.
+  struct PendingEvent {
+    Event ev;
+    std::uint64_t key;
+    std::uint32_t dest_shard;
+  };
 
-  std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t slot);
-  /// Place `ev` in the pool and index it in the heap (assigns the seq).
-  void schedule(Event ev);
+  /// A join/leave issued from a node callback, applied at the next window
+  /// boundary in canonical (at, origin, seq) order.
+  struct GroupOp {
+    SimTime at;
+    NodeId origin;
+    std::uint64_t seq;
+    GroupId group;
+    NodeId node;
+    bool join;
+  };
+
+  /// Everything one shard owns. Shards never share mutable state during a
+  /// window: workers touch only their shard plus read-only topology.
+  struct Shard {
+    std::vector<EventRef> heap;  ///< 4-ary min-heap of handles
+    std::vector<Event> pool;     ///< slab addressed by handle slot
+    std::vector<std::uint32_t> free_slots;
+    std::size_t cancelled_pending = 0;
+    SimTime now = 0;  ///< shard-local clock while processing
+    std::uint32_t next_timer_seq = 1;
+    std::size_t processed = 0;  ///< events handled in the current epoch
+    std::vector<PendingEvent> outbox;
+    std::vector<GroupOp> group_ops;
+    NetStats stats_delta;  ///< worker-context accounting, merged after runs
+  };
+
+  /// Per-origin deterministic state: the canonical-key counter, the
+  /// jitter/drop PRF counters, and the group-op counter. Index 0 is the
+  /// synthetic origin for API calls with no sending node (kNoNode); node n
+  /// is index n + 1. Each node is processed by exactly one shard, so
+  /// workers never contend on an entry.
+  struct OriginState {
+    std::uint64_t key_ctr = 0;
+    std::uint64_t jitter_ctr = 0;
+    std::uint64_t drop_ctr = 0;
+    std::uint64_t group_op_ctr = 0;
+  };
+
+  static constexpr std::size_t kHeapArity = 4;
+  static void heap_push(Shard& sh, EventRef ref);
+  static void heap_pop_min(Shard& sh);
+  static void sift_down(Shard& sh, std::size_t i);
+
+  static std::uint32_t acquire_slot(Shard& sh);
+  static void release_slot(Shard& sh, std::uint32_t slot);
 
   static std::uint64_t link_key(NodeId from, NodeId to) {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
+  [[nodiscard]] bool in_callback() const;
+  [[nodiscard]] SimTime local_now() const;
+  [[nodiscard]] std::uint64_t make_key(NodeId origin);
+  [[nodiscard]] NetStats& active_stats();
+
+  /// Place `ev` (key precomputed) into `sh`'s pool + heap.
+  static void place(Shard& sh, Event ev, std::uint64_t key);
+  /// Route a freshly keyed event to its destination shard — directly, or
+  /// via the current shard's outbox when running buffered in a window.
+  void schedule(Event ev);
+
   void queue_delivery(Message msg, NodeId to);
   [[nodiscard]] bool deliverable(NodeId from, NodeId to) const;
-  SimDuration delivery_latency(std::size_t bytes);
+  SimDuration delivery_latency(std::size_t bytes, NodeId sender);
+
+  /// Pop + execute the event behind `ref` (already removed from the heap).
+  void process_event(Shard& sh, EventRef ref, bool buffered);
+  /// Drain one shard's events with at <= cap. Returns events processed.
+  std::size_t drain_shard(Shard& sh, SimTime cap, bool buffered);
+
+  [[nodiscard]] SimDuration lookahead() const;
+  /// Earliest queued event across shards; SimTime max when idle.
+  [[nodiscard]] SimTime next_event_time() const;
+  /// Apply buffered group ops in canonical order and close the window.
+  void flush_window();
+  /// Move every shard's outbox into the destination heaps.
+  void merge_outboxes();
+  void merge_stats_deltas();
+
+  bool step_one(SimTime deadline);
+  std::size_t run_sequential(SimTime deadline, std::size_t max_events);
+  std::size_t run_parallel(SimTime deadline);
+  void run_epoch(SimTime cap);  ///< dispatch one window to the worker pool
+  void worker_main(unsigned index);
+  void stop_workers();
+
+  void raw_join(GroupId group, NodeId node);
+  void raw_leave(GroupId group, NodeId node);
 
   NetworkConfig config_;
-  crypto::Prng prng_;
+  crypto::StreamPrf prf_;
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t next_timer_seq_ = 1;  ///< high half of TimerId; never 0
+  SimTime win_end_ = 0;  ///< exclusive end of the open window; 0 = none
 
   std::vector<Node*> nodes_;
   std::vector<bool> up_;
   std::vector<std::uint32_t> partition_;
+  std::vector<std::uint32_t> node_shard_;
+  std::vector<OriginState> origin_;  ///< index node + 1; [0] = kNoNode
   std::unordered_set<std::uint64_t> blocked_links_;
   std::vector<std::vector<NodeId>> groups_;  ///< each sorted, duplicate-free
 
-  std::vector<EventRef> heap_;  ///< 4-ary min-heap of handles
-  std::vector<Event> pool_;     ///< slab addressed by handle slot
-  std::vector<std::uint32_t> free_slots_;
-  std::size_t cancelled_pending_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   NetStats stats_;
+
+  // Worker pool (set_workers >= 2): persistent threads synchronized by an
+  // epoch counter. The coordinator publishes a window cap, bumps the
+  // epoch, and waits for all workers; the mutex hand-off is the memory
+  // barrier that publishes shard state in both directions.
+  unsigned workers_ = 1;
+  std::vector<std::thread> threads_;
+  std::mutex pool_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  unsigned running_ = 0;
+  bool shutdown_ = false;
+  SimTime epoch_cap_ = 0;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

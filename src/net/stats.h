@@ -16,7 +16,9 @@
 // without interning, so probing a never-sent class is free.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -32,6 +34,64 @@ struct Counter {
     ++messages;
     bytes += n;
   }
+  void merge(const Counter& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+  }
+};
+
+/// Sparse fixed-stride paged array for per-node counters.
+///
+/// A flat `std::vector<Counter>` resized to the highest touched index is
+/// fine at 10k nodes but at 1M nodes costs 16 MB per table (×2 tables ×
+/// one delta copy per shard in the parallel engine) even when a run only
+/// exercises a few areas. Pages allocate on first touch, so memory tracks
+/// the set of 4096-node pages actually used, and an untouched table costs
+/// one empty vector.
+template <typename T>
+class PagedVector {
+ public:
+  static constexpr std::size_t kPageBits = 12;
+  static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+
+  /// Reference for writing; allocates the page on first touch.
+  T& touch(std::size_t i) {
+    std::size_t page = i >> kPageBits;
+    if (page >= pages_.size()) pages_.resize(page + 1);
+    if (!pages_[page]) pages_[page] = std::make_unique<Page>();
+    return (*pages_[page])[i & (kPageSize - 1)];
+  }
+
+  /// Value for reading; default-constructed T when never touched.
+  [[nodiscard]] T get(std::size_t i) const {
+    std::size_t page = i >> kPageBits;
+    if (page >= pages_.size() || !pages_[page]) return T{};
+    return (*pages_[page])[i & (kPageSize - 1)];
+  }
+
+  [[nodiscard]] std::size_t allocated_pages() const {
+    std::size_t n = 0;
+    for (const auto& p : pages_) n += p != nullptr;
+    return n;
+  }
+
+  /// Fold another table in (used to merge per-shard deltas); `combine` is
+  /// called as combine(mine, theirs) for every slot of every page `other`
+  /// allocated.
+  template <typename Combine>
+  void merge(const PagedVector& other, Combine&& combine) {
+    if (other.pages_.size() > pages_.size()) pages_.resize(other.pages_.size());
+    for (std::size_t p = 0; p < other.pages_.size(); ++p) {
+      if (!other.pages_[p]) continue;
+      if (!pages_[p]) pages_[p] = std::make_unique<Page>();
+      for (std::size_t j = 0; j < kPageSize; ++j)
+        combine((*pages_[p])[j], (*other.pages_[p])[j]);
+    }
+  }
+
+ private:
+  using Page = std::array<T, kPageSize>;
+  std::vector<std::unique_ptr<Page>> pages_;
 };
 
 class NetStats {
@@ -39,13 +99,13 @@ class NetStats {
   void record_send(const Message& m) {
     sent_total_.add(m.wire_size());
     slot(sent_by_label_, m.label.id()).add(m.wire_size());
-    if (m.from != kNoNode) slot(sent_by_node_, m.from).add(m.wire_size());
+    if (m.from != kNoNode) sent_by_node_.touch(m.from).add(m.wire_size());
   }
 
   void record_delivery(const Message& m, NodeId to) {
     recv_total_.add(m.wire_size());
     slot(recv_by_label_, m.label.id()).add(m.wire_size());
-    if (to != kNoNode) slot(recv_by_node_, to).add(m.wire_size());
+    if (to != kNoNode) recv_by_node_.touch(to).add(m.wire_size());
   }
 
   void record_drop(const Message& m) {
@@ -83,10 +143,33 @@ class NetStats {
     return by_label(dropped_by_label_, label);
   }
   [[nodiscard]] Counter sent_by_node(NodeId n) const {
-    return n < sent_by_node_.size() ? sent_by_node_[n] : Counter{};
+    return sent_by_node_.get(n);
   }
   [[nodiscard]] Counter recv_by_node(NodeId n) const {
-    return n < recv_by_node_.size() ? recv_by_node_[n] : Counter{};
+    return recv_by_node_.get(n);
+  }
+
+  /// Pages currently backing the two by-node tables (memory visibility for
+  /// the scale benchmarks).
+  [[nodiscard]] std::size_t by_node_pages() const {
+    return sent_by_node_.allocated_pages() + recv_by_node_.allocated_pages();
+  }
+
+  /// Fold `other` into this (the parallel engine accumulates per-shard
+  /// deltas and merges them at the end of a run). Addition is commutative,
+  /// so merge order does not affect the result.
+  void merge(const NetStats& other) {
+    sent_total_.merge(other.sent_total_);
+    recv_total_.merge(other.recv_total_);
+    dropped_.merge(other.dropped_);
+    fanout_copied_.merge(other.fanout_copied_);
+    fanout_expanded_.merge(other.fanout_expanded_);
+    merge_labels(sent_by_label_, other.sent_by_label_);
+    merge_labels(recv_by_label_, other.recv_by_label_);
+    merge_labels(dropped_by_label_, other.dropped_by_label_);
+    auto add = [](Counter& a, const Counter& b) { a.merge(b); };
+    sent_by_node_.merge(other.sent_by_node_, add);
+    recv_by_node_.merge(other.recv_by_node_, add);
   }
 
   /// Reset all counters (benchmarks call this between measured phases).
@@ -105,12 +188,18 @@ class NetStats {
     if (l.empty() && !name.empty()) return Counter{};
     return l.id() < v.size() ? v[l.id()] : Counter{};
   }
+  static void merge_labels(std::vector<Counter>& mine,
+                           const std::vector<Counter>& theirs) {
+    if (theirs.size() > mine.size()) mine.resize(theirs.size());
+    for (std::size_t i = 0; i < theirs.size(); ++i) mine[i].merge(theirs[i]);
+  }
 
   Counter sent_total_, recv_total_, dropped_;
   Counter fanout_copied_, fanout_expanded_;
-  // Indexed by LabelId / NodeId; both are dense small integers.
+  // Indexed by LabelId: labels are a handful of traffic classes, so these
+  // stay flat. By-node tables are paged (see PagedVector).
   std::vector<Counter> sent_by_label_, recv_by_label_, dropped_by_label_;
-  std::vector<Counter> sent_by_node_, recv_by_node_;
+  PagedVector<Counter> sent_by_node_, recv_by_node_;
 };
 
 }  // namespace mykil::net

@@ -7,47 +7,56 @@
 namespace mykil::obs {
 
 void Histogram::record(std::uint64_t value) {
-  ++buckets_[std::bit_width(value)];
-  ++count_;
-  sum_ += value;
-  if (value < min_) min_ = value;
-  if (value > max_) max_ = value;
+  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // min/max via CAS: contended only while the extreme is still moving.
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
 }
 
 double Histogram::percentile(double p) const {
-  if (count_ == 0) return 0;
+  std::uint64_t n = count();
+  if (n == 0) return 0;
   if (p <= 0) return static_cast<double>(min());
-  if (p >= 100) return static_cast<double>(max_);
+  if (p >= 100) return static_cast<double>(max());
   // Nearest-rank target, then linear interpolation across the hit bucket's
   // value range [2^(i-1), 2^i).
-  double target = p / 100.0 * static_cast<double>(count_);
+  double target = p / 100.0 * static_cast<double>(n);
   std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(target));
   if (rank == 0) rank = 1;
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    if (buckets_[i] == 0) continue;
-    if (cum + buckets_[i] < rank) {
-      cum += buckets_[i];
+    std::uint64_t b = bucket_count(i);
+    if (b == 0) continue;
+    if (cum + b < rank) {
+      cum += b;
       continue;
     }
     double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
     double hi = std::ldexp(1.0, static_cast<int>(i));
-    double frac = (static_cast<double>(rank - cum) - 0.5) /
-                  static_cast<double>(buckets_[i]);
+    double frac =
+        (static_cast<double>(rank - cum) - 0.5) / static_cast<double>(b);
     double v = lo + (hi - lo) * frac;
     // The bucket bounds over-approximate; the true extremes are exact.
     if (v < static_cast<double>(min())) v = static_cast<double>(min());
-    if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+    if (v > static_cast<double>(max())) v = static_cast<double>(max());
     return v;
   }
-  return static_cast<double>(max_);
+  return static_cast<double>(max());
 }
 
 HistogramSummary Histogram::summary() const {
   HistogramSummary s;
-  s.count = count_;
+  s.count = count();
   s.min = min();
-  s.max = max_;
+  s.max = max();
   s.mean = mean();
   s.p50 = percentile(50);
   s.p95 = percentile(95);
@@ -56,22 +65,26 @@ HistogramSummary Histogram::summary() const {
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::string MetricsRegistry::to_json(const std::string& suite) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\n  \"suite\": \"" + suite + "\",\n";
   char buf[256];
 

@@ -14,31 +14,45 @@
 //
 // Like the Tracer, a disabled registry is a null pointer at every hook:
 // one branch, no memory traffic, byte-identical benchmark output.
+//
+// Thread safety: the parallel simulation engine (net::Network with
+// workers > 1) records metrics from several shard workers at once, so
+// Counter/Gauge/Histogram updates are relaxed atomics (values are pure
+// tallies — no ordering is communicated through them) and the registry's
+// name lookup takes a mutex. Reads are meant for quiescent points
+// (barriers, end of run); snapshots taken mid-window may tear across
+// metrics but never within a single counter.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace mykil::obs {
 
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(std::int64_t v) { value_ = v; }
-  void add(std::int64_t d) { value_ += d; }
-  [[nodiscard]] std::int64_t value() const { return value_; }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// Plain-data extract of a histogram, cheap to copy into run reports.
@@ -58,26 +72,35 @@ class Histogram {
 
   void record(std::uint64_t value);
 
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] std::uint64_t sum() const { return sum_; }
-  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] double mean() const {
-    return count_ == 0 ? 0 : static_cast<double>(sum_) / static_cast<double>(count_);
+    std::uint64_t c = count();
+    return c == 0 ? 0 : static_cast<double>(sum()) / static_cast<double>(c);
   }
   /// `p` in [0, 100]; 0 for an empty histogram.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] HistogramSummary summary() const;
   [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const {
-    return buckets_[bucket];
+    return buckets_[bucket].load(std::memory_order_relaxed);
   }
 
  private:
-  std::uint64_t buckets_[kBuckets] = {};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = UINT64_MAX;
-  std::uint64_t max_ = 0;
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 /// Name-addressed metric store. References returned by counter()/gauge()/
@@ -86,9 +109,18 @@ class Histogram {
 /// are deterministic.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+  }
+  Histogram& histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histograms_[name];
+  }
 
   /// nullptr when the metric was never touched.
   [[nodiscard]] const Counter* find_counter(const std::string& name) const;
@@ -96,6 +128,7 @@ class MetricsRegistry {
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
 
   [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -107,6 +140,7 @@ class MetricsRegistry {
                   const std::string& suite = "metrics") const;
 
  private:
+  mutable std::mutex mu_;  ///< guards the maps, not the metric values
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

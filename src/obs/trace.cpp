@@ -83,6 +83,7 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
 }
 
 void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   head_ = 0;
   count_ = 0;
@@ -111,11 +112,13 @@ void Tracer::instant(EventKind kind, std::uint32_t tid, net::SimTime ts,
   ev.a0 = a0;
   ev.a1 = a1;
   ev.label = label;
+  std::lock_guard<std::mutex> lock(mu_);
   push(std::move(ev));
 }
 
 void Tracer::span_begin(EventKind kind, std::uint64_t span_id,
                         std::uint32_t tid, net::SimTime ts) {
+  std::lock_guard<std::mutex> lock(mu_);
   // A retried operation (e.g. a join restarted by the watchdog) re-begins
   // its span; the newest begin wins the pairing.
   open_[span_key(kind, span_id)] = ts;
@@ -138,6 +141,7 @@ std::optional<net::SimDuration> Tracer::span_end(EventKind kind,
   ev.tid = tid;
   ev.ts = ts;
   ev.id = span_id;
+  std::lock_guard<std::mutex> lock(mu_);
   push(std::move(ev));
 
   auto it = open_.find(span_key(kind, span_id));
@@ -150,7 +154,7 @@ std::optional<net::SimDuration> Tracer::span_end(EventKind kind,
 
 std::string Tracer::to_chrome_trace() const {
   std::string out;
-  out.reserve(count_ * 96 + 16);
+  out.reserve(size() * 96 + 16);
   out += "[\n";
   bool first = true;
   for_each([&](const TraceEvent& ev) {

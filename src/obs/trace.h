@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -86,15 +87,26 @@ class Tracer {
                                            std::uint64_t span_id,
                                            std::uint32_t tid, net::SimTime ts);
 
-  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
-  [[nodiscard]] std::size_t open_spans() const { return open_.size(); }
+  [[nodiscard]] std::uint64_t overwritten() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return overwritten_;
+  }
+  [[nodiscard]] std::size_t open_spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return open_.size();
+  }
   void clear();
 
-  /// Visit buffered events oldest-first.
+  /// Visit buffered events oldest-first. Holds the tracer lock for the
+  /// whole walk; `f` must not call back into this tracer.
   template <typename F>
   void for_each(F&& f) const {
+    std::lock_guard<std::mutex> lock(mu_);
     std::size_t start = count_ < capacity_ ? 0 : head_;
     for (std::size_t i = 0; i < count_; ++i)
       f(ring_[(start + i) % capacity_]);
@@ -112,6 +124,11 @@ class Tracer {
     return (static_cast<std::uint64_t>(kind) << 56) ^ span_id;
   }
 
+  // One mutex over ring + span table: the ring buffer and open-span map
+  // are mutated together, and trace hooks are rare enough (protocol-level
+  // events, not per-packet in benchmarks) that a lock is the simple,
+  // TSan-clean choice for the parallel engine's shard workers.
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  ///< next write slot once the ring is full

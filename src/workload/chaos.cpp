@@ -52,6 +52,7 @@ ChaosReport run_chaos(const ChaosOptions& opt) {
   gopt.seed = opt.seed;
   gopt.with_backups = opt.with_backups;
   gopt.config.reliable_control = opt.reliable_control;
+  gopt.workers = opt.workers;
   core::MykilGroup group(net, gopt);
   group.add_area();
   for (std::size_t a = 1; a < opt.areas; ++a) group.add_area(0);
@@ -299,6 +300,37 @@ ChaosReport run_chaos(const ChaosOptions& opt) {
   report.redirects = counter("ac.redirects");
   report.rekey_multicasts = net.stats().sent_by_label("mykil-rekey").messages;
   report.finished_at = net.now();
+
+  auto fnv = [](std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  std::uint64_t d = 14695981039346656037ull;
+  for (std::uint64_t v :
+       {static_cast<std::uint64_t>(report.member_crashes),
+        static_cast<std::uint64_t>(report.primary_crashes),
+        static_cast<std::uint64_t>(report.partitions),
+        static_cast<std::uint64_t>(report.drop_ramps),
+        static_cast<std::uint64_t>(report.link_blocks),
+        static_cast<std::uint64_t>(report.churn_events),
+        static_cast<std::uint64_t>(report.live_members),
+        static_cast<std::uint64_t>(report.live_in_sync),
+        static_cast<std::uint64_t>(report.live_out_of_sync),
+        static_cast<std::uint64_t>(report.stale_key_holders),
+        static_cast<std::uint64_t>(report.areas_without_primary),
+        static_cast<std::uint64_t>(report.split_brains),
+        static_cast<std::uint64_t>(report.backups_out_of_sync),
+        report.retransmits, report.arq_give_ups, report.key_recoveries,
+        report.takeovers, report.redirects, report.rekey_multicasts,
+        report.finished_at, net.stats().sent_total().messages,
+        net.stats().sent_total().bytes, net.stats().recv_total().messages,
+        net.stats().recv_total().bytes, net.stats().dropped().messages,
+        net.stats().dropped().bytes})
+    d = fnv(d, v);
+  report.digest = d;
   return report;
 }
 

@@ -42,6 +42,10 @@ struct ChaosOptions {
   bool crash_primaries = true;
   /// The switch the regression guard flips off.
   bool reliable_control = true;
+  /// Simulator worker threads (net::Network::set_workers). The report —
+  /// including its digest — is identical for every value; the determinism
+  /// tests assert exactly that.
+  unsigned workers = 1;
 };
 
 struct ChaosReport {
@@ -70,6 +74,12 @@ struct ChaosReport {
   std::uint64_t redirects = 0;
   std::uint64_t rekey_multicasts = 0;
   net::SimTime finished_at = 0;  ///< simulated end time
+
+  /// FNV-1a over every schedule tally, invariant result, repair counter,
+  /// and the network's total message/byte counters. Two runs produced the
+  /// same digest iff they executed the same schedule with the same
+  /// outcomes — the cross-worker determinism gate compares exactly this.
+  std::uint64_t digest = 0;
 
   [[nodiscard]] bool converged() const {
     return live_members > 0 && live_out_of_sync == 0 &&

@@ -37,12 +37,13 @@ int main() {
     }
   }
 
-  // Regression guard: seed 1 without ARQ demonstrably diverges.
+  // Regression guard: seed 5 without ARQ demonstrably diverges (the same
+  // seed converges with the reliable control plane on).
   ChaosOptions no_arq;
-  no_arq.seed = 1;
+  no_arq.seed = 5;
   no_arq.reliable_control = false;
   ChaosReport rep = mykil::workload::run_chaos(no_arq);
-  std::printf("chaos seed 1 (no ARQ): %s\n",
+  std::printf("chaos seed 5 (no ARQ): %s\n",
               rep.converged() ? "converged — guard LOST its teeth" : "fails as expected");
   if (rep.converged()) ++failures;
 

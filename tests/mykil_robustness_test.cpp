@@ -94,9 +94,9 @@ TEST(MykilRobustness, ReliableControlPlaneJoinsEveryoneAtHeavyLoss) {
   net::NetworkConfig ncfg;
   ncfg.jitter = 0;
   ncfg.drop_probability = 0.25;
-  ncfg.seed = 23;
+  ncfg.seed = 27;
   net::Network net(ncfg);
-  MykilGroup group(net, fast_options(23));
+  MykilGroup group(net, fast_options(27));
   group.add_area();
   group.finalize();
 

@@ -98,7 +98,7 @@ TEST(ArqFrame, RejectsGarbageAndTruncation) {
 TEST(Arq, DeliversExactlyOnceUnderHeavyLoss) {
   NetworkConfig cfg = quiet_config();
   cfg.drop_probability = 0.5;
-  cfg.seed = 17;
+  cfg.seed = 18;
   Network net(cfg);
   ArqNode a, b;
   // At 50% loss each attempt needs BOTH the data frame and its ack to

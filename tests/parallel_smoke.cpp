@@ -1,0 +1,40 @@
+// Standalone multi-worker gate: one full chaos schedule executed by the
+// sharded parallel engine with real worker threads, digest-compared against
+// the single-worker run. This is the binary the ThreadSanitizer
+// configuration runs (cmake -DMYKIL_SANITIZE=thread) — a data race in the
+// window barrier, the outbox merge, the stats deltas, or the interned-label
+// registry shows up here, not in the single-threaded suites.
+//
+// Kept to one seed so the TSan run stays fast; the broader worker-count
+// sweeps live in net_determinism_test.cpp and the chaos digest corpus in
+// BENCH_chaos.json.
+#include <cstdio>
+
+#include "workload/chaos.h"
+
+int main() {
+  using namespace mykil;
+
+  workload::ChaosOptions opt;
+  opt.seed = 2;
+
+  workload::ChaosReport base = workload::run_chaos(opt);
+  std::printf("parallel_smoke: workers=1 digest=%016llx %s\n",
+              static_cast<unsigned long long>(base.digest),
+              base.converged() ? "converged" : "FAILED");
+  if (!base.converged()) return 1;
+
+  opt.workers = 4;
+  workload::ChaosReport par = workload::run_chaos(opt);
+  std::printf("parallel_smoke: workers=4 digest=%016llx %s\n",
+              static_cast<unsigned long long>(par.digest),
+              par.converged() ? "converged" : "FAILED");
+  if (!par.converged()) return 1;
+  if (par.digest != base.digest) {
+    std::printf("parallel_smoke: FAIL — digest differs across worker "
+                "counts\n");
+    return 1;
+  }
+  std::printf("parallel_smoke: PASS — schedules bit-identical\n");
+  return 0;
+}
