@@ -60,7 +60,15 @@ class BenchJson {
   explicit BenchJson(std::string suite) : suite_(std::move(suite)) {}
 
   void add(const std::string& name, double ns_per_op, std::int64_t iterations) {
-    rows_.push_back({name, ns_per_op, iterations});
+    rows_.push_back({name, ns_per_op, iterations, 0.0, ""});
+  }
+
+  /// Row with throughput and the dispatched implementation name ("scalar",
+  /// "avx2", "sha_ni", ...) — the shape the SIMD data-plane rows use.
+  /// mb_s <= 0 or an empty impl omits that field from the JSON.
+  void add(const std::string& name, double ns_per_op, std::int64_t iterations,
+           double mb_s, std::string impl) {
+    rows_.push_back({name, ns_per_op, iterations, mb_s, std::move(impl)});
   }
 
   /// Write the collected rows to `path`; returns false on I/O failure.
@@ -72,10 +80,13 @@ class BenchJson {
       const Row& r = rows_[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
-                   "\"iterations\": %lld}%s\n",
+                   "\"iterations\": %lld",
                    r.name.c_str(), r.ns_per_op,
-                   static_cast<long long>(r.iterations),
-                   i + 1 < rows_.size() ? "," : "");
+                   static_cast<long long>(r.iterations));
+      if (r.mb_s > 0) std::fprintf(f, ", \"mb_s\": %.1f", r.mb_s);
+      if (!r.impl.empty())
+        std::fprintf(f, ", \"impl\": \"%s\"", r.impl.c_str());
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     return std::fclose(f) == 0;
@@ -86,6 +97,8 @@ class BenchJson {
     std::string name;
     double ns_per_op;
     std::int64_t iterations;
+    double mb_s;       ///< throughput, omitted from JSON when <= 0
+    std::string impl;  ///< dispatched kernel name, omitted when empty
   };
 
   std::string suite_;

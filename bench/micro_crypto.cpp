@@ -16,6 +16,7 @@
 
 #include "bench_util.h"
 #include "crypto/bignum.h"
+#include "crypto/cpu_features.h"
 #include "crypto/hmac.h"
 #include "crypto/prng.h"
 #include "crypto/rc4.h"
@@ -244,10 +245,11 @@ void BM_KeyTreeLeaveRekey(benchmark::State& state) {
 }
 BENCHMARK(BM_KeyTreeLeaveRekey)->Arg(1000)->Arg(100000);
 
-/// Wall-clock one function, `iters` times, and record ns/op.
+/// Wall-clock one function, `iters` times, and record ns/op. Returns the
+/// measured ns/op so throughput rows can derive MB/s from it.
 template <typename Fn>
-void time_op(bench::BenchJson& json, const std::string& name, int iters,
-             Fn&& fn) {
+double time_op(bench::BenchJson& json, const std::string& name, int iters,
+               Fn&& fn) {
   auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < iters; ++i) fn();
   auto end = std::chrono::steady_clock::now();
@@ -255,6 +257,24 @@ void time_op(bench::BenchJson& json, const std::string& name, int iters,
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
           .count());
   json.add(name, ns / iters, iters);
+  return ns / iters;
+}
+
+/// Like time_op, but the row also records MB/s over `bytes_per_op` and the
+/// kernel the dispatcher picked.
+template <typename Fn>
+void time_op_tp(bench::BenchJson& json, const std::string& name, int iters,
+                std::size_t bytes_per_op, const char* impl, Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  auto end = std::chrono::steady_clock::now();
+  double ns = static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      end - start)
+                      .count()) /
+              iters;
+  double mb_s = ns > 0 ? static_cast<double>(bytes_per_op) * 1000.0 / ns : 0;
+  json.add(name, ns, iters, mb_s, impl);
 }
 
 /// Fixed chrono-timed pass over the crypto hot paths. Smoke mode shrinks
@@ -313,15 +333,28 @@ void run_json_suite(const std::string& path, bool smoke) {
     benchmark::DoNotOptimize(crypto::rsa_generate(rsa_bits, kg));
   });
 
-  // Symmetric hot paths, for the satellite-optimization trajectory.
+  // Symmetric hot paths, for the satellite-optimization trajectory. The
+  // unsuffixed rows run whatever the dispatcher picks on this host (their
+  // impl field records which); _scalar rows pin the portable core so the
+  // SIMD speedup is visible inside one file; _simd is the dispatched path
+  // re-labeled for easy grep when comparing against _scalar.
   Bytes data1k = prng.bytes(1024);
   Bytes data4k = prng.bytes(4096);
   Bytes hkey = prng.bytes(16);
   Bytes nonce = prng.bytes(8);
   const int sym_reps = smoke ? 1 : 2000;
-  time_op(json, "sha256_1KiB", sym_reps, [&] {
+  time_op_tp(json, "sha256_1KiB", sym_reps, 1024, crypto::sha256_impl_name(),
+             [&] { benchmark::DoNotOptimize(crypto::Sha256::digest(data1k)); });
+  crypto::set_force_scalar(true);
+  time_op_tp(json, "sha256_1KiB_scalar", sym_reps, 1024, "scalar", [&] {
     benchmark::DoNotOptimize(crypto::Sha256::digest(data1k));
   });
+  crypto::set_force_scalar(false);
+  std::array<ByteView, 4> lanes1k = {data1k, data1k, data1k, data1k};
+  time_op_tp(json, "sha256_4x1KiB", sym_reps, 4 * 1024,
+             crypto::sha256_multi_impl_name(), [&] {
+               benchmark::DoNotOptimize(crypto::sha256_multi(lanes1k));
+             });
   time_op(json, "hmac_oneshot_64B", sym_reps, [&] {
     benchmark::DoNotOptimize(
         crypto::hmac_sha256(hkey, ByteView(data1k.data(), 64)));
@@ -330,9 +363,19 @@ void run_json_suite(const std::string& path, bool smoke) {
   time_op(json, "hmac_keyed_64B", sym_reps, [&] {
     benchmark::DoNotOptimize(hk.mac(ByteView(data1k.data(), 64)));
   });
-  time_op(json, "speck_ctr_4KiB", sym_reps, [&] {
+  time_op_tp(json, "speck_ctr_4KiB", sym_reps, 4096,
+             crypto::speck_impl_name(), [&] {
+               benchmark::DoNotOptimize(crypto::speck_ctr(hkey, nonce, data4k));
+             });
+  crypto::set_force_scalar(true);
+  time_op_tp(json, "speck_ctr_4KiB_scalar", sym_reps, 4096, "scalar", [&] {
     benchmark::DoNotOptimize(crypto::speck_ctr(hkey, nonce, data4k));
   });
+  crypto::set_force_scalar(false);
+  time_op_tp(json, "speck_ctr_4KiB_simd", sym_reps, 4096,
+             crypto::speck_impl_name(), [&] {
+               benchmark::DoNotOptimize(crypto::speck_ctr(hkey, nonce, data4k));
+             });
 
   if (!json.write_file(path)) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());

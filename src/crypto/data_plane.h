@@ -1,0 +1,53 @@
+// Precomputed data-plane sealing context (DESIGN.md 12).
+//
+// sym_seal/sym_open re-derive the "enc"/"mac" subkeys, re-run the Speck key
+// schedule, and re-absorb the HMAC pads on every call. That is fine for
+// control-plane messages (a handful per protocol step) but dominates the
+// cost of a high-rate application data stream sealed under one long-lived
+// group key. DataPlaneKey hoists all of that per-key work into the
+// constructor; seal/open then touch only the message bytes, which is where
+// the SIMD Speck-CTR and SHA-256 kernels earn their keep.
+//
+// The wire format is exactly sym_seal's — nonce(8) || ciphertext ||
+// HMAC-SHA256 tag truncated to 16 bytes, subkeys derive("enc")/derive("mac")
+// — so boxes sealed here open with sym_open and vice versa, byte for byte.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+#include "crypto/hmac.h"
+#include "crypto/keys.h"
+#include "crypto/speck.h"
+
+namespace mykil::crypto {
+
+/// Sealing context for one symmetric key: build once, seal/open many.
+class DataPlaneKey {
+ public:
+  explicit DataPlaneKey(const SymmetricKey& key);
+
+  /// Seal `plaintext`; identical bytes to sym_seal(key, plaintext, prng)
+  /// given the same PRNG state (it draws the same 8 nonce bytes).
+  [[nodiscard]] Bytes seal(ByteView plaintext, Prng& prng) const;
+
+  /// Open a box sealed by seal()/sym_seal; throws AuthError on a bad tag.
+  [[nodiscard]] Bytes open(ByteView sealed) const;
+
+  /// Open four boxes in one batch: tags verify through HmacKey::verify4's
+  /// interleaved SHA-256 lanes, then each box decrypts. Per-slot results;
+  /// a slot whose tag fails (or that is too short) comes back empty with
+  /// ok[i] == false instead of throwing, so one corrupt packet cannot mask
+  /// the other three. This is the receive shape bench/data_plane.cpp uses.
+  struct Open4Result {
+    std::array<Bytes, 4> plaintexts;
+    std::array<bool, 4> ok{};
+  };
+  [[nodiscard]] Open4Result open4(const std::array<ByteView, 4>& sealed) const;
+
+ private:
+  Speck128 cipher_;  ///< key schedule for derive("enc"), run once
+  HmacKey mac_;      ///< ipad/opad states for derive("mac"), run once
+};
+
+}  // namespace mykil::crypto

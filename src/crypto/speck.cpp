@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "crypto/cpu_features.h"
+#include "crypto/simd_kernels.h"
 
 namespace mykil::crypto {
 
@@ -100,41 +102,58 @@ void Speck128::ctr_block2(std::uint64_t nonce, std::uint64_t counter,
   hi1 = x1;
 }
 
+void Speck128::ctr_xor(std::uint64_t nonce, std::uint64_t counter,
+                       std::uint8_t* data, std::size_t len) const {
+  const std::size_t full = len / kBlockSize;
+  std::size_t done = 0;
+  if (!force_scalar()) {
+    const CpuFeatures& f = cpu_features();
+    if (f.avx2) {
+      done = detail::speck_ctr_xor_avx2(round_keys_.data(), nonce, counter,
+                                        data, full);
+    } else if (f.sse2) {
+      done = detail::speck_ctr_xor_sse2(round_keys_.data(), nonce, counter,
+                                        data, full);
+    }
+  }
+  counter += done;
+  std::size_t off = done * kBlockSize;
+  // Scalar remainder (and the whole message on non-SIMD hosts): the
+  // counter blocks and keystream live in registers; the data words
+  // round-trip through 64-bit loads/XOR/stores. Two blocks per iteration
+  // keeps both of ctr_block2's dependency chains fed.
+  while (len - off >= 2 * kBlockSize) {
+    std::uint64_t lo0, hi0, lo1, hi1;
+    ctr_block2(nonce, counter, lo0, hi0, lo1, hi1);
+    counter += 2;
+    store_le64(data + off, load_le64(data + off) ^ lo0);
+    store_le64(data + off + 8, load_le64(data + off + 8) ^ hi0);
+    store_le64(data + off + 16, load_le64(data + off + 16) ^ lo1);
+    store_le64(data + off + 24, load_le64(data + off + 24) ^ hi1);
+    off += 2 * kBlockSize;
+  }
+  while (len - off >= kBlockSize) {
+    std::uint64_t lo, hi;
+    ctr_block(nonce, counter++, lo, hi);
+    store_le64(data + off, load_le64(data + off) ^ lo);
+    store_le64(data + off + 8, load_le64(data + off + 8) ^ hi);
+    off += kBlockSize;
+  }
+  if (off < len) {
+    std::uint64_t lo, hi;
+    ctr_block(nonce, counter, lo, hi);
+    std::uint8_t ks[kBlockSize];
+    store_le64(ks, lo);
+    store_le64(ks + 8, hi);
+    for (std::size_t i = 0; off + i < len; ++i) data[off + i] ^= ks[i];
+  }
+}
+
 Bytes speck_ctr(ByteView key, ByteView nonce, ByteView data) {
   if (nonce.size() != 8) throw CryptoError("speck_ctr nonce must be 8 bytes");
   Speck128 cipher(key);
   Bytes out(data.begin(), data.end());
-  const std::uint64_t n0 = load_le64(nonce.data());
-  std::uint64_t counter = 0;
-  std::size_t off = 0;
-  // Full blocks: the counter blocks and keystream live in registers; the
-  // data words round-trip through 64-bit loads/XOR/stores. Two blocks per
-  // iteration keeps both of ctr_block2's dependency chains fed.
-  while (out.size() - off >= 2 * Speck128::kBlockSize) {
-    std::uint64_t lo0, hi0, lo1, hi1;
-    cipher.ctr_block2(n0, counter, lo0, hi0, lo1, hi1);
-    counter += 2;
-    store_le64(&out[off], load_le64(&out[off]) ^ lo0);
-    store_le64(&out[off + 8], load_le64(&out[off + 8]) ^ hi0);
-    store_le64(&out[off + 16], load_le64(&out[off + 16]) ^ lo1);
-    store_le64(&out[off + 24], load_le64(&out[off + 24]) ^ hi1);
-    off += 2 * Speck128::kBlockSize;
-  }
-  while (out.size() - off >= Speck128::kBlockSize) {
-    std::uint64_t lo, hi;
-    cipher.ctr_block(n0, counter++, lo, hi);
-    store_le64(&out[off], load_le64(&out[off]) ^ lo);
-    store_le64(&out[off + 8], load_le64(&out[off + 8]) ^ hi);
-    off += Speck128::kBlockSize;
-  }
-  if (off < out.size()) {
-    std::uint64_t lo, hi;
-    cipher.ctr_block(n0, counter, lo, hi);
-    std::uint8_t ks[Speck128::kBlockSize];
-    store_le64(ks, lo);
-    store_le64(ks + 8, hi);
-    for (std::size_t i = 0; off + i < out.size(); ++i) out[off + i] ^= ks[i];
-  }
+  cipher.ctr_xor(load_le64(nonce.data()), 0, out.data(), out.size());
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "mykil/member.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "crypto/sealed.h"
 
@@ -271,6 +273,20 @@ void Member::leave() {
   joined_ = false;
 }
 
+const crypto::DataPlaneKey& Member::data_plane_for(
+    const crypto::SymmetricKey& key) const {
+  for (auto& [raw, ctx] : data_plane_cache_)
+    if (std::equal(raw.begin(), raw.end(), key.bytes().begin(),
+                   key.bytes().end()))
+      return ctx;
+  // Keep at most two contexts: the current and the previous group key (the
+  // only keys the data path ever uses). Oldest entry falls off the back.
+  if (data_plane_cache_.size() >= 2) data_plane_cache_.pop_back();
+  data_plane_cache_.emplace(data_plane_cache_.begin(), key.raw(),
+                            crypto::DataPlaneKey(key));
+  return data_plane_cache_.front().second;
+}
+
 void Member::send_data(ByteView payload) {
   if (!joined_) throw ProtocolError("send_data before join completed");
   // Iolus-style data path (Section III): random K_d, payload under K_d,
@@ -281,7 +297,7 @@ void Member::send_data(ByteView payload) {
   WireWriter w;
   w.u64(msg_id);
   w.u64(nic_id_);
-  w.bytes(crypto::sym_seal(keys_.group_key(), data_key.bytes(), prng_));
+  w.bytes(data_plane_for(keys_.group_key()).seal(data_key.bytes(), prng_));
   w.bytes(crypto::sym_seal(data_key, payload, prng_));
   network().multicast(id(), area_group_, kLabelData,
                       envelope(MsgType::kData, w.data()));
@@ -350,13 +366,14 @@ void Member::handle_data(const net::Message& msg) {
 
   auto open_key = [&]() -> std::optional<crypto::SymmetricKey> {
     try {
-      return crypto::SymmetricKey(crypto::sym_open(keys_.group_key(), key_box));
+      return crypto::SymmetricKey(
+          data_plane_for(keys_.group_key()).open(key_box));
     } catch (const AuthError&) {
     }
     if (keys_.previous_group_key()) {
       try {
         return crypto::SymmetricKey(
-            crypto::sym_open(*keys_.previous_group_key(), key_box));
+            data_plane_for(*keys_.previous_group_key()).open(key_box));
       } catch (const AuthError&) {
       }
     }

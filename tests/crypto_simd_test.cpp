@@ -1,0 +1,329 @@
+// SIMD/scalar equivalence gate (DESIGN.md 12).
+//
+// Every accelerated primitive must be bit-identical to the portable scalar
+// core for all message lengths 0..1025 and for unaligned buffers (offsets
+// 1/3/7), plus the 64-bit CTR counter crossing the 2^32 block boundary.
+// The binary is registered twice in ctest: once with auto dispatch (SIMD
+// vs scalar in-process via set_force_scalar) and once with
+// MYKIL_FORCE_SCALAR=1 in the environment, which pins every path scalar
+// and turns the same tests into a scalar self-consistency check.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+#include "crypto/cpu_features.h"
+#include "crypto/data_plane.h"
+#include "crypto/hmac.h"
+#include "crypto/sealed.h"
+#include "crypto/sha256.h"
+#include "crypto/simd_kernels.h"
+#include "crypto/speck.h"
+
+namespace mykil::crypto {
+namespace {
+
+constexpr std::size_t kMaxLen = 1025;  // past one SHA block + one word
+const std::size_t kOffsets[] = {0, 1, 3, 7};
+
+/// Scoped dispatch override; restores auto dispatch on exit.
+struct ForceScalar {
+  explicit ForceScalar(bool on) { set_force_scalar(on); }
+  ~ForceScalar() { set_force_scalar(false); }
+};
+
+Bytes pattern(std::size_t len, std::uint8_t salt) {
+  Bytes b(len);
+  for (std::size_t i = 0; i < len; ++i)
+    b[i] = static_cast<std::uint8_t>(i * 31 + salt);
+  return b;
+}
+
+Bytes test_key() { return pattern(16, 0xA5); }
+
+/// CTR keystream oracle built only on the (always-scalar) single-block
+/// encryptor: byte i of block k is E(nonce, counter+k) serialized LE.
+Bytes ctr_oracle(const Speck128& cipher, std::uint64_t nonce,
+                 std::uint64_t counter, ByteView data) {
+  Bytes out(data.begin(), data.end());
+  for (std::size_t off = 0; off < out.size(); off += 16) {
+    std::uint8_t block[16];
+    for (int i = 0; i < 8; ++i) {
+      block[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+      block[8 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+    }
+    cipher.encrypt_block(block);
+    for (std::size_t i = 0; i < 16 && off + i < out.size(); ++i)
+      out[off + i] ^= block[i];
+    ++counter;
+  }
+  return out;
+}
+
+TEST(SpeckSimd, CtrXorAllLengthsAndOffsets) {
+  Speck128 cipher(test_key());
+  const std::uint64_t nonce = 0x0123456789ABCDEFULL;
+  for (std::size_t off : kOffsets) {
+    // One oversized buffer per offset; the region under test starts at
+    // `off` so SIMD loads/stores see genuinely unaligned pointers.
+    std::vector<std::uint8_t> raw(off + kMaxLen);
+    for (std::size_t len = 0; len <= kMaxLen; ++len) {
+      Bytes msg = pattern(len, static_cast<std::uint8_t>(off));
+
+      if (len != 0) std::memcpy(raw.data() + off, msg.data(), len);
+      {
+        ForceScalar fs(true);
+        cipher.ctr_xor(nonce, 0, raw.data() + off, len);
+      }
+      Bytes scalar_out(raw.data() + off, raw.data() + off + len);
+
+      if (len != 0) std::memcpy(raw.data() + off, msg.data(), len);
+      cipher.ctr_xor(nonce, 0, raw.data() + off, len);
+      Bytes simd_out(raw.data() + off, raw.data() + off + len);
+
+      ASSERT_EQ(simd_out, scalar_out) << "len=" << len << " off=" << off;
+      if (len % 97 == 0)  // spot-check against the block oracle
+        ASSERT_EQ(simd_out, ctr_oracle(cipher, nonce, 0, msg)) << len;
+    }
+  }
+}
+
+TEST(SpeckSimd, FreeFunctionMatchesScalar) {
+  Bytes key = test_key();
+  Bytes nonce = pattern(8, 0x5A);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 64u, 127u, 1024u, 1025u}) {
+    Bytes msg = pattern(len, 7);
+    Bytes simd_out = speck_ctr(key, nonce, msg);
+    ForceScalar fs(true);
+    ASSERT_EQ(simd_out, speck_ctr(key, nonce, msg)) << len;
+  }
+}
+
+TEST(SpeckSimd, CounterCrosses32BitBoundary) {
+  Speck128 cipher(test_key());
+  const std::uint64_t nonce = 0xFEEDFACECAFEBEEFULL;
+  // Start 5 blocks below 2^32: a 12-block message straddles the boundary
+  // inside a single SIMD batch. A kernel that increments the counter in 32
+  // bits (or splits lanes wrong) diverges exactly here.
+  const std::uint64_t start = (1ULL << 32) - 5;
+  Bytes msg = pattern(12 * 16 + 5, 0x3C);
+
+  Bytes simd_out = msg;
+  cipher.ctr_xor(nonce, start, simd_out.data(), simd_out.size());
+
+  Bytes scalar_out = msg;
+  {
+    ForceScalar fs(true);
+    cipher.ctr_xor(nonce, start, scalar_out.data(), scalar_out.size());
+  }
+
+  ASSERT_EQ(simd_out, scalar_out);
+  ASSERT_EQ(simd_out, ctr_oracle(cipher, nonce, start, msg));
+  // And the keystream must actually differ from a non-crossing window of
+  // the same length (guards against a counter stuck at truncated values).
+  Bytes other = msg;
+  cipher.ctr_xor(nonce, 5, other.data(), other.size());
+  ASSERT_NE(simd_out, other);
+}
+
+TEST(Sha256Simd, AllLengthsAndOffsets) {
+  for (std::size_t off : kOffsets) {
+    std::vector<std::uint8_t> raw(off + kMaxLen);
+    for (std::size_t len = 0; len <= kMaxLen; ++len) {
+      Bytes msg = pattern(len, static_cast<std::uint8_t>(off * 11));
+      if (len != 0) std::memcpy(raw.data() + off, msg.data(), len);
+      ByteView view(raw.data() + off, len);
+
+      Bytes simd_digest = Sha256::digest(view);
+      ForceScalar fs(true);
+      ASSERT_EQ(simd_digest, Sha256::digest(view))
+          << "len=" << len << " off=" << off;
+    }
+  }
+}
+
+TEST(Sha256Simd, MultiMatchesSingleLaneByLane) {
+  for (std::size_t len = 0; len <= kMaxLen; len += 13) {
+    // Deliberately unequal lanes: lockstep blocks + per-lane remainders.
+    std::array<Bytes, 4> msgs = {
+        pattern(len, 1), pattern(len / 2, 2), pattern(0, 3),
+        pattern(kMaxLen - len, 4)};
+    std::array<ByteView, 4> views;
+    for (std::size_t i = 0; i < 4; ++i) views[i] = msgs[i];
+
+    std::array<Bytes, 4> multi = sha256_multi(views);
+    ForceScalar fs(true);
+    std::array<Bytes, 4> multi_scalar = sha256_multi(views);
+    for (std::size_t i = 0; i < 4; ++i) {
+      ASSERT_EQ(multi[i], Sha256::digest(views[i])) << "lane " << i;
+      ASSERT_EQ(multi_scalar[i], multi[i]) << "lane " << i;
+    }
+  }
+}
+
+TEST(Sha256Simd, MultiResumeMatchesIncremental) {
+  Bytes prefix = pattern(Sha256::kBlockSize, 0x77);  // one absorbed block
+  Sha256 primed;
+  primed.update(prefix);
+
+  std::array<Bytes, 4> msgs = {pattern(5, 1), pattern(64, 2), pattern(200, 3),
+                               Bytes{}};
+  std::array<ByteView, 4> views;
+  for (std::size_t i = 0; i < 4; ++i) views[i] = msgs[i];
+
+  std::array<Bytes, 4> resumed = sha256_multi_resume(primed, views);
+  for (std::size_t i = 0; i < 4; ++i) {
+    Sha256 h;
+    h.update(prefix);
+    h.update(views[i]);
+    ASSERT_EQ(resumed[i], h.finish()) << "lane " << i;
+  }
+}
+
+// The public sha256_multi dispatch prefers SHA-NI over the 4-lane AVX2
+// kernel where both exist, so on such hosts the lane kernel would go
+// untested through the public API — exercise it directly against the
+// scalar compression core instead.
+TEST(Sha256Simd, Compress4Avx2MatchesScalarCore) {
+  if (!cpu_features().avx2) GTEST_SKIP() << "no AVX2 on this host";
+  for (int trial = 0; trial < 32; ++trial) {
+    std::uint32_t lane_states[4][8];
+    std::uint32_t want[4][8];
+    Bytes blocks[4];
+    const std::uint8_t* block_ptrs[4];
+    for (int j = 0; j < 4; ++j) {
+      Bytes seed =
+          pattern(32, static_cast<std::uint8_t>(trial * 4 + j));
+      for (int i = 0; i < 8; ++i) {
+        lane_states[j][i] = static_cast<std::uint32_t>(
+            seed[4 * i] << 24 | seed[4 * i + 1] << 16 | seed[4 * i + 2] << 8 |
+            seed[4 * i + 3]);
+        want[j][i] = lane_states[j][i];
+      }
+      blocks[j] = pattern(64, static_cast<std::uint8_t>(100 + trial + j));
+      block_ptrs[j] = blocks[j].data();
+      detail::sha256_compress_scalar(want[j], blocks[j].data(), 1);
+    }
+    detail::sha256_compress4_avx2(lane_states, block_ptrs);
+    for (int j = 0; j < 4; ++j)
+      for (int i = 0; i < 8; ++i)
+        ASSERT_EQ(lane_states[j][i], want[j][i])
+            << "trial " << trial << " lane " << j << " word " << i;
+  }
+}
+
+TEST(Sha256Simd, MidstateRequiresBlockBoundary) {
+  Sha256 h;
+  h.update(pattern(10, 0));
+  EXPECT_THROW((void)h.midstate(), CryptoError);
+}
+
+TEST(HmacSimd, Mac4MatchesSingleAndScalar) {
+  HmacKey key(test_key());
+  for (std::size_t len = 0; len <= 300; len += 7) {
+    std::array<Bytes, 4> msgs = {pattern(len, 1), pattern(len + 63, 2),
+                                 Bytes{}, pattern(3 * len, 4)};
+    std::array<ByteView, 4> views;
+    for (std::size_t i = 0; i < 4; ++i) views[i] = msgs[i];
+
+    std::array<Bytes, 4> batch = key.mac4(views);
+    ForceScalar fs(true);
+    std::array<Bytes, 4> batch_scalar = key.mac4(views);
+    for (std::size_t i = 0; i < 4; ++i) {
+      ASSERT_EQ(batch[i], key.mac(views[i])) << "lane " << i;
+      ASSERT_EQ(batch_scalar[i], batch[i]) << "lane " << i;
+    }
+  }
+}
+
+TEST(HmacSimd, Verify4TamperAndTruncation) {
+  HmacKey key(test_key());
+  std::array<Bytes, 4> msgs = {pattern(33, 1), pattern(64, 2), pattern(100, 3),
+                               pattern(9, 4)};
+  std::array<ByteView, 4> views;
+  for (std::size_t i = 0; i < 4; ++i) views[i] = msgs[i];
+  std::array<Bytes, 4> tags = key.mac4(views);
+  tags[1].resize(16);  // truncated tags are accepted
+  std::array<ByteView, 4> tag_views;
+  for (std::size_t i = 0; i < 4; ++i) tag_views[i] = tags[i];
+
+  std::array<bool, 4> ok = key.verify4(views, tag_views);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(ok[i]) << i;
+
+  // Tampering one slot must fail only that slot.
+  Bytes bad = msgs[2];
+  bad[50] ^= 0x01;
+  views[2] = bad;
+  ok = key.verify4(views, tag_views);
+  EXPECT_TRUE(ok[0]);
+  EXPECT_TRUE(ok[1]);
+  EXPECT_FALSE(ok[2]);
+  EXPECT_TRUE(ok[3]);
+
+  // An empty tag rejects without disturbing its neighbors.
+  views[2] = msgs[2];
+  tag_views[3] = ByteView{};
+  ok = key.verify4(views, tag_views);
+  EXPECT_TRUE(ok[0]);
+  EXPECT_TRUE(ok[1]);
+  EXPECT_TRUE(ok[2]);
+  EXPECT_FALSE(ok[3]);
+}
+
+TEST(DataPlaneSimd, SealMatchesSymSealBitForBit) {
+  SymmetricKey key(test_key());
+  DataPlaneKey dpk(key);
+  for (std::size_t len : {0u, 1u, 16u, 100u, 1024u}) {
+    Bytes msg = pattern(len, 0x42);
+    Prng a(1234), b(1234);
+    Bytes via_dpk = dpk.seal(msg, a);
+    Bytes via_sym = sym_seal(key, msg, b);
+    ASSERT_EQ(via_dpk, via_sym) << len;
+    ASSERT_EQ(dpk.open(via_sym), msg) << len;
+    ASSERT_EQ(sym_open(key, via_dpk), msg) << len;
+  }
+}
+
+TEST(DataPlaneSimd, Open4IsolatesTamperedSlot) {
+  SymmetricKey key(test_key());
+  DataPlaneKey dpk(key);
+  Prng prng(99);
+  std::array<Bytes, 4> msgs = {pattern(10, 1), pattern(256, 2), pattern(0, 3),
+                               pattern(1000, 4)};
+  std::array<Bytes, 4> boxes;
+  for (std::size_t i = 0; i < 4; ++i) boxes[i] = dpk.seal(msgs[i], prng);
+  boxes[1][boxes[1].size() - 1] ^= 0x80;  // corrupt one tag
+  std::array<ByteView, 4> views;
+  for (std::size_t i = 0; i < 4; ++i) views[i] = boxes[i];
+
+  DataPlaneKey::Open4Result r = dpk.open4(views);
+  EXPECT_TRUE(r.ok[0]);
+  EXPECT_FALSE(r.ok[1]);
+  EXPECT_TRUE(r.ok[2]);
+  EXPECT_TRUE(r.ok[3]);
+  EXPECT_EQ(r.plaintexts[0], msgs[0]);
+  EXPECT_TRUE(r.plaintexts[1].empty());
+  EXPECT_EQ(r.plaintexts[2], msgs[2]);
+  EXPECT_EQ(r.plaintexts[3], msgs[3]);
+}
+
+TEST(CpuFeaturesApi, ImplNamesAndOverride) {
+  // Names must come from the fixed vocabulary whatever the host is.
+  auto one_of = [](const char* s, std::initializer_list<const char*> set) {
+    for (const char* v : set)
+      if (std::strcmp(s, v) == 0) return true;
+    return false;
+  };
+  EXPECT_TRUE(one_of(speck_impl_name(), {"scalar", "sse2", "avx2"}));
+  EXPECT_TRUE(one_of(sha256_impl_name(), {"scalar", "sha_ni"}));
+  EXPECT_TRUE(one_of(sha256_multi_impl_name(), {"scalar", "avx2", "sha_ni"}));
+
+  ForceScalar fs(true);
+  EXPECT_STREQ(speck_impl_name(), "scalar");
+  EXPECT_STREQ(sha256_impl_name(), "scalar");
+  EXPECT_STREQ(sha256_multi_impl_name(), "scalar");
+}
+
+}  // namespace
+}  // namespace mykil::crypto
