@@ -23,8 +23,17 @@
 // run digest. Appends one JSON object per run to BENCH_sim.json (JSONL —
 // see bench_util.h).
 //
+// --trace reruns every worker count with a Tracer attached and the rejoin
+// path exchange carrying causal trace context: the traced digest must be
+// bit-identical to the untraced one (trace ids come from deterministic
+// counters that feed nothing else), and the wall-clock delta is appended
+// as a scale_members_trace_overhead row. --engine-profile collects the
+// parallel engine's per-shard accounting (busy/stall wall time, events
+// per window, cross-shard send matrix) into the JSON row.
+//
 //   scale_members [--members=100000] [--areas=20] [--rounds=10]
-//                 [--workers=1,2,8] [--smoke] [--json_out=BENCH_sim.json]
+//                 [--workers=1,2,8] [--smoke] [--trace] [--engine-profile]
+//                 [--json_out=BENCH_sim.json]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +47,7 @@
 #include "lkh/key_tree.h"
 #include "lkh/member_state.h"
 #include "net/network.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -62,6 +72,14 @@ class ScaleMember : public net::Node {
       }
     } else if (msg.label == kPathLabel) {
       keys.reinstall(lkh::deserialize_path(msg.payload));
+      // Close the rejoin-path flow the driver opened: with --trace every
+      // path install draws one cross-node arrow in the exported trace.
+      if (auto* t = network().tracer()) {
+        net::TraceContext ctx = network().current_trace();
+        if (ctx.active())
+          t->flow_end(obs::EventKind::kFlow, ctx.trace_id, id(),
+                      network().now(), msg.label);
+      }
     } else if (msg.label == kSplitLabel) {
       keys.install(lkh::deserialize_path(msg.payload));
     } else {  // data
@@ -105,6 +123,8 @@ struct Options {
   std::size_t rounds = 10;
   std::vector<unsigned> workers{1};
   std::string json_out;
+  bool trace = false;           ///< traced rerun + overhead/digest check
+  bool engine_profile = false;  ///< per-shard engine accounting in the JSON
 };
 
 struct RunResult {
@@ -122,6 +142,10 @@ struct RunResult {
   std::size_t peak_rss_mb = 0;
   std::uint64_t digest = 0;
   bool residue = false;
+  std::size_t trace_events = 0;       ///< traced runs only
+  std::uint64_t trace_dropped = 0;    ///< ring overwrites in the traced run
+  net::EngineProfile profile;         ///< --engine-profile runs only
+  bool profiled = false;
 };
 
 bool flag_value(const char* arg, const char* name, std::string& out) {
@@ -142,12 +166,15 @@ std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
 /// One full benchmark pass at a given worker count. Everything — topology,
 /// tree randomness, schedule — derives from the options alone, so two
 /// passes differ ONLY in how the engine executes the identical schedule.
-RunResult run_one(const Options& opt, unsigned workers) {
+RunResult run_one(const Options& opt, unsigned workers, bool traced) {
   RunResult res;
   const std::size_t per_area = opt.members / opt.areas;
 
   net::Network net;  // default latency model, no loss: measures the engine
   net.set_workers(workers);
+  net.enable_engine_profile(opt.engine_profile);
+  obs::Tracer tracer(1 << 20);
+  if (traced) net.set_tracer(&tracer);
   std::deque<ScaleMember> members;  // stable addresses: Network keeps Node*
   std::deque<Area> areas;
   lkh::MemberId next_mid = 1;
@@ -210,10 +237,19 @@ RunResult run_one(const Options& opt, unsigned workers) {
       net.multicast(area.hub.id(), area.group, kRekeyLabel, rk.serialize());
       ++res.rekey_multicasts;
 
-      // Rejoin the same node as a fresh member: path by unicast.
+      // Rejoin the same node as a fresh member: path by unicast. Traced
+      // runs stamp this exchange with a fresh trace id (from the driver's
+      // deterministic origin-0 counter), so each path install becomes one
+      // cross-node flow arrow; the id allocation feeds nothing else, which
+      // is why the traced digest must equal the untraced one.
       lkh::MemberId mid = next_mid++;
       auto out = area.tree->join(mid);
       net.join_group(area.group, victim.id());
+      if (traced) {
+        net.set_current_trace({net.new_trace_id(net::kNoNode), 0});
+        tracer.flow_start(obs::EventKind::kFlow, net.current_trace().trace_id,
+                          area.hub.id(), net.now(), kPathLabel);
+      }
       net.unicast(area.hub.id(), victim.id(), kPathLabel,
                   lkh::serialize_path(out.member_path));
       if (out.split) {
@@ -225,6 +261,7 @@ RunResult run_one(const Options& opt, unsigned workers) {
           }
         }
       }
+      if (traced) net.set_current_trace({});
       area.roster[round % area.roster.size()] = {mid, victim_slot};
 
       // Data: second full fan-out; every delivery churns an ack timer.
@@ -273,7 +310,46 @@ RunResult run_one(const Options& opt, unsigned workers) {
   d = fnv(d, net.now());
   res.digest = d;
   res.peak_rss_mb = bench::peak_rss_mb();
+  if (traced) {
+    res.trace_events = tracer.size();
+    res.trace_dropped = tracer.dropped();
+  }
+  if (opt.engine_profile) {
+    res.profile = net.engine_profile();
+    res.profiled = true;
+  }
   return res;
+}
+
+/// `, "engine_profile": {...}` fragment for the JSON row (empty when off).
+std::string profile_json(const RunResult& r) {
+  if (!r.profiled) return "";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                ", \"engine_profile\": {\"windows\": %llu, "
+                "\"solo_windows\": %llu, \"wall_ms\": %.1f, "
+                "\"events_per_window_p50\": %.0f, "
+                "\"events_per_window_p95\": %.0f, \"shards\": [",
+                (unsigned long long)r.profile.windows,
+                (unsigned long long)r.profile.solo_windows, r.profile.wall_ms,
+                r.profile.events_per_window.p50, r.profile.events_per_window.p95);
+  std::string out = buf;
+  for (std::size_t s = 0; s < r.profile.shards.size(); ++s) {
+    const net::ShardProfile& sh = r.profile.shards[s];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"events\": %llu, \"windows_active\": %llu, "
+                  "\"busy_ms\": %.1f, \"stall_ms\": %.1f, "
+                  "\"peak_heap\": %llu, \"pool_slots\": %llu, "
+                  "\"xshard_sent\": %llu}",
+                  s == 0 ? "" : ", ", (unsigned long long)sh.events,
+                  (unsigned long long)sh.windows_active, sh.busy_ms,
+                  sh.stall_ms, (unsigned long long)sh.peak_heap,
+                  (unsigned long long)sh.pool_slots,
+                  (unsigned long long)sh.xshard_sent);
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace
@@ -305,6 +381,10 @@ int main(int argc, char** argv) {
       if (opt.workers.empty()) opt.workers = {1};
     } else if (flag_value(argv[i], "--json_out", v)) {
       opt.json_out = v;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opt.trace = true;
+    } else if (std::strcmp(argv[i], "--engine-profile") == 0) {
+      opt.engine_profile = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -334,7 +414,7 @@ int main(int argc, char** argv) {
 
   for (std::size_t wi = 0; wi < opt.workers.size(); ++wi) {
     unsigned workers = opt.workers[wi];
-    RunResult r = run_one(opt, workers);
+    RunResult r = run_one(opt, workers, /*traced=*/false);
 
     bench::print_rule();
     std::printf("workers=%u\n", workers);
@@ -354,6 +434,21 @@ int main(int argc, char** argv) {
                 r.pool_slots, r.peak_rss_mb);
     std::printf("in sync: %zu/%zu members; digest %016llx\n", r.in_sync,
                 r.members, (unsigned long long)r.digest);
+    if (r.profiled) {
+      std::printf("engine: %llu windows (%llu solo), %.1f ms wall, "
+                  "events/window p95=%.0f\n",
+                  (unsigned long long)r.profile.windows,
+                  (unsigned long long)r.profile.solo_windows,
+                  r.profile.wall_ms, r.profile.events_per_window.p95);
+      for (std::size_t s = 0; s < r.profile.shards.size(); ++s) {
+        const net::ShardProfile& sh = r.profile.shards[s];
+        std::printf("  shard %-2zu: %llu events, busy %.1f ms, "
+                    "stall %.1f ms, peak heap %llu, xshard %llu\n",
+                    s, (unsigned long long)sh.events, sh.busy_ms, sh.stall_ms,
+                    (unsigned long long)sh.peak_heap,
+                    (unsigned long long)sh.xshard_sent);
+      }
+    }
 
     if (r.in_sync != r.members) {
       std::printf("FAIL: %zu members out of sync\n", r.members - r.in_sync);
@@ -386,13 +481,47 @@ int main(int argc, char** argv) {
           "\"fanout_copied_bytes\": %llu, \"fanout_expanded_bytes\": %llu, "
           "\"fanout_reduction\": %.1f, \"peak_pool_slots\": %zu, "
           "\"peak_rss_mb\": %zu, \"in_sync\": %zu, "
-          "\"digest\": \"%016llx\", \"ok\": %s}\n",
+          "\"digest\": \"%016llx\"%s, \"ok\": %s}\n",
           opt.areas, r.members, opt.rounds, workers, r.setup_s, r.run_s,
           r.events, r.events_per_sec, (unsigned long long)r.rekey_multicasts,
           (unsigned long long)r.fanout_copied_bytes,
           (unsigned long long)r.fanout_expanded_bytes, r.fanout_reduction,
           r.pool_slots, r.peak_rss_mb, r.in_sync,
-          (unsigned long long)r.digest, ok ? "true" : "false");
+          (unsigned long long)r.digest, profile_json(r).c_str(),
+          ok ? "true" : "false");
+    }
+
+    if (opt.trace) {
+      // Rerun the identical schedule with tracing on: the digest must not
+      // move (trace ids come from counters that feed nothing else), and
+      // the run_s delta is the measured tracing overhead.
+      RunResult rt = run_one(opt, workers, /*traced=*/true);
+      double overhead_pct =
+          r.run_s > 0 ? (rt.run_s - r.run_s) / r.run_s * 100.0 : 0;
+      std::printf("tracing: %zu events (%llu dropped), run %.3fs vs %.3fs "
+                  "(%+.1f%%), digest %s\n",
+                  rt.trace_events, (unsigned long long)rt.trace_dropped,
+                  rt.run_s, r.run_s, overhead_pct,
+                  rt.digest == r.digest ? "identical" : "MISMATCH");
+      if (rt.digest != r.digest) {
+        std::printf("FAIL: traced digest differs from untraced\n");
+        ok = false;
+      }
+      if (json != nullptr) {
+        std::fprintf(
+            json,
+            "{\"suite\": \"scale_members_trace_overhead\", \"areas\": %zu, "
+            "\"members\": %zu, \"rounds\": %zu, \"workers\": %u, "
+            "\"run_s_untraced\": %.3f, \"run_s_traced\": %.3f, "
+            "\"overhead_pct\": %.1f, \"trace_events\": %zu, "
+            "\"trace_events_dropped\": %llu, \"digest\": \"%016llx\", "
+            "\"digest_match\": %s, \"ok\": %s}\n",
+            opt.areas, rt.members, opt.rounds, workers, r.run_s, rt.run_s,
+            overhead_pct, rt.trace_events,
+            (unsigned long long)rt.trace_dropped,
+            (unsigned long long)rt.digest,
+            rt.digest == r.digest ? "true" : "false", ok ? "true" : "false");
+      }
     }
   }
 

@@ -138,6 +138,7 @@ void AreaController::on_crash() {
   pending_rejoins_.clear();
   awaiting_cohort_.clear();
   rejoin_timeout_tokens_.clear();
+  takeover_trace_ = {};  // an interrupted heal's span stays open in the trace
 }
 
 void AreaController::on_recover() {
@@ -200,6 +201,14 @@ std::uint64_t AreaController::stream_epoch(std::uint64_t rekey) const {
 
 void AreaController::emit_rekey(lkh::RekeyMessage msg,
                                 std::size_t batched_leaves) {
+  // First rekey after a promotion: the area is cryptographically healed.
+  // Re-apply the takeover context (flush_rekeys often runs from a timer,
+  // where the ambient is empty) so the rekey multicast rides the takeover
+  // flow, then close the heal span.
+  net::TraceContext saved_trace = network().current_trace();
+  bool healing = takeover_trace_.active();
+  if (healing) network().set_current_trace(takeover_trace_);
+
   // Every rekey multicast carries the next epoch; members use the gap in
   // this stream to detect lost rekeys (DESIGN.md 9.2). Member-side key
   // application is guarded by per-entry key versions, not the epoch, so
@@ -222,6 +231,19 @@ void AreaController::emit_rekey(lkh::RekeyMessage msg,
   }
   multicast_area(kLabelRekey, std::move(payload));
   ++counters_.rekey_multicasts;
+  if (healing) {
+    if (auto* t = network().tracer()) {
+      auto heal = t->span_end(obs::EventKind::kTakeoverHeal, ac_id_, id(),
+                              network().now());
+      t->flow_end(obs::EventKind::kFlow, takeover_trace_.trace_id, id(),
+                  network().now(), kLabelRekey);
+      if (heal)
+        if (auto* m = network().metrics())
+          m->histogram("trace.takeover_latency_us").record(*heal);
+    }
+    takeover_trace_ = {};
+    network().set_current_trace(saved_trace);
+  }
   // Do NOT sync_backup here: admit() emits mid-operation (stale-leaf leave)
   // while members_ and the tree momentarily disagree, and a snapshot taken
   // then would hand a promoted standby an inconsistent membership. Every
@@ -405,6 +427,12 @@ void AreaController::handle_rejoin_step1(const net::Message& msg) {
 
   Ticket ticket = open_ticket(sealed_ticket, k_shared_, network().now());
 
+  // AC-side verify span: ticket opened -> admission decision. Paired with
+  // the span_end in admit_rejoin/deny_rejoin by (kind, client id).
+  if (auto* t = network().tracer())
+    t->span_begin(obs::EventKind::kRejoinVerify, ticket.member_id, id(),
+                  network().now());
+
   std::uint64_t nonce_bc = prng_.next_u64();
   PendingRejoin pr;
   pr.client_node = msg.from;
@@ -439,6 +467,7 @@ void AreaController::handle_rejoin_step3(const net::Message& msg) {
   s.client_node = pr.client_node;
   s.claimed_nic = pr.claimed_nic;
   s.ticket = pr.ticket;
+  s.trace = network().current_trace();
 
   if (config_.skip_cohort_check) {
     admit_rejoin(s);
@@ -608,12 +637,18 @@ void AreaController::admit_rejoin(const AwaitingCohortCheck& s) {
                       crypto::pk_encrypt(client_pub, with_mac(w.data()), prng_),
                       keypair_.priv));
   ++counters_.rejoins;
+  if (auto* t = network().tracer())
+    t->span_end(obs::EventKind::kRejoinVerify, s.ticket.member_id, id(),
+                network().now());
   sync_backup();
 }
 
 void AreaController::deny_rejoin(const AwaitingCohortCheck& s) {
-  (void)s;  // no denial message on the wire; the client times out
+  // No denial message on the wire; the client times out.
   ++counters_.rejoins_denied;
+  if (auto* t = network().tracer())
+    t->span_end(obs::EventKind::kRejoinVerify, s.ticket.member_id, id(),
+                network().now());
 }
 
 // --------------------------------------------------------------- area tree
@@ -1296,6 +1331,7 @@ void AreaController::demote_to_backup(net::NodeId new_primary) {
   rejoin_timeout_tokens_.clear();
   pending_leaves_.clear();
   pending_join_rotation_ = false;
+  takeover_trace_ = {};  // the winner owns the heal now
   if (uplink_) {
     if (uplink_->ready) network().leave_group(uplink_->parent_group, id());
     uplink_.reset();
@@ -1335,7 +1371,12 @@ void AreaController::on_timer(std::uint64_t token) {
     if (it == awaiting_cohort_.end()) return;
     AwaitingCohortCheck s = std::move(it->second);
     awaiting_cohort_.erase(it);
+    // Timer callbacks run with an empty ambient trace; restore the
+    // client's context so a timeout-path step 6 stays on its flow.
+    net::TraceContext saved = network().current_trace();
+    network().set_current_trace(s.trace);
     finish_rejoin(k_id, s, /*cohort_confirmed_gone=*/false);
+    network().set_current_trace(saved);
     return;
   }
 
@@ -1390,12 +1431,22 @@ void AreaController::on_timer(std::uint64_t token) {
       if (role_ != Role::kBackup) return;
       net::SimTime limit = config_.heartbeat_misses * config_.heartbeat_interval;
       if (got_snapshot_ && network().now() - last_heartbeat_rx_ > limit) {
-        if (auto* t = network().tracer())
-          t->instant(obs::EventKind::kHeartbeatMiss, id(), network().now(),
-                     ac_id_);
-        if (auto* m = network().metrics())
-          m->counter("ac.heartbeat_misses").inc();
+        net::Network& net = network();
+        if (auto* t = net.tracer()) {
+          t->instant(obs::EventKind::kHeartbeatMiss, id(), net.now(), ac_id_);
+          // Root the takeover-heal trace here, at DETECTION: the promotion
+          // multicast, StateSyncs, and parent re-link all inherit this
+          // ambient context, and emit_rekey closes the span at the first
+          // post-promotion rekey (ISSUE 7 takeover_latency).
+          takeover_trace_ = {net.new_trace_id(id()), 0};
+          net.set_current_trace(takeover_trace_);
+          t->span_begin(obs::EventKind::kTakeoverHeal, ac_id_, id(), net.now());
+          t->flow_start(obs::EventKind::kFlow, takeover_trace_.trace_id, id(),
+                        net.now(), kLabelArea);
+        }
+        if (auto* m = net.metrics()) m->counter("ac.heartbeat_misses").inc();
         promote_to_primary();
+        net.set_current_trace({});  // timer callbacks end with empty ambient
       } else {
         network().set_timer(id(), config_.heartbeat_interval,
                             timer_token(kTimerBackupWatch));

@@ -146,6 +146,11 @@ class AreaController : public net::Node {
     ClientId claimed_nic = 0;
     Ticket ticket;
     net::Network::TimerId timeout_timer = 0;
+    /// Causal context of the client's rejoin, captured at step 3. The
+    /// step-4/5 round trip propagates it on the wire, but the TIMEOUT
+    /// path resolves the rejoin from a timer callback (empty ambient) —
+    /// re-applying this keeps step 6 on the client's flow.
+    net::TraceContext trace;
   };
   struct Uplink {
     AcId parent_ac = kNoAc;
@@ -297,6 +302,11 @@ class AreaController : public net::Node {
   std::uint64_t rekey_epoch_ = 0;
   /// See Member::timer_gen_: bumped on crash, demotion, and promotion.
   std::uint32_t timer_gen_ = 0;
+
+  /// Causal context of an in-progress takeover heal (heartbeat miss ->
+  /// promotion -> StateSync -> first rekey). active() while the heal span
+  /// is open; the first emit_rekey after promotion closes it.
+  net::TraceContext takeover_trace_;
 
   Counters counters_;
 };

@@ -80,8 +80,17 @@ void Member::join(net::NodeId rs_node, net::SimDuration requested_duration) {
   join_in_progress_ = true;
   nonce_cw_ = prng_.next_u64();
   join_started_ = network().now();
-  if (auto* t = network().tracer())
+  net::Network& net = network();
+  net::TraceContext outer = net.current_trace();
+  if (auto* t = net.tracer()) {
+    // Root a causal trace: every message of this join (and its ARQ
+    // retries) inherits the context via the ambient-propagation rule, so
+    // the whole member<->RS<->AC exchange binds into one flow.
+    net.set_current_trace({net.new_trace_id(id()), nic_id_});
     t->span_begin(obs::EventKind::kJoin, nic_id_, id(), join_started_);
+    t->flow_start(obs::EventKind::kFlow, net.current_trace().trace_id, id(),
+                  join_started_, kLabelJoin);
+  }
 
   // Step 1: {[auth-info]; Pub_k; Nonce_CW; MAC}_Pub_rs. The auth-info is
   // our client id plus the membership duration we are "paying" for.
@@ -93,6 +102,7 @@ void Member::join(net::NodeId rs_node, net::SimDuration requested_duration) {
   send_ctrl(rs_node, kLabelJoin,
             envelope(MsgType::kJoinStep1,
                      crypto::pk_encrypt(rs_pub_, with_mac(w.data()), prng_)));
+  net.set_current_trace(outer);
 }
 
 void Member::handle_join_step2(const net::Message& msg) {
@@ -177,8 +187,13 @@ void Member::handle_join_step7(const net::Message& msg) {
   join_in_progress_ = false;
   last_heard_ac_ = network().now();
   join_latency_ = network().now() - join_started_;
-  if (auto* t = network().tracer())
+  if (auto* t = network().tracer()) {
     t->span_end(obs::EventKind::kJoin, nic_id_, id(), network().now());
+    net::TraceContext ctx = network().current_trace();
+    if (ctx.active())
+      t->flow_end(obs::EventKind::kFlow, ctx.trace_id, id(), network().now(),
+                  kLabelJoin);
+  }
   if (auto* m = network().metrics())
     m->histogram("member.join_latency_us").record(*join_latency_);
 }
@@ -191,8 +206,17 @@ void Member::rejoin(AcId target_ac) {
   rejoin_in_progress_ = true;
   rejoin_started_ = network().now();
   nonce_cb_ = prng_.next_u64();
-  if (auto* t = network().tracer())
+  net::Network& net = network();
+  net::TraceContext outer = net.current_trace();
+  if (auto* t = net.tracer()) {
+    // Root the end-to-end rejoin trace (ticket presentation -> AC verify
+    // -> cohort check -> key install): the paper's headline handoff
+    // latency measured as ONE exchange, not summed parts.
+    net.set_current_trace({net.new_trace_id(id()), nic_id_});
     t->span_begin(obs::EventKind::kRejoin, nic_id_, id(), rejoin_started_);
+    t->flow_start(obs::EventKind::kFlow, net.current_trace().trace_id, id(),
+                  rejoin_started_, kLabelRejoin);
+  }
 
   // Subscribe early (see handle_join_step5 for why).
   network().join_group(info->group, id());
@@ -206,6 +230,7 @@ void Member::rejoin(AcId target_ac) {
   send_ctrl(info->node, kLabelRejoin,
             envelope(MsgType::kRejoinStep1,
                      crypto::pk_encrypt(pub, with_mac(w.data()), prng_)));
+  net.set_current_trace(outer);
 }
 
 void Member::handle_rejoin_step2(const net::Message& msg) {
@@ -257,8 +282,19 @@ void Member::handle_rejoin_step6(const net::Message& msg) {
   rejoin_in_progress_ = false;
   last_heard_ac_ = network().now();
   rejoin_latency_ = network().now() - rejoin_started_;
-  if (auto* t = network().tracer())
-    t->span_end(obs::EventKind::kRejoin, nic_id_, id(), network().now());
+  if (auto* t = network().tracer()) {
+    auto span =
+        t->span_end(obs::EventKind::kRejoin, nic_id_, id(), network().now());
+    net::TraceContext ctx = network().current_trace();
+    if (ctx.active())
+      t->flow_end(obs::EventKind::kFlow, ctx.trace_id, id(), network().now(),
+                  kLabelRejoin);
+    // Trace-DERIVED end-to-end latency: the span pairing, not an ad-hoc
+    // timestamp pair, is the source of truth (ISSUE 7 / DESIGN.md 13.1).
+    if (span)
+      if (auto* m = network().metrics())
+        m->histogram("trace.rejoin_latency_us").record(*span);
+  }
   if (auto* m = network().metrics())
     m->histogram("member.rejoin_latency_us").record(*rejoin_latency_);
 }

@@ -58,7 +58,14 @@ void ArqEndpoint::arm_timer(std::uint64_t token, Flight& f) {
 }
 
 void ArqEndpoint::transmit(const Flight& f) {
+  // Re-apply the flight's captured trace context for the duration of the
+  // send: on the first transmission this is a no-op (the ambient context
+  // is what we captured), on retransmissions it restores the context the
+  // timer callback lost.
+  TraceContext saved = net_->current_trace();
+  net_->set_current_trace(f.trace);
   net_->unicast(self_, f.to, f.label, f.frame);
+  net_->set_current_trace(saved);
 }
 
 void ArqEndpoint::send_ack(NodeId to, std::uint64_t incarnation,
@@ -84,6 +91,7 @@ void ArqEndpoint::send(NodeId to, Label label, Bytes payload) {
   f.to = to;
   f.seq = frame.seq;
   f.label = label;
+  f.trace = net_->current_trace();
   frame.inner = std::move(payload);
   f.frame = frame.serialize();
   f.rto = config_.rto_initial;

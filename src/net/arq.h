@@ -152,6 +152,10 @@ class ArqEndpoint {
     unsigned retries = 0;
     SimDuration rto = 0;
     Network::TimerId timer = 0;
+    /// Causal context captured at send(). Retransmissions fire from timer
+    /// callbacks, where the ambient context is empty — re-applying the
+    /// stored context keeps every retry on the operation's flow.
+    TraceContext trace;
   };
   struct PeerRx {
     std::uint64_t incarnation = 0;

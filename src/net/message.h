@@ -63,6 +63,23 @@ class Payload {
   std::shared_ptr<const Bytes> data_;
 };
 
+/// Causal trace context carried on the message envelope (DESIGN.md 13).
+///
+/// `trace_id` correlates every message of one end-to-end protocol
+/// operation (a ticket rejoin, a takeover heal); `span_id` is the id of
+/// the span that emitted the message, so an importer can attribute each
+/// hop to a protocol phase. Ids are allocated from per-node deterministic
+/// counters (Network::new_trace_id) — never from wall clock — so traces
+/// are byte-identical across runs and worker counts. trace_id == 0 means
+/// "untraced"; the context travels like a transport header and is NOT
+/// charged to wire_size() (the paper's byte accounting measures key
+/// material, not instrumentation).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  [[nodiscard]] bool active() const { return trace_id != 0; }
+};
+
 /// A message in flight. `label` names the traffic class ("join", "rekey",
 /// "data", "alive", ...) purely for bandwidth accounting — protocols put
 /// their real message-type tag inside `payload`.
@@ -72,6 +89,7 @@ struct Message {
   GroupId group = kNoGroup;  ///< group it was multicast to, if any
   Label label;
   Payload payload;
+  TraceContext trace;  ///< causal context; copied to every fan-out sibling
 
   /// Bytes this message occupies on the wire. The simulator charges only
   /// payload bytes so measurements line up with the paper's key-byte

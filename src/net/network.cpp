@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "common/error.h"
@@ -28,8 +29,20 @@ struct CallCtx {
   void* shard = nullptr;  ///< Network::Shard*
   NodeId active_node = kNoNode;
   bool buffered = false;
+  /// Ambient causal context: the delivered message's context for delivery
+  /// callbacks, empty for timers unless the handler sets one. Stamped onto
+  /// every send issued from the callback.
+  TraceContext trace;
 };
 thread_local CallCtx tls_ctx;
+
+/// Wall clock for the engine profiler ONLY — never feeds the schedule.
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -49,6 +62,34 @@ void Network::set_metrics(obs::MetricsRegistry* metrics) {
   metrics_ = metrics;
   queue_depth_ =
       metrics == nullptr ? nullptr : &metrics->histogram("net.queue_depth");
+}
+
+void Network::set_metrics_interval(SimDuration interval) {
+  if (in_callback()) throw SimError("set_metrics_interval from a callback");
+  metrics_interval_ = interval;
+  next_sample_ = interval == 0 ? 0 : now_ + interval;
+}
+
+TraceContext Network::current_trace() const {
+  return in_callback() ? tls_ctx.trace : driver_trace_;
+}
+
+void Network::set_current_trace(TraceContext ctx) {
+  if (in_callback())
+    tls_ctx.trace = ctx;
+  else
+    driver_trace_ = ctx;
+}
+
+std::uint64_t Network::new_trace_id(NodeId origin) {
+  // Same slotting rule as make_key: driver-thread allocations share the
+  // synthetic origin 0 (the call sequence is identical in every mode);
+  // callback allocations use the node's own counter. The id is never 0
+  // (TraceContext's "untraced" sentinel): the counter pre-increments.
+  std::uint32_t o = !in_callback() || origin == kNoNode ? 0 : origin + 1;
+  OriginState& st = origin_[o];
+  return (static_cast<std::uint64_t>(o) << 40) |
+         (++st.trace_ctr & 0xFFFFFFFFFFULL);
 }
 
 bool Network::in_callback() const {
@@ -91,7 +132,11 @@ void Network::set_shard(NodeId node, std::uint32_t shard) {
   // The caller must ensure no queued events or live timers target the
   // node (in practice: call right after attach). Events already queued in
   // the old shard would otherwise execute there, racing the new shard.
-  while (shards_.size() <= shard) shards_.push_back(std::make_unique<Shard>());
+  while (shards_.size() <= shard) {
+    auto sh = std::make_unique<Shard>();
+    sh->index = static_cast<std::uint32_t>(shards_.size());
+    shards_.push_back(std::move(sh));
+  }
   node_shard_[node] = shard;
 }
 
@@ -333,6 +378,16 @@ void Network::schedule(Event ev) {
   NodeId origin = ev.kind == Event::Kind::kDeliver ? ev.msg.from : ev.timer_node;
   std::uint64_t key = make_key(origin);
   std::uint32_t dshard = node_shard_[dest];
+  if (profile_ && in_callback()) {
+    // Cross-shard send matrix: the sending shard owns its row, so workers
+    // never contend on a cell.
+    Shard& src = *static_cast<Shard*>(tls_ctx.shard);
+    if (src.index != dshard) {
+      if (src.prof_xshard.size() < shards_.size())
+        src.prof_xshard.resize(shards_.size(), 0);
+      ++src.prof_xshard[dshard];
+    }
+  }
   if (in_callback() && tls_ctx.buffered &&
       static_cast<Shard*>(tls_ctx.shard) != shards_[dshard].get()) {
     static_cast<Shard*>(tls_ctx.shard)
@@ -371,6 +426,7 @@ void Network::unicast(NodeId from, NodeId to, Label label, Payload payload) {
   msg.to = to;
   msg.label = label;
   msg.payload = std::move(payload);
+  msg.trace = current_trace();
   active_stats().record_send(msg);
   if (tracer_)
     tracer_->instant(obs::EventKind::kSend, from, local_now(), msg.wire_size(),
@@ -393,6 +449,7 @@ void Network::multicast(NodeId from, GroupId group, Label label,
   proto.group = group;
   proto.label = label;
   proto.payload = std::move(payload);
+  proto.trace = current_trace();
   // One send on the wire (IP multicast model) regardless of fan-out.
   active_stats().record_send(proto);
   if (tracer_)
@@ -478,6 +535,16 @@ SimTime Network::next_event_time() const {
   return t;
 }
 
+void Network::maybe_sample(SimTime upto) {
+  if (metrics_ == nullptr || metrics_interval_ == 0) return;
+  while (next_sample_ <= upto) {
+    // The sample is stamped with the SCHEDULED tick, not the window start:
+    // the series has fixed spacing whatever the event times were.
+    metrics_->sample(next_sample_);
+    next_sample_ += metrics_interval_;
+  }
+}
+
 void Network::flush_window() {
   std::vector<GroupOp> ops;
   for (auto& shp : shards_) {
@@ -525,6 +592,7 @@ void Network::process_event(Shard& sh, EventRef ref, bool buffered) {
   release_slot(sh, ref.slot);
   sh.now = ev.at;
   if (queue_depth_) queue_depth_->record(sh.heap.size() + 1);
+  if (profile_) ++sh.prof_events;
   CallCtx saved = tls_ctx;
   tls_ctx.net = this;
   tls_ctx.shard = &sh;
@@ -533,6 +601,9 @@ void Network::process_event(Shard& sh, EventRef ref, bool buffered) {
     case Event::Kind::kDeliver: {
       NodeId to = ev.deliver_to;
       tls_ctx.active_node = to;
+      // The delivered message's causal context becomes ambient for the
+      // whole callback: every send the handler issues inherits it.
+      tls_ctx.trace = ev.msg.trace;
       // Re-check liveness/partition at delivery time: a message in flight
       // to a node that crashed or got partitioned meanwhile is lost.
       if (!deliverable(ev.msg.from, to)) {
@@ -543,9 +614,15 @@ void Network::process_event(Shard& sh, EventRef ref, bool buffered) {
         break;
       }
       active_stats().record_delivery(ev.msg, to);
-      if (tracer_)
+      if (tracer_) {
         tracer_->instant(obs::EventKind::kDeliver, to, sh.now,
                          ev.msg.wire_size(), 0, ev.msg.label);
+        // Each traced hop becomes a flow step: Perfetto draws the arrow
+        // from the previous flow event of this trace id to this node.
+        if (ev.msg.trace.active())
+          tracer_->flow_step(obs::EventKind::kFlow, ev.msg.trace.trace_id, to,
+                             sh.now, ev.msg.wire_size(), ev.msg.label);
+      }
       nodes_[to]->on_message(ev.msg);
       break;
     }
@@ -556,6 +633,7 @@ void Network::process_event(Shard& sh, EventRef ref, bool buffered) {
       }
       if (!up_[ev.timer_node]) break;  // crashed node: timer suppressed
       tls_ctx.active_node = ev.timer_node;
+      tls_ctx.trace = TraceContext{};  // timers carry no causal context
       nodes_[ev.timer_node]->on_timer(ev.timer_token);
       break;
     }
@@ -564,12 +642,23 @@ void Network::process_event(Shard& sh, EventRef ref, bool buffered) {
 }
 
 std::size_t Network::drain_shard(Shard& sh, SimTime cap, bool buffered) {
+  std::uint64_t t0 = 0;
+  if (profile_) {
+    t0 = mono_ns();
+    if (sh.heap.size() > sh.prof_peak_heap) sh.prof_peak_heap = sh.heap.size();
+  }
   std::size_t n = 0;
   while (!sh.heap.empty() && sh.heap[0].at <= cap) {
     EventRef top = sh.heap[0];
     heap_pop_min(sh);
     process_event(sh, top, buffered);
     ++n;
+  }
+  if (profile_) {
+    std::uint64_t dt = mono_ns() - t0;
+    sh.prof_busy_ns += dt;
+    sh.prof_epoch_busy_ns = dt;
+    if (n > 0) ++sh.prof_windows;
   }
   return n;
 }
@@ -588,7 +677,12 @@ bool Network::step_one(SimTime deadline) {
   EventRef top = best->heap[0];
   if (top.at > deadline) return false;
   if (win_end_ != 0 && top.at >= win_end_) flush_window();
-  if (win_end_ == 0) win_end_ = top.at + lookahead();
+  if (win_end_ == 0) {
+    // A window opens at the same virtual times in every execution mode,
+    // so sampling here keeps the metrics series worker-count-invariant.
+    win_end_ = top.at + lookahead();
+    maybe_sample(top.at);
+  }
   heap_pop_min(*best);
   now_ = top.at;
   process_event(*best, top, false);
@@ -602,7 +696,10 @@ std::size_t Network::run_sequential(SimTime deadline, std::size_t max_events) {
 }
 
 void Network::run_epoch(SimTime cap) {
-  for (auto& shp : shards_) shp->processed = 0;
+  for (auto& shp : shards_) {
+    shp->processed = 0;
+    shp->prof_epoch_busy_ns = 0;
+  }
   std::unique_lock<std::mutex> lk(pool_mu_);
   epoch_cap_ = cap;
   running_ = static_cast<unsigned>(threads_.size());
@@ -635,11 +732,16 @@ void Network::worker_main(unsigned index) {
 
 std::size_t Network::run_parallel(SimTime deadline) {
   std::size_t total = 0;
+  const bool prof = profile_;
+  std::uint64_t wall0 = prof ? mono_ns() : 0;
   for (;;) {
     SimTime t_min = next_event_time();
     if (t_min == kNever || t_min > deadline) break;
     if (win_end_ != 0 && t_min >= win_end_) flush_window();
-    if (win_end_ == 0) win_end_ = t_min + lookahead();
+    if (win_end_ == 0) {
+      win_end_ = t_min + lookahead();
+      maybe_sample(t_min);
+    }
     SimTime cap = std::min(deadline, win_end_ - 1);
     // Shards with work this window. Sparse phases (heartbeat-only tails)
     // usually light up a single shard: drain it inline and skip the
@@ -654,15 +756,37 @@ std::size_t Network::run_parallel(SimTime deadline) {
       }
     }
     if (active <= 1) {
-      if (solo != nullptr) total += drain_shard(*solo, cap, false);
+      std::size_t n = solo != nullptr ? drain_shard(*solo, cap, false) : 0;
+      total += n;
+      if (prof) {
+        ++prof_windows_;
+        ++prof_solo_windows_;
+        prof_events_per_window_.record(n);
+      }
     } else {
+      std::uint64_t e0 = prof ? mono_ns() : 0;
       run_epoch(cap);
-      for (auto& shp : shards_) total += shp->processed;
+      std::size_t n = 0;
+      for (auto& shp : shards_) n += shp->processed;
+      total += n;
       merge_outboxes();
+      if (prof) {
+        // Stall = the barrier wall time a shard spent NOT draining events
+        // this epoch. Idle shards charge the whole window — that is the
+        // imbalance signal the shard-placement work needs.
+        std::uint64_t ewall = mono_ns() - e0;
+        ++prof_windows_;
+        prof_events_per_window_.record(n);
+        for (auto& shp : shards_) {
+          std::uint64_t busy = shp->prof_epoch_busy_ns;
+          shp->prof_stall_ns += ewall > busy ? ewall - busy : 0;
+        }
+      }
     }
   }
   for (auto& shp : shards_)
     if (shp->now > now_) now_ = shp->now;
+  if (prof) prof_wall_ns_ += mono_ns() - wall0;
   return total;
 }
 
@@ -714,6 +838,32 @@ std::size_t Network::cancelled_timers_pending() const {
   std::size_t n = 0;
   for (const auto& shp : shards_) n += shp->cancelled_pending;
   return n;
+}
+
+EngineProfile Network::engine_profile() const {
+  EngineProfile p;
+  p.windows = prof_windows_;
+  p.solo_windows = prof_solo_windows_;
+  p.wall_ms = static_cast<double>(prof_wall_ns_) / 1e6;
+  p.events_per_window = prof_events_per_window_.summary();
+  const std::size_t n = shards_.size();
+  p.shards.resize(n);
+  p.xshard.assign(n, std::vector<std::uint64_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Shard& sh = *shards_[i];
+    ShardProfile& row = p.shards[i];
+    row.events = sh.prof_events;
+    row.windows_active = sh.prof_windows;
+    row.busy_ms = static_cast<double>(sh.prof_busy_ns) / 1e6;
+    row.stall_ms = static_cast<double>(sh.prof_stall_ns) / 1e6;
+    row.peak_heap = sh.prof_peak_heap;
+    row.pool_slots = sh.pool.size();
+    for (std::size_t j = 0; j < sh.prof_xshard.size(); ++j) {
+      p.xshard[i][j] = sh.prof_xshard[j];
+      row.xshard_sent += sh.prof_xshard[j];
+    }
+  }
+  return p;
 }
 
 }  // namespace mykil::net

@@ -118,6 +118,35 @@ struct NetworkConfig {
   double drop_probability = 0.0;
 };
 
+/// Per-shard row of the engine profiler (DESIGN.md 13.2). All wall-clock
+/// fields come from std::chrono::steady_clock — they feed ONLY this report,
+/// never the deterministic schedule.
+struct ShardProfile {
+  std::uint64_t events = 0;          ///< events processed on this shard
+  std::uint64_t windows_active = 0;  ///< windows in which the shard had work
+  double busy_ms = 0;                ///< wall time spent draining this shard
+  double stall_ms = 0;     ///< barrier wall minus busy, multi-shard epochs
+  std::uint64_t peak_heap = 0;   ///< max queued events at a drain start
+  std::uint64_t pool_slots = 0;  ///< slab high-water (slots ever allocated)
+  std::uint64_t xshard_sent = 0;  ///< cross-shard sends originating here
+};
+
+/// Snapshot of the parallel engine's per-shard accounting, collected while
+/// enable_engine_profile(true) is set. Feeds the ROADMAP shard-placement
+/// work: stall_ms exposes window imbalance, the xshard matrix exposes
+/// which shard pairs talk.
+struct EngineProfile {
+  std::uint64_t windows = 0;       ///< lookahead windows executed
+  std::uint64_t solo_windows = 0;  ///< single-active-shard fast-path windows
+  double wall_ms = 0;              ///< wall time inside the parallel run loop
+  obs::HistogramSummary events_per_window;
+  std::vector<ShardProfile> shards;
+  /// xshard[src][dst]: events a callback on shard src scheduled onto
+  /// shard dst (dst != src). Rows are owned by the sending shard's worker,
+  /// so collection is contention-free.
+  std::vector<std::vector<std::uint64_t>> xshard;
+};
+
 class Network {
  public:
   explicit Network(NetworkConfig config = {});
@@ -255,6 +284,48 @@ class Network {
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
   [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  // ---- causal tracing (DESIGN.md 13.1) ----
+
+  /// The ambient trace context: inside a delivery callback it is the
+  /// context the message carried; inside a timer callback it is empty
+  /// unless the handler sets one; outside the event loop it is whatever
+  /// the driver last set. unicast()/multicast() stamp it onto every
+  /// outgoing message, so a multi-step exchange propagates its context
+  /// with no per-call-site plumbing.
+  [[nodiscard]] TraceContext current_trace() const;
+  /// Override the ambient context (trace roots, ARQ retransmits). Inside a
+  /// node callback the override lasts until the callback returns; outside
+  /// the event loop it persists until changed.
+  void set_current_trace(TraceContext ctx);
+  /// Allocate a fresh trace id from `origin`'s deterministic counter —
+  /// identical for every worker count, never wall clock. The counter
+  /// feeds nothing but trace ids, so allocating (or not allocating, when
+  /// tracing is off) cannot perturb the event schedule.
+  std::uint64_t new_trace_id(NodeId origin);
+
+  // ---- time-series metrics (DESIGN.md 13.3) ----
+
+  /// Sample the attached MetricsRegistry every `interval` of virtual time
+  /// (0 disables). Samples are taken at lookahead-window boundaries — the
+  /// same deterministic points in every execution mode — with the sample
+  /// timestamp pinned to the scheduled tick, so the JSONL series is
+  /// identical for every worker count.
+  void set_metrics_interval(SimDuration interval);
+  [[nodiscard]] SimDuration metrics_interval() const {
+    return metrics_interval_;
+  }
+
+  // ---- engine profiler (DESIGN.md 13.2) ----
+
+  /// Toggle per-shard accounting (events, busy/stall wall time, peak heap
+  /// depth, cross-shard send matrix). Wall clock is read only while
+  /// enabled and only feeds engine_profile(); the schedule and digests
+  /// are unaffected.
+  void enable_engine_profile(bool on) { profile_ = on; }
+  [[nodiscard]] bool engine_profile_enabled() const { return profile_; }
+  /// Snapshot the collected accounting. Call from outside the event loop.
+  [[nodiscard]] EngineProfile engine_profile() const;
+
  private:
   /// Slab-resident event record. Deliveries carry a Message whose payload
   /// is a refcounted buffer shared with every sibling delivery of the same
@@ -315,21 +386,33 @@ class Network {
     SimTime now = 0;  ///< shard-local clock while processing
     std::uint32_t next_timer_seq = 1;
     std::size_t processed = 0;  ///< events handled in the current epoch
+    std::uint32_t index = 0;    ///< this shard's position in shards_
     std::vector<PendingEvent> outbox;
     std::vector<GroupOp> group_ops;
     NetStats stats_delta;  ///< worker-context accounting, merged after runs
+    // Engine-profiler accounting (wall clock; written by whichever thread
+    // owns the shard in the current window, read by the coordinator after
+    // the barrier handshake — same publication rule as the rest of Shard).
+    std::uint64_t prof_events = 0;
+    std::uint64_t prof_windows = 0;        ///< windows with >= 1 event
+    std::uint64_t prof_busy_ns = 0;        ///< total drain wall time
+    std::uint64_t prof_epoch_busy_ns = 0;  ///< scratch: this epoch's drain
+    std::uint64_t prof_stall_ns = 0;       ///< barrier wall minus busy
+    std::uint64_t prof_peak_heap = 0;
+    std::vector<std::uint64_t> prof_xshard;  ///< sends per dest shard
   };
 
   /// Per-origin deterministic state: the canonical-key counter, the
-  /// jitter/drop PRF counters, and the group-op counter. Index 0 is the
-  /// synthetic origin for API calls with no sending node (kNoNode); node n
-  /// is index n + 1. Each node is processed by exactly one shard, so
-  /// workers never contend on an entry.
+  /// jitter/drop PRF counters, the group-op counter, and the trace-id
+  /// counter. Index 0 is the synthetic origin for API calls with no
+  /// sending node (kNoNode); node n is index n + 1. Each node is processed
+  /// by exactly one shard, so workers never contend on an entry.
   struct OriginState {
     std::uint64_t key_ctr = 0;
     std::uint64_t jitter_ctr = 0;
     std::uint64_t drop_ctr = 0;
     std::uint64_t group_op_ctr = 0;
+    std::uint64_t trace_ctr = 0;  ///< feeds new_trace_id() only
   };
 
   static constexpr std::size_t kHeapArity = 4;
@@ -367,6 +450,9 @@ class Network {
   [[nodiscard]] SimDuration lookahead() const;
   /// Earliest queued event across shards; SimTime max when idle.
   [[nodiscard]] SimTime next_event_time() const;
+  /// Emit metrics samples for every scheduled tick <= `upto` (called when
+  /// a lookahead window opens — a deterministic point in every mode).
+  void maybe_sample(SimTime upto);
   /// Apply buffered group ops in canonical order and close the window.
   void flush_window();
   /// Move every shard's outbox into the destination heaps.
@@ -417,6 +503,24 @@ class Network {
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Histogram* queue_depth_ = nullptr;  ///< cached: hit on every step()
+
+  /// Ambient trace context for sends issued from OUTSIDE the event loop
+  /// (inside callbacks the context lives in the thread-local CallCtx).
+  TraceContext driver_trace_;
+
+  /// Time-series sampling (set_metrics_interval). next_sample_ is the next
+  /// scheduled tick; both are plain sim-time values, touched only at
+  /// window boundaries on the coordinator thread.
+  SimDuration metrics_interval_ = 0;
+  SimTime next_sample_ = 0;
+
+  /// Engine profiler (enable_engine_profile). Coordinator-thread state;
+  /// per-shard accumulators live in Shard.
+  bool profile_ = false;
+  std::uint64_t prof_windows_ = 0;
+  std::uint64_t prof_solo_windows_ = 0;
+  std::uint64_t prof_wall_ns_ = 0;
+  obs::Histogram prof_events_per_window_;
 };
 
 }  // namespace mykil::net

@@ -132,4 +132,55 @@ bool MetricsRegistry::write_json(const std::string& path,
   return std::fclose(f) == 0 && ok;
 }
 
+void MetricsRegistry::sample(net::SimTime ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buf[320];
+  std::string& out = samples_;
+  std::snprintf(buf, sizeof buf,
+                "{\"schema\": \"mykil-metrics-v1\", \"seq\": %zu, "
+                "\"ts_us\": %llu",
+                sample_count_, static_cast<unsigned long long>(ts));
+  out += buf;
+
+  out += ", \"counters\": {";
+  std::size_t i = 0;
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %llu", i++ ? ", " : "",
+                  name.c_str(), static_cast<unsigned long long>(c.value()));
+    out += buf;
+  }
+  out += "}, \"gauges\": {";
+  i = 0;
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %lld", i++ ? ", " : "",
+                  name.c_str(), static_cast<long long>(g.value()));
+    out += buf;
+  }
+  out += "}, \"histograms\": {";
+  i = 0;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary s = h.summary();
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%s\": {\"count\": %llu, \"min\": %llu, \"max\": %llu, "
+                  "\"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, "
+                  "\"p99\": %.3f}",
+                  i++ ? ", " : "", name.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<unsigned long long>(s.min),
+                  static_cast<unsigned long long>(s.max), s.mean, s.p50, s.p95,
+                  s.p99);
+    out += buf;
+  }
+  out += "}}\n";
+  ++sample_count_;
+}
+
+bool MetricsRegistry::write_jsonl(const std::string& path) const {
+  std::string lines = samples_jsonl();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(lines.data(), 1, lines.size(), f) == lines.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 }  // namespace mykil::obs

@@ -30,6 +30,8 @@
 #include <mutex>
 #include <string>
 
+#include "net/sim_time.h"
+
 namespace mykil::obs {
 
 class Counter {
@@ -139,11 +141,37 @@ class MetricsRegistry {
   bool write_json(const std::string& path,
                   const std::string& suite = "metrics") const;
 
+  // ---- time-series sampling (DESIGN.md 13.3) ----
+
+  /// Append one schema-versioned JSONL snapshot of every metric at virtual
+  /// time `ts` to the in-memory sample log. Values are CUMULATIVE (a
+  /// counter's line holds its total so far) — consumers diff consecutive
+  /// samples for per-interval rates. Driven by the simulator at
+  /// deterministic sim-time window boundaries (Network::
+  /// set_metrics_interval), so the sample sequence is identical for every
+  /// worker count. Safe to call concurrently with metric updates: a sample
+  /// may tear ACROSS metrics but never within one value.
+  void sample(net::SimTime ts);
+  /// Number of sample lines collected so far.
+  [[nodiscard]] std::size_t sample_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sample_count_;
+  }
+  /// The collected JSONL sample lines (copy; one JSON object per line).
+  [[nodiscard]] std::string samples_jsonl() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+  /// Write samples_jsonl() to `path`; returns false on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+
  private:
   mutable std::mutex mu_;  ///< guards the maps, not the metric values
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::string samples_;  ///< accumulated JSONL lines from sample()
+  std::size_t sample_count_ = 0;
 };
 
 }  // namespace mykil::obs

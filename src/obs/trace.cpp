@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <tuple>
 
 namespace mykil::obs {
 
@@ -41,6 +43,9 @@ const KindInfo& kind_info(EventKind kind) {
       {"arq-give-up", "net", {"to", nullptr}},
       {"key-recovery", "mykil", {"client", "epoch"}},
       {"demote", "mykil", {"ac", nullptr}},
+      {"rejoin-verify", "mykil", {"client", nullptr}},
+      {"takeover-heal", "mykil", {"ac", nullptr}},
+      {"op-flow", "flow", {"bytes", nullptr}},
   };
   return kTable[static_cast<std::size_t>(kind)];
 }
@@ -74,32 +79,86 @@ void append_u64(std::string& out, std::uint64_t v) {
   out += buf;
 }
 
+/// Canonical export order: identical for every worker interleaving. Every
+/// field participates, so any two events that compare equal are
+/// interchangeable byte-for-byte — the sorted output is deterministic.
+/// Labels compare by name, not interned id (ids depend on interning order).
+bool canonical_before(const TraceEvent& a, const TraceEvent& b) {
+  auto key = [](const TraceEvent& e) {
+    return std::tuple(e.ts, e.tid, static_cast<unsigned>(e.kind),
+                      static_cast<unsigned>(e.phase), e.id, e.a0, e.a1);
+  };
+  auto ka = key(a), kb = key(b);
+  if (ka != kb) return ka < kb;
+  return a.label.name() < b.label.name();
+}
+
 }  // namespace
 
 const char* event_name(EventKind kind) { return kind_info(kind).name; }
 
-Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
-  ring_.reserve(capacity_);
+Tracer::Tracer(std::size_t capacity) {
+  stripe_capacity_ = capacity / kStripes;
+  if (stripe_capacity_ == 0) stripe_capacity_ = 1;
+  capacity_ = stripe_capacity_ * kStripes;
+  for (Stripe& s : stripes_) s.ring.reserve(stripe_capacity_);
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ring_.clear();
-  head_ = 0;
-  count_ = 0;
-  overwritten_ = 0;
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.ring.clear();
+    s.head = 0;
+    s.dropped = 0;
+  }
+  std::lock_guard<std::mutex> lock(span_mu_);
   open_.clear();
 }
 
+std::size_t Tracer::size() const {
+  std::size_t n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.ring.size();
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.dropped;
+  }
+  return n;
+}
+
 void Tracer::push(TraceEvent ev) {
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(ev));
-    count_ = ring_.size();
+  // Stripe by node: a node's events are recorded by exactly one shard
+  // worker per window, so stripes contend only when two workers trace
+  // nodes that hash together — and a node's events stay FIFO in-stripe.
+  Stripe& s = stripes_[ev.tid & (kStripes - 1)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.ring.size() < stripe_capacity_) {
+    s.ring.push_back(std::move(ev));
     return;
   }
-  ring_[head_] = std::move(ev);
-  head_ = (head_ + 1) % capacity_;
-  ++overwritten_;
+  s.ring[s.head] = std::move(ev);
+  s.head = (s.head + 1) % stripe_capacity_;
+  ++s.dropped;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> events;
+  events.reserve(capacity_);
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::size_t start = s.ring.size() < stripe_capacity_ ? 0 : s.head;
+    for (std::size_t i = 0; i < s.ring.size(); ++i)
+      events.push_back(s.ring[(start + i) % s.ring.size()]);
+  }
+  std::sort(events.begin(), events.end(), canonical_before);
+  return events;
 }
 
 void Tracer::instant(EventKind kind, std::uint32_t tid, net::SimTime ts,
@@ -112,16 +171,17 @@ void Tracer::instant(EventKind kind, std::uint32_t tid, net::SimTime ts,
   ev.a0 = a0;
   ev.a1 = a1;
   ev.label = label;
-  std::lock_guard<std::mutex> lock(mu_);
   push(std::move(ev));
 }
 
 void Tracer::span_begin(EventKind kind, std::uint64_t span_id,
                         std::uint32_t tid, net::SimTime ts) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // A retried operation (e.g. a join restarted by the watchdog) re-begins
-  // its span; the newest begin wins the pairing.
-  open_[span_key(kind, span_id)] = ts;
+  {
+    std::lock_guard<std::mutex> lock(span_mu_);
+    // A retried operation (e.g. a join restarted by the watchdog) re-begins
+    // its span; the newest begin wins the pairing.
+    open_[span_key(kind, span_id)] = ts;
+  }
   TraceEvent ev;
   ev.kind = kind;
   ev.phase = TraceEvent::Phase::kBegin;
@@ -141,9 +201,9 @@ std::optional<net::SimDuration> Tracer::span_end(EventKind kind,
   ev.tid = tid;
   ev.ts = ts;
   ev.id = span_id;
-  std::lock_guard<std::mutex> lock(mu_);
   push(std::move(ev));
 
+  std::lock_guard<std::mutex> lock(span_mu_);
   auto it = open_.find(span_key(kind, span_id));
   if (it == open_.end()) return std::nullopt;
   net::SimTime begin = it->second;
@@ -152,12 +212,54 @@ std::optional<net::SimDuration> Tracer::span_end(EventKind kind,
                      : std::nullopt;
 }
 
+void Tracer::flow_start(EventKind kind, std::uint64_t flow_id,
+                        std::uint32_t tid, net::SimTime ts, net::Label label) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.phase = TraceEvent::Phase::kFlowStart;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.id = flow_id;
+  ev.label = label;
+  push(std::move(ev));
+}
+
+void Tracer::flow_step(EventKind kind, std::uint64_t flow_id,
+                       std::uint32_t tid, net::SimTime ts, std::uint64_t bytes,
+                       net::Label label) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.phase = TraceEvent::Phase::kFlowStep;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.id = flow_id;
+  ev.a0 = bytes;
+  ev.label = label;
+  push(std::move(ev));
+}
+
+void Tracer::flow_end(EventKind kind, std::uint64_t flow_id, std::uint32_t tid,
+                      net::SimTime ts, net::Label label) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.phase = TraceEvent::Phase::kFlowEnd;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.id = flow_id;
+  ev.label = label;
+  push(std::move(ev));
+}
+
 std::string Tracer::to_chrome_trace() const {
+  std::vector<TraceEvent> events = snapshot();
+  std::uint64_t lost = dropped();
+  std::size_t open = open_spans();
+
   std::string out;
-  out.reserve(size() * 96 + 16);
-  out += "[\n";
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[\n";
   bool first = true;
-  for_each([&](const TraceEvent& ev) {
+  for (const TraceEvent& ev : events) {
     if (!first) out += ",\n";
     first = false;
     const KindInfo& info = kind_info(ev.kind);
@@ -170,6 +272,10 @@ std::string Tracer::to_chrome_trace() const {
       case TraceEvent::Phase::kInstant: out += "i\",\"s\":\"g"; break;
       case TraceEvent::Phase::kBegin: out += 'b'; break;
       case TraceEvent::Phase::kEnd: out += 'e'; break;
+      case TraceEvent::Phase::kFlowStart: out += 's'; break;
+      case TraceEvent::Phase::kFlowStep: out += 't'; break;
+      // Bind the arrow head to the enclosing slice at the end timestamp.
+      case TraceEvent::Phase::kFlowEnd: out += "f\",\"bp\":\"e"; break;
     }
     out += "\",\"pid\":1,\"tid\":";
     append_u64(out, ev.tid);
@@ -204,8 +310,16 @@ std::string Tracer::to_chrome_trace() const {
       out += '}';
     }
     out += '}';
-  });
-  out += "\n]\n";
+  }
+  out += "\n],\"otherData\":{\"schema\":\"mykil-trace-v2\",\"events\":";
+  append_u64(out, events.size());
+  out += ",\"capacity\":";
+  append_u64(out, capacity_);
+  out += ",\"trace_events_dropped\":";
+  append_u64(out, lost);
+  out += ",\"open_spans\":";
+  append_u64(out, open);
+  out += "}}\n";
   return out;
 }
 

@@ -2,14 +2,33 @@
 //
 // The Tracer collects typed, virtually-timestamped protocol events (joins,
 // rejoins, rekey emissions, batch flushes, evictions, failovers, message
-// send/deliver/drop, ...) into a bounded ring buffer and exports them in
+// send/deliver/drop, ...) into bounded ring buffers and exports them in
 // Chrome trace-event JSON, so a run opens directly in Perfetto
 // (ui.perfetto.dev) or chrome://tracing.
 //
-// Span events (kJoin, kRejoin) are emitted as async begin/end pairs keyed
-// by a correlation id (the client id), so per-operation latencies fall out
-// of the trace for free; span_end() also returns the elapsed virtual time
-// so call sites can feed a MetricsRegistry histogram without bookkeeping.
+// Span events (kJoin, kRejoin, kRejoinVerify, kTakeoverHeal) are emitted
+// as async begin/end pairs keyed by a correlation id, so per-operation
+// latencies fall out of the trace for free; span_end() also returns the
+// elapsed virtual time so call sites can feed a MetricsRegistry histogram
+// without bookkeeping.
+//
+// Flow events (kFlow) stitch one causal operation across nodes: the
+// originator emits flow_start with the operation's trace id, the network
+// emits a flow_step at every delivery of a message carrying that id, and
+// the completion site emits flow_end. Chrome/Perfetto bind the "s"/"t"/"f"
+// phases by (cat, name, id) and draw arrows across the per-node tracks —
+// a rejoin or a takeover reads as one end-to-end exchange (DESIGN.md 13).
+//
+// Shard safety (workers > 1): events land in one of kStripes independent
+// rings (stripe = tid & mask, so a node's events stay in order within its
+// stripe), each with its own mutex — shard workers tracing different nodes
+// almost never contend. The open-span table is small and span events are
+// rare, so it keeps a single mutex. Export gathers every stripe and sorts
+// canonically by (ts, tid, kind, phase, id, args), which makes the output
+// bytes identical for every worker interleaving.
+//
+// Ring overflow is NOT silent: each stripe counts overwritten events and
+// the export surfaces the total in otherData.trace_events_dropped.
 //
 // Cost model: every hook in the simulator is guarded by a null check on a
 // raw Tracer pointer — a disabled tracer costs one predictable branch per
@@ -55,6 +74,10 @@ enum class EventKind : std::uint8_t {
   kArqGiveUp,    ///< a0 = destination node; label = traffic class
   kKeyRecovery,  ///< a0 = client id, a1 = held epoch; label = trigger
   kDemote,       ///< a0 = AC id (a stale primary stepping down)
+  // causal-tracing kinds (DESIGN.md 13)
+  kRejoinVerify,  ///< span: AC-side ticket verify, id = client id
+  kTakeoverHeal,  ///< span: failure detect -> first rekey, id = AC id
+  kFlow,          ///< flow arrows: id = trace id; a0 = wire bytes at a step
 };
 
 /// Stable display name used in the exported trace ("join", "rekey-emit"...).
@@ -62,18 +85,30 @@ enum class EventKind : std::uint8_t {
 
 struct TraceEvent {
   EventKind kind = EventKind::kJoin;
-  enum class Phase : std::uint8_t { kInstant, kBegin, kEnd } phase = Phase::kInstant;
+  enum class Phase : std::uint8_t {
+    kInstant,
+    kBegin,
+    kEnd,
+    kFlowStart,
+    kFlowStep,
+    kFlowEnd,
+  } phase = Phase::kInstant;
   std::uint32_t tid = 0;  ///< node id of the entity the event happened at
   net::SimTime ts = 0;
-  std::uint64_t id = 0;  ///< span correlation id (begin/end only)
+  std::uint64_t id = 0;  ///< span/flow correlation id (non-instant phases)
   std::uint64_t a0 = 0, a1 = 0;
-  net::Label label;  ///< traffic class for send/deliver/drop, else empty
+  net::Label label;  ///< traffic class for send/deliver/drop/flow, else empty
 };
 
 class Tracer {
  public:
-  /// `capacity` bounds memory: once full, the oldest events are overwritten
-  /// (overwritten() reports how many were lost).
+  /// Independent ring stripes; events are striped by tid so shard workers
+  /// tracing different nodes do not contend on one mutex.
+  static constexpr std::size_t kStripes = 8;
+
+  /// `capacity` bounds memory: once full, the oldest events of the
+  /// overflowing stripe are overwritten (dropped() reports how many were
+  /// lost; the Chrome export surfaces it as trace_events_dropped).
   explicit Tracer(std::size_t capacity = 1 << 16);
 
   void instant(EventKind kind, std::uint32_t tid, net::SimTime ts,
@@ -87,53 +122,66 @@ class Tracer {
                                            std::uint64_t span_id,
                                            std::uint32_t tid, net::SimTime ts);
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_;
-  }
+  /// Causal flow arrows (Chrome phases "s"/"t"/"f"), bound by
+  /// (cat, name, id): `flow_id` is the operation's trace id.
+  void flow_start(EventKind kind, std::uint64_t flow_id, std::uint32_t tid,
+                  net::SimTime ts, net::Label label = {});
+  void flow_step(EventKind kind, std::uint64_t flow_id, std::uint32_t tid,
+                 net::SimTime ts, std::uint64_t bytes = 0,
+                 net::Label label = {});
+  void flow_end(EventKind kind, std::uint64_t flow_id, std::uint32_t tid,
+                net::SimTime ts, net::Label label = {});
+
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::uint64_t overwritten() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return overwritten_;
-  }
+  /// Events lost to ring overflow (surfaced in the export header).
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Back-compat alias for dropped().
+  [[nodiscard]] std::uint64_t overwritten() const { return dropped(); }
   [[nodiscard]] std::size_t open_spans() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(span_mu_);
     return open_.size();
   }
   void clear();
 
-  /// Visit buffered events oldest-first. Holds the tracer lock for the
-  /// whole walk; `f` must not call back into this tracer.
+  /// Visit buffered events in canonical (ts, tid, kind, phase, id, args)
+  /// order — identical for every worker interleaving. Gathers a snapshot
+  /// first, so `f` may call back into this tracer.
   template <typename F>
   void for_each(F&& f) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::size_t start = count_ < capacity_ ? 0 : head_;
-    for (std::size_t i = 0; i < count_; ++i)
-      f(ring_[(start + i) % capacity_]);
+    std::vector<TraceEvent> events = snapshot();
+    for (const TraceEvent& ev : events) f(ev);
   }
 
-  /// Chrome trace-event JSON: an array with one event object per line.
+  /// Chrome trace-event JSON: {"traceEvents":[...], "otherData":{...}}
+  /// with one event object per line. otherData carries the schema tag,
+  /// event/capacity totals, trace_events_dropped, and open span count.
   [[nodiscard]] std::string to_chrome_trace() const;
   /// Write to_chrome_trace() to `path`; returns false on I/O failure.
   bool write_chrome_trace(const std::string& path) const;
 
  private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;
+    std::size_t head = 0;  ///< next write slot once the ring is full
+    std::uint64_t dropped = 0;
+  };
+
   void push(TraceEvent ev);
+  /// Locked gather of every stripe, canonically sorted.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
   [[nodiscard]] static std::uint64_t span_key(EventKind kind,
                                               std::uint64_t span_id) {
     return (static_cast<std::uint64_t>(kind) << 56) ^ span_id;
   }
 
-  // One mutex over ring + span table: the ring buffer and open-span map
-  // are mutated together, and trace hooks are rare enough (protocol-level
-  // events, not per-packet in benchmarks) that a lock is the simple,
-  // TSan-clean choice for the parallel engine's shard workers.
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::vector<TraceEvent> ring_;
-  std::size_t head_ = 0;  ///< next write slot once the ring is full
-  std::size_t count_ = 0;
-  std::uint64_t overwritten_ = 0;
+  std::size_t capacity_;         ///< total, split evenly across stripes
+  std::size_t stripe_capacity_;  ///< capacity_ / kStripes, >= 1
+  Stripe stripes_[kStripes];
+
+  // Span pairing table: spans are protocol-rare, one small mutex suffices.
+  mutable std::mutex span_mu_;
   std::unordered_map<std::uint64_t, net::SimTime> open_;  ///< key -> begin ts
 };
 

@@ -8,6 +8,7 @@
 #include "crypto/prng.h"
 #include "mykil/group.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mykil::workload {
 
@@ -47,6 +48,9 @@ ChaosReport run_chaos(const ChaosOptions& opt) {
   net::Network net(ncfg);
   obs::MetricsRegistry metrics;
   net.set_metrics(&metrics);
+  if (opt.tracer != nullptr) net.set_tracer(opt.tracer);
+  if (opt.metrics_interval > 0) net.set_metrics_interval(opt.metrics_interval);
+  net.enable_engine_profile(opt.engine_profile);
 
   core::GroupOptions gopt;
   gopt.seed = opt.seed;
@@ -300,6 +304,10 @@ ChaosReport run_chaos(const ChaosOptions& opt) {
   report.redirects = counter("ac.redirects");
   report.rekey_multicasts = net.stats().sent_by_label("mykil-rekey").messages;
   report.finished_at = net.now();
+  report.metric_samples = metrics.sample_count();
+  if (!opt.metrics_jsonl_path.empty())
+    metrics.write_jsonl(opt.metrics_jsonl_path);
+  if (opt.engine_profile) report.profile = net.engine_profile();
 
   auto fnv = [](std::uint64_t h, std::uint64_t v) {
     for (int i = 0; i < 8; ++i) {

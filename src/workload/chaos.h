@@ -20,8 +20,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "net/network.h"
 #include "net/sim_time.h"
+
+namespace mykil::obs {
+class Tracer;
+}
 
 namespace mykil::workload {
 
@@ -46,6 +52,21 @@ struct ChaosOptions {
   /// including its digest — is identical for every value; the determinism
   /// tests assert exactly that.
   unsigned workers = 1;
+
+  // ---- observability (none of these fields may change the digest) ----
+
+  /// Attach a caller-owned tracer for the whole run. Trace ids come from
+  /// deterministic per-origin counters, so tracing a run leaves its digest
+  /// bit-identical (DESIGN.md 13.1).
+  obs::Tracer* tracer = nullptr;
+  /// Non-zero: pump MetricsRegistry::sample() every interval of virtual
+  /// time at conservative-window boundaries (worker-count-invariant).
+  net::SimDuration metrics_interval = 0;
+  /// Non-empty: write the sampled time series (mykil-metrics-v1 JSONL)
+  /// here after the run.
+  std::string metrics_jsonl_path;
+  /// Collect per-shard engine statistics (wall-clock; diagnostics only).
+  bool engine_profile = false;
 };
 
 struct ChaosReport {
@@ -74,6 +95,12 @@ struct ChaosReport {
   std::uint64_t redirects = 0;
   std::uint64_t rekey_multicasts = 0;
   net::SimTime finished_at = 0;  ///< simulated end time
+  /// Time-series samples taken (options.metrics_interval > 0). NOT folded
+  /// into the digest: the digest must stay identical with sampling off.
+  std::size_t metric_samples = 0;
+  /// Engine statistics (options.engine_profile). Wall-clock diagnostics;
+  /// also excluded from the digest.
+  net::EngineProfile profile;
 
   /// FNV-1a over every schedule tally, invariant result, repair counter,
   /// and the network's total message/byte counters. Two runs produced the

@@ -112,6 +112,8 @@ RunReport ChurnRunner::run(const ChurnSchedule& schedule,
     report.rejoin_latency = summarize("member.rejoin_latency_us");
     report.batch_size = summarize("ac.batch_size");
     report.rekey_bytes_per_event = summarize("ac.rekey_bytes");
+    report.trace_rejoin_latency = summarize("trace.rejoin_latency_us");
+    report.trace_takeover_latency = summarize("trace.takeover_latency_us");
   }
   return report;
 }

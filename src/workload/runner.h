@@ -34,6 +34,12 @@ struct RunReport {
   obs::HistogramSummary rejoin_latency;  ///< member.rejoin_latency_us
   obs::HistogramSummary batch_size;      ///< ac.batch_size (leaves per flush)
   obs::HistogramSummary rekey_bytes_per_event;  ///< ac.rekey_bytes
+  /// Trace-DERIVED latencies: computed from span begin/end pairing, not
+  /// handler timestamps, so they exist only when a Tracer is attached.
+  /// trace_rejoin covers ticket presentation -> key install at the member;
+  /// trace_takeover covers heartbeat miss -> first post-promotion rekey.
+  obs::HistogramSummary trace_rejoin_latency;    ///< trace.rejoin_latency_us
+  obs::HistogramSummary trace_takeover_latency;  ///< trace.takeover_latency_us
 };
 
 /// Applies a schedule to a group. Joins draw fresh members from an

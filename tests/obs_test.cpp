@@ -3,6 +3,8 @@
 // (deterministic traces, zero behavioural impact when disabled).
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "obs/metrics.h"
@@ -131,14 +133,67 @@ TEST(MetricsRegistry, JsonSnapshotHasAllSeriesAndPercentiles) {
   EXPECT_EQ(json[json.size() - 2], '}');
 }
 
+TEST(MetricsRegistry, SampleCollectsCumulativeTimeSeries) {
+  obs::MetricsRegistry m;
+  m.counter("joins").inc(3);
+  m.gauge("depth").set(2);
+  m.histogram("lat").record(100);
+  m.sample(1'000'000);
+  m.counter("joins").inc(2);
+  m.histogram("lat").record(300);
+  m.sample(2'000'000);
+  EXPECT_EQ(m.sample_count(), 2u);
+
+  std::string jsonl = m.samples_jsonl();
+  // One JSON object per line, each carrying the schema tag.
+  std::size_t lines = 0, pos = 0;
+  while ((pos = jsonl.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::size_t tag = 0;
+  pos = 0;
+  while ((pos = jsonl.find("\"schema\": \"mykil-metrics-v1\"", pos)) !=
+         std::string::npos) {
+    ++tag;
+    pos += 10;
+  }
+  EXPECT_EQ(tag, 2u);
+  // Sequence numbers and virtual timestamps are monotone; values are
+  // cumulative (second sample shows the running totals, not deltas).
+  EXPECT_NE(jsonl.find("\"seq\": 0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"seq\": 1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ts_us\": 1000000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"ts_us\": 2000000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"joins\": 3"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"joins\": 5"), std::string::npos);
+}
+
+TEST(MetricsRegistry, WriteJsonlRoundTripsTheSampleLog) {
+  obs::MetricsRegistry m;
+  m.counter("c").inc();
+  m.sample(42);
+  const std::string path = "obs_test_samples.jsonl";
+  ASSERT_TRUE(m.write_jsonl(path));
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), m.samples_jsonl());
+}
+
 // ------------------------------------------------------------------- tracer
 
-TEST(Tracer, RingBufferOverwritesOldest) {
-  obs::Tracer t(4);
+TEST(Tracer, RingBufferOverwritesOldestWithinAStripe) {
+  // Capacity splits evenly across the kStripes tid-keyed rings; events from
+  // one tid all land in one stripe, so that stripe's share (32/8 = 4) is
+  // the effective ring for them.
+  obs::Tracer t(32);
   for (std::uint64_t i = 0; i < 6; ++i)
     t.instant(obs::EventKind::kCrash, 0, i * 10, i);
   EXPECT_EQ(t.size(), 4u);
   EXPECT_EQ(t.overwritten(), 2u);
+  EXPECT_EQ(t.dropped(), 2u);  // alias surfaced in the export header
   std::vector<net::SimTime> ts;
   t.for_each([&](const obs::TraceEvent& ev) { ts.push_back(ev.ts); });
   EXPECT_EQ(ts, (std::vector<net::SimTime>{20, 30, 40, 50}));
@@ -176,8 +231,10 @@ TEST(Tracer, ChromeTraceShape) {
   t.instant(obs::EventKind::kRekeyEmit, 2, 30, 512, 9);
   t.instant(obs::EventKind::kDrop, 4, 40, 100, 0, "mykil-data");
   std::string json = t.to_chrome_trace();
-  EXPECT_EQ(json.substr(0, 2), "[\n");
-  EXPECT_EQ(json.substr(json.size() - 3), "\n]\n");
+  // Object format: viewers read traceEvents and ignore otherData.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[\n", 0), 0u);
+  EXPECT_NE(json.find("],\"otherData\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mykil-trace-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"join\",\"cat\":\"mykil\",\"ph\":\"b\""),
             std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
@@ -189,9 +246,46 @@ TEST(Tracer, ChromeTraceShape) {
   EXPECT_NE(json.find("\"id\":1"), std::string::npos);
 }
 
-TEST(Tracer, EmptyExportIsStillAnArray) {
+TEST(Tracer, EmptyExportIsStillValidObjectFormat) {
   obs::Tracer t;
-  EXPECT_EQ(t.to_chrome_trace(), "[\n\n]\n");
+  std::string json = t.to_chrome_trace();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[\n", 0), 0u);
+  EXPECT_NE(json.find("\"events\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_events_dropped\":0"), std::string::npos);
+}
+
+TEST(Tracer, FlowEventsBindByCategoryNameAndId) {
+  obs::Tracer t;
+  t.flow_start(obs::EventKind::kFlow, 77, 1, 10, "mykil-rejoin");
+  t.flow_step(obs::EventKind::kFlow, 77, 2, 20, 64);
+  t.flow_end(obs::EventKind::kFlow, 77, 3, 30, "mykil-rejoin");
+  std::string json = t.to_chrome_trace();
+  // All three phases export under the same (cat, name, id) triple — that
+  // is what Chrome/Perfetto use to draw one connected arrow chain.
+  EXPECT_NE(json.find("\"name\":\"op-flow\",\"cat\":\"flow\",\"ph\":\"s\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"op-flow\",\"cat\":\"flow\",\"ph\":\"t\""),
+            std::string::npos);
+  // Flow end carries the binding-point attribute.
+  EXPECT_NE(
+      json.find("\"name\":\"op-flow\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\""),
+      std::string::npos);
+  std::size_t id_hits = 0, pos = 0;
+  while ((pos = json.find("\"id\":77", pos)) != std::string::npos) {
+    ++id_hits;
+    pos += 7;
+  }
+  EXPECT_EQ(id_hits, 3u);
+}
+
+TEST(Tracer, DroppedCountSurfacesInExportHeader) {
+  obs::Tracer t(8);  // one slot per stripe: every tid-0 repeat overwrites
+  for (std::uint64_t i = 0; i < 5; ++i)
+    t.instant(obs::EventKind::kCrash, 0, i * 10, i);
+  EXPECT_EQ(t.dropped(), 4u);
+  std::string json = t.to_chrome_trace();
+  EXPECT_NE(json.find("\"trace_events_dropped\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"events\":1"), std::string::npos);
 }
 
 // ----------------------------------------------------- end-to-end guarantees

@@ -2,14 +2,24 @@
 // sharded parallel engine with real worker threads, digest-compared against
 // the single-worker run. This is the binary the ThreadSanitizer
 // configuration runs (cmake -DMYKIL_SANITIZE=thread) — a data race in the
-// window barrier, the outbox merge, the stats deltas, or the interned-label
-// registry shows up here, not in the single-threaded suites.
+// window barrier, the outbox merge, the stats deltas, the interned-label
+// registry, or the striped tracer rings shows up here, not in the
+// single-threaded suites.
+//
+// The second half re-runs the schedule with the full observability stack
+// attached (tracer + metrics sampling): the digest must stay bit-identical
+// to the untraced baseline at every worker count, and the canonical trace
+// export must not depend on worker interleaving. Under TSan this is also
+// the race check for Tracer's striped rings and MetricsRegistry's
+// registration mutex being hit from worker threads.
 //
 // Kept to one seed so the TSan run stays fast; the broader worker-count
 // sweeps live in net_determinism_test.cpp and the chaos digest corpus in
 // BENCH_chaos.json.
 #include <cstdio>
+#include <string>
 
+#include "obs/trace.h"
 #include "workload/chaos.h"
 
 int main() {
@@ -35,6 +45,41 @@ int main() {
                 "counts\n");
     return 1;
   }
-  std::printf("parallel_smoke: PASS — schedules bit-identical\n");
+
+  // Same schedule with tracing + metrics sampling attached: observability
+  // must be invisible to the protocol (digest unchanged) and its own
+  // output must be worker-count-invariant (canonical export order).
+  std::string traced_export[2];
+  for (int i = 0; i < 2; ++i) {
+    obs::Tracer tracer(1 << 20);
+    workload::ChaosOptions topt = opt;
+    topt.workers = i == 0 ? 1 : 4;
+    topt.tracer = &tracer;
+    topt.metrics_interval = net::sec(5);
+    workload::ChaosReport traced = workload::run_chaos(topt);
+    std::printf(
+        "parallel_smoke: workers=%u traced digest=%016llx events=%zu "
+        "dropped=%llu samples=%zu\n",
+        topt.workers, static_cast<unsigned long long>(traced.digest),
+        tracer.size(), static_cast<unsigned long long>(tracer.dropped()),
+        traced.metric_samples);
+    if (traced.digest != base.digest) {
+      std::printf("parallel_smoke: FAIL — tracing changed the digest at "
+                  "workers=%u\n", topt.workers);
+      return 1;
+    }
+    if (tracer.size() == 0 || traced.metric_samples == 0) {
+      std::printf("parallel_smoke: FAIL — observability produced no data\n");
+      return 1;
+    }
+    traced_export[i] = tracer.to_chrome_trace();
+  }
+  if (traced_export[0] != traced_export[1]) {
+    std::printf("parallel_smoke: FAIL — trace export differs across worker "
+                "counts\n");
+    return 1;
+  }
+
+  std::printf("parallel_smoke: PASS — schedules and traces bit-identical\n");
   return 0;
 }

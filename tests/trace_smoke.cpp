@@ -1,16 +1,29 @@
-// Smoke test for the tracing pipeline end to end: run a short churn
-// scenario with a Tracer and MetricsRegistry attached, write both exports
-// to disk, then re-read and validate them with a tiny JSON parser — the
-// trace must parse, contain events, and have balanced join/rejoin spans,
-// and the metrics snapshot must carry percentile summaries. This is the
-// ctest gate that keeps "mykil_sim --trace out.json opens in Perfetto"
-// true without a browser in the loop.
+// Smoke test for the tracing pipeline end to end.
+//
+// Part 1 runs a short churn scenario with a Tracer and MetricsRegistry
+// attached, writes both exports to disk, re-reads them, and validates:
+// the trace parses as JSON (object format, {"traceEvents":[...],
+// "otherData":{...}}), spans pair up, flow events bind by (cat, name, id),
+// and the export header carries the schema tag and trace_events_dropped.
+//
+// Part 2 drives one fully-scripted rejoin WITH the cohort check (member
+// departs area 0, presents its ticket at area 1, AC_B interrogates AC_A)
+// and asserts the exported flow stitches the operation across at least
+// three distinct nodes — the "one rejoin = one end-to-end trace" property
+// DESIGN.md 13 promises.
+//
+// This is the ctest gate that keeps "mykil_sim --trace out.json opens in
+// Perfetto" true without a browser in the loop.
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "workload/runner.h"
 
@@ -122,12 +135,134 @@ std::size_t count_occurrences(const std::string& hay, const std::string& needle)
   return n;
 }
 
+// ---- structural event extractor (one exported event object per line) ----
+
+struct Ev {
+  std::string name, cat, ph, label;
+  std::uint64_t tid = 0, ts = 0, id = 0;
+  bool has_id = false;
+};
+
+std::string field_str(const std::string& line, const char* key) {
+  std::string pat = std::string("\"") + key + "\":\"";
+  std::size_t p = line.find(pat);
+  if (p == std::string::npos) return "";
+  p += pat.size();
+  return line.substr(p, line.find('"', p) - p);
+}
+
+bool field_u64(const std::string& line, const char* key, std::uint64_t& v) {
+  std::string pat = std::string("\"") + key + "\":";
+  std::size_t p = line.find(pat);
+  if (p == std::string::npos) return false;
+  v = std::strtoull(line.c_str() + p + pat.size(), nullptr, 10);
+  return true;
+}
+
+std::vector<Ev> parse_events(const std::string& trace) {
+  std::vector<Ev> out;
+  std::istringstream in(trace);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"name\":", 0) != 0) continue;
+    Ev e;
+    e.name = field_str(line, "name");
+    e.cat = field_str(line, "cat");
+    e.ph = field_str(line, "ph");
+    e.label = field_str(line, "label");
+    field_u64(line, "tid", e.tid);
+    field_u64(line, "ts", e.ts);
+    e.has_id = field_u64(line, "id", e.id);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+/// Spans pair by (name, id): ends never exceed begins, and every matched
+/// pair is ordered in virtual time. Returns completed-pair count.
+std::size_t check_span_pairing(const std::vector<Ev>& events) {
+  std::map<std::pair<std::string, std::uint64_t>, std::vector<const Ev*>> spans;
+  for (const Ev& e : events)
+    if (e.ph == "b" || e.ph == "e") spans[{e.name, e.id}].push_back(&e);
+  std::size_t completed = 0;
+  for (auto& [key, evs] : spans) {
+    std::size_t begins = 0, ends = 0;
+    std::uint64_t begin_ts = 0, end_ts = 0;
+    for (const Ev* e : evs) {
+      if (e->ph == "b") {
+        ++begins;
+        begin_ts = e->ts;  // canonical order: latest begin
+      } else {
+        ++ends;
+        end_ts = e->ts;
+      }
+    }
+    if (ends > begins) {
+      std::printf("  span %s id=%llu: %zu ends > %zu begins\n",
+                  key.first.c_str(), (unsigned long long)key.second, ends,
+                  begins);
+      ++g_failures;
+    }
+    if (begins > 0 && ends > 0) {
+      ++completed;
+      if (end_ts < begin_ts && begins == ends) {
+        std::printf("  span %s id=%llu: end ts before begin ts\n",
+                    key.first.c_str(), (unsigned long long)key.second);
+        ++g_failures;
+      }
+    }
+  }
+  return completed;
+}
+
+struct FlowShape {
+  std::size_t starts = 0, steps = 0, ends = 0;
+  std::set<std::uint64_t> tids;
+  std::uint64_t first_ts = ~0ull, last_ts = 0;
+  std::string start_label;
+};
+
+/// Chrome binds flow phases s/t/f by (cat, name, id); group the exported
+/// flow events the same way and require every step/end to have a start.
+std::map<std::uint64_t, FlowShape> collect_flows(const std::vector<Ev>& events) {
+  std::map<std::uint64_t, FlowShape> flows;
+  for (const Ev& e : events) {
+    if (e.ph != "s" && e.ph != "t" && e.ph != "f") continue;
+    if (e.name != "op-flow" || e.cat != "flow") {
+      std::printf("  flow event with unexpected binding %s/%s\n",
+                  e.cat.c_str(), e.name.c_str());
+      ++g_failures;
+      continue;
+    }
+    FlowShape& f = flows[e.id];
+    if (e.ph == "s") {
+      ++f.starts;
+      f.start_label = e.label;
+    } else if (e.ph == "t") {
+      ++f.steps;
+    } else {
+      ++f.ends;
+    }
+    f.tids.insert(e.tid);
+    if (e.ts < f.first_ts) f.first_ts = e.ts;
+    if (e.ts > f.last_ts) f.last_ts = e.ts;
+  }
+  for (auto& [id, f] : flows) {
+    if ((f.steps > 0 || f.ends > 0) && f.starts == 0) {
+      std::printf("  flow id=%llu has steps/ends but no start\n",
+                  (unsigned long long)id);
+      ++g_failures;
+    }
+  }
+  return flows;
+}
+
 }  // namespace
 
 int main() {
   using namespace mykil;
 
-  // ---- a short churn run with full observability attached ----
+  // ======================= part 1: churn scenario =======================
   net::NetworkConfig ncfg;
   ncfg.jitter = 0;
   ncfg.seed = 9;
@@ -165,10 +300,18 @@ int main() {
   std::string trace = read_file(trace_path);
   check(!trace.empty(), "trace file non-empty");
   check(parses_as_json(trace), "trace parses as JSON");
+  check(trace.rfind("{\"traceEvents\":[", 0) == 0, "object-format export");
   check(tracer.size() > 0, "trace contains events");
   check(count_occurrences(trace, "{\"name\":") == tracer.size(),
         "one JSON object per buffered event");
-  check(tracer.overwritten() == 0, "ring buffer did not overflow");
+  check(trace.find("\"schema\":\"mykil-trace-v2\"") != std::string::npos,
+        "otherData carries schema tag");
+  check(trace.find("\"trace_events_dropped\":0") != std::string::npos,
+        "otherData reports zero dropped events");
+  check(tracer.dropped() == 0, "ring buffer did not overflow");
+
+  std::vector<Ev> events = parse_events(trace);
+  check(events.size() == tracer.size(), "extractor sees every event");
 
   // Spans balanced per kind: every end has a begin; an excess of begins can
   // only come from operations still in flight when the run stopped.
@@ -180,8 +323,19 @@ int main() {
     check(ends > 0, (std::string(span) + " spans completed").c_str());
     check(begins >= ends, (std::string(span) + " spans balanced").c_str());
   }
-  check(tracer.open_spans() <= count_occurrences(trace, "\"ph\":\"b\""),
-        "open spans bounded by begins");
+  std::size_t paired = check_span_pairing(events);
+  check(paired > 0, "span pairing: completed (begin,end) pairs exist");
+
+  // Flow events bind by (cat, name, id) and each join/rejoin flow starts
+  // at its originator before any delivery step.
+  std::map<std::uint64_t, FlowShape> flows = collect_flows(events);
+  check(!flows.empty(), "flow events present");
+  std::size_t complete_flows = 0;
+  for (auto& [id, f] : flows)
+    if (f.starts > 0 && f.ends > 0 && f.steps > 0) ++complete_flows;
+  std::printf("  flows: %zu total, %zu complete (s+t+f)\n", flows.size(),
+              complete_flows);
+  check(complete_flows > 0, "complete flows (start+steps+end) exist");
 
   // ---- validate the metrics snapshot ----
   std::string mjson = read_file(metrics_path);
@@ -190,6 +344,76 @@ int main() {
   check(mjson.find("\"p99\"") != std::string::npos, "metrics carry p99");
   check(mjson.find("member.join_latency_us") != std::string::npos,
         "join latency histogram present");
+
+  // ============ part 2: cohort-check rejoin across >= 3 nodes ============
+  {
+    net::NetworkConfig ncfg2;
+    ncfg2.jitter = 0;
+    ncfg2.seed = 21;
+    net::Network net2(ncfg2);
+    obs::Tracer tracer2(1 << 16);
+    obs::MetricsRegistry metrics2;
+    net2.set_tracer(&tracer2);
+    net2.set_metrics(&metrics2);
+
+    core::GroupOptions o2;
+    o2.seed = 23;
+    o2.config.enable_timers = true;
+    o2.config.batching = false;
+    o2.config.skip_cohort_check = false;  // steps 4-5 exercised
+    core::MykilGroup g2(net2, o2);
+    g2.add_area();
+    g2.add_area(0);
+    g2.finalize();
+
+    auto member = g2.make_member(500, net::sec(3600));
+    g2.join_member(*member, net::sec(3600));
+    g2.settle(net::sec(2));
+    check(member->joined(), "scripted member joined its home area");
+
+    // Rejoin at whichever AC is NOT the home area, so AC_B must consult
+    // AC_A (cohort check, rejoin steps 4-5) before admitting.
+    core::AreaController& away =
+        member->current_ac() == g2.ac(0).ac_id() ? g2.ac(1) : g2.ac(0);
+    member->leave();  // departs AC_A with its ticket still valid
+    g2.settle(net::sec(2));
+    member->rejoin(away.ac_id());  // presents the ticket at AC_B
+    g2.settle(net::sec(5));
+    check(member->joined(), "scripted member rejoined the away area");
+    check(away.counters().rejoins == 1, "AC_B admitted the rejoin");
+
+    std::string trace2 = tracer2.to_chrome_trace();
+    check(parses_as_json(trace2), "cohort-check trace parses as JSON");
+    std::vector<Ev> ev2 = parse_events(trace2);
+    check_span_pairing(ev2);
+
+    // The rejoin-verify span (AC-side) must have begun and ended.
+    std::size_t verify_b = 0, verify_e = 0;
+    for (const Ev& e : ev2) {
+      if (e.name == "rejoin-verify" && e.ph == "b") ++verify_b;
+      if (e.name == "rejoin-verify" && e.ph == "e") ++verify_e;
+    }
+    check(verify_b >= 1 && verify_e >= 1, "rejoin-verify span begun and ended");
+
+    // The rejoin flow crosses member -> AC_B -> AC_A and back: at least
+    // three distinct tids on one flow, start labelled mykil-rejoin, with
+    // a flow end (the member installed its keys).
+    std::map<std::uint64_t, FlowShape> flows2 = collect_flows(ev2);
+    bool cross_node_rejoin = false;
+    for (auto& [id, f] : flows2) {
+      if (f.start_label != "mykil-rejoin") continue;
+      std::printf("  rejoin flow id=%llu: %zu steps across %zu nodes\n",
+                  (unsigned long long)id, f.steps, f.tids.size());
+      if (f.starts > 0 && f.ends > 0 && f.tids.size() >= 3)
+        cross_node_rejoin = true;
+    }
+    check(cross_node_rejoin, "rejoin flow spans >= 3 nodes, start to end");
+
+    // Trace-derived latency fell out of the span pairing.
+    const obs::Histogram* h = metrics2.find_histogram("trace.rejoin_latency_us");
+    check(h != nullptr && h->summary().count >= 1,
+          "trace-derived rejoin latency recorded");
+  }
 
   std::printf("trace_smoke: %zu events, %zu metric series -> %s\n",
               tracer.size(), metrics.size(), g_failures == 0 ? "PASS" : "FAIL");
