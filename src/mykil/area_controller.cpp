@@ -18,6 +18,7 @@ const net::Label kLabelAlive{"mykil-alive"};
 const net::Label kLabelRepl{"mykil-repl"};
 const net::Label kLabelArea{"mykil-area"};
 const net::Label kLabelRecovery{"mykil-recovery"};
+const net::Label kLabelAdmin{"mykil-admin"};
 
 // Recurring timer tokens.
 constexpr std::uint64_t kTimerIdle = 1;
@@ -25,6 +26,8 @@ constexpr std::uint64_t kTimerMemberScan = 2;
 constexpr std::uint64_t kTimerRekey = 3;
 constexpr std::uint64_t kTimerHeartbeat = 4;
 constexpr std::uint64_t kTimerBackupWatch = 5;
+constexpr std::uint64_t kTimerLoadReport = 6;
+constexpr std::uint64_t kTimerMigrate = 7;
 
 constexpr std::uint8_t kAliveFromAc = 0;
 constexpr std::uint8_t kAliveFromMember = 1;
@@ -107,6 +110,9 @@ void AreaController::start_primary_timers() {
   network().set_timer(id(), config_.t_idle, timer_token(kTimerIdle));
   network().set_timer(id(), config_.t_active, timer_token(kTimerMemberScan));
   network().set_timer(id(), config_.rekey_interval, timer_token(kTimerRekey));
+  if (config_.load_report_interval > 0)
+    network().set_timer(id(), config_.load_report_interval,
+                        timer_token(kTimerLoadReport));
 }
 
 void AreaController::set_backup(net::NodeId backup_node) {
@@ -533,8 +539,16 @@ void AreaController::handle_rejoin_step4(const net::Message& msg) {
   Bytes ticket_bytes;
   auto it = members_.find(k_id);
   if (it != members_.end()) {
-    if (network().now() - it->second.last_heard <
-        config_.member_silence_limit()) {
+    bool migrating = it->second.migrate_until != 0 &&
+                     network().now() <= it->second.migrate_until;
+    if (migrating) {
+      // The member is rejoining elsewhere on OUR migrate directive: it is
+      // naturally still heard here, but that is orchestration, not ticket
+      // sharing. Confirm the move and release the leaf.
+      ticket_bytes = it->second.sealed_ticket;
+      schedule_leave(k_id);
+    } else if (network().now() - it->second.last_heard <
+               config_.member_silence_limit()) {
       gone = false;  // still actively with us: cohort sharing suspected
     } else {
       ticket_bytes = it->second.sealed_ticket;
@@ -822,7 +836,21 @@ void AreaController::send_alive_if_idle() {
 void AreaController::scan_members() {
   net::SimTime now = network().now();
   std::vector<ClientId> silent;
-  for (const auto& [cid, rec] : members_) {
+  for (auto& [cid, rec] : members_) {
+    if (rec.migrate_until != 0 && now > rec.migrate_until) {
+      // The directive window elapsed. A member that fell silent the moment
+      // the directive went out has moved — its rejoin confirmation was
+      // simply lost (e.g. sent to a node we were demoted away from) — so
+      // reclaim the leaf now rather than waiting out the full silence
+      // horizon. One that is still heard stayed ours: the rejoin was
+      // denied or the directive never landed, and membership continues.
+      bool moved = rec.last_heard + migrate_window() < rec.migrate_until;
+      rec.migrate_until = 0;
+      if (moved) {
+        silent.push_back(cid);
+        continue;
+      }
+    }
     if (now - rec.last_heard > config_.member_silence_limit())
       silent.push_back(cid);
     else if (rec.valid_until != 0 && now > rec.valid_until)
@@ -1116,6 +1144,149 @@ void AreaController::handle_key_recovery_reply(const net::Message& msg) {
     m->counter("ac.uplink_recoveries").inc();
 }
 
+// -------------------------------------- online area management (DESIGN 14)
+
+void AreaController::send_load_report() {
+  if (rs_node_ == net::kNoNode || !active_in_map()) return;
+  std::size_t real = 0;
+  for (const auto& [cid, rec] : members_)
+    if (cid < kAcIdBase) ++real;  // child ACs are infrastructure, not load
+  WireWriter f;
+  f.u64(ac_id_);
+  f.u32(static_cast<std::uint32_t>(real));
+  f.u64(rekey_epoch_);
+  f.u64(network().now());
+  send_ctrl(rs_node_, kLabelAdmin,
+            signed_envelope(MsgType::kLoadReport, with_mac(f.data()),
+                            keypair_.priv));
+}
+
+void AreaController::handle_area_map_update(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  if (!verify_envelope(env, rs_pub_)) return;
+  Bytes inner = strip_mac(env.box);
+  WireReader r(inner);
+  net::SimTime ts = r.u64();
+  Bytes dir_bytes = r.bytes();
+  r.expect_done();
+  if (!ts_fresh(ts)) return;
+  AcDirectory fresh = AcDirectory::deserialize(dir_bytes);
+  bool was_active = active_in_map();
+  if (!directory_.adopt(fresh)) return;  // stale or duplicate version
+  latest_map_payload_ = msg.payload.clone();
+  if (auto* m = network().metrics()) m->counter("ac.map_updates").inc();
+  if (role_ != Role::kPrimary) return;
+  // Members learn the new map from us: forward the RS-signed envelope
+  // verbatim into the area (each member re-verifies the RS signature).
+  if (open_ && !members_.empty())
+    multicast_area(kLabelArea, msg.payload.clone());
+  apply_map_transition(was_active);
+}
+
+void AreaController::apply_map_transition(bool was_active) {
+  bool now_active = active_in_map();
+  if (!was_active && now_active) {
+    // Activation (we are a split's target): link into the area hierarchy.
+    if (!uplink_ || !uplink_->ready) {
+      AcId parent = parent_hint_;
+      if (parent == kNoAc || parent == ac_id_ ||
+          directory_.find(parent) == nullptr) {
+        parent = kNoAc;
+        for (const AcInfo& e : directory_.entries()) {
+          if (e.ac_id != ac_id_) {
+            parent = e.ac_id;
+            break;
+          }
+        }
+      }
+      uplink_.reset();
+      if (parent != kNoAc) connect_to_parent(parent);
+    }
+    last_area_tx_ = network().now();
+    return;
+  }
+  if (was_active && !now_active) {
+    // Deactivation (merge source, fully drained): detach from the parent
+    // area and go dormant. The multicast group and timers stay — a later
+    // split can reactivate us with a fresh map update.
+    migrate_target_ = kNoAc;
+    migrate_quota_ = 0;
+    if (uplink_) {
+      if (uplink_->ready) {
+        WireWriter w;
+        w.u64(ac_id_);
+        network().unicast(id(), uplink_->parent_node, kLabelArea,
+                          envelope(MsgType::kLeaveRequest, w.data()));
+        network().leave_group(uplink_->parent_group, id());
+      }
+      uplink_.reset();
+      sync_backup();
+    }
+  }
+}
+
+void AreaController::handle_migrate_request(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  if (!verify_envelope(env, rs_pub_)) return;  // only the RS moves members
+  Bytes inner = strip_mac(crypto::pk_decrypt(keypair_.priv, env.box));
+  WireReader r(inner);
+  AcId target = r.u64();
+  std::uint32_t count = r.u32();
+  net::SimTime ts = r.u64();
+  r.expect_done();
+  if (!ts_fresh(ts)) return;
+  if (target == ac_id_) return;
+  migrate_target_ = target;
+  migrate_quota_ = count;
+  issue_migrate_directives();
+}
+
+void AreaController::issue_migrate_directives() {
+  if (migrate_quota_ == 0 || migrate_target_ == kNoAc) return;
+  // The target must be in OUR map before we point members at it. The map
+  // update travels the same ARQ stream as the migrate request so it
+  // normally already is; otherwise retry once it has caught up.
+  if (directory_.find(migrate_target_) == nullptr) {
+    network().set_timer(id(), config_.t_idle, timer_token(kTimerMigrate));
+    return;
+  }
+  net::SimTime now = network().now();
+  std::size_t issued = 0;
+  bool eligible_left = false;
+  for (auto& [cid, rec] : members_) {
+    if (cid >= kAcIdBase) continue;       // child ACs are not migratable
+    if (rec.migrate_until != 0) continue; // already on the move
+    if (migrate_quota_ == 0 || issued >= config_.migrate_batch) {
+      eligible_left = true;
+      break;
+    }
+    rec.migrate_until = now + migrate_window();
+    WireWriter f;
+    f.u64(ac_id_);
+    f.u64(cid);
+    f.u64(migrate_target_);
+    f.u64(now);
+    // Embed the map the directive relies on: the member may not have seen
+    // the split yet, and rejoin() refuses targets outside its directory.
+    f.bytes(latest_map_payload_);
+    send_ctrl(rec.node, kLabelArea,
+              signed_envelope(MsgType::kMigrateDirective, with_mac(f.data()),
+                              keypair_.priv));
+    ++issued;
+    --migrate_quota_;
+  }
+  if (issued > 0) {
+    if (auto* m = network().metrics())
+      m->counter("ac.migrations").inc(issued);
+  }
+  // Keep batching while quota and candidates remain; also poll while
+  // earlier directives are outstanding so an expired one is re-issued.
+  if (migrate_quota_ > 0 && (eligible_left || issued > 0))
+    network().set_timer(id(), config_.t_idle, timer_token(kTimerMigrate));
+  else if (migrate_quota_ == 0)
+    migrate_target_ = kNoAc;
+}
+
 // -------------------------------------------------------------- replication
 
 Bytes AreaController::make_snapshot() const {
@@ -1353,6 +1524,139 @@ void AreaController::demote_to_backup(net::NodeId new_primary) {
                         timer_token(kTimerBackupWatch));
 }
 
+// ------------------------------------------------- checkpoint (DESIGN 14.4)
+
+Bytes AreaController::checkpoint_state() const {
+  WireWriter w;
+  w.u8(role_ == Role::kPrimary ? 0 : 1);
+  w.u8(open_ ? 1 : 0);
+  w.u64(takeover_epoch_);
+  w.u64(rekey_epoch_);
+  w.u64(sync_version_);
+  w.u64(peer_sync_version_);
+  w.u8(got_snapshot_ ? 1 : 0);
+  w.bytes(latest_snapshot_);
+  w.u32(backup_node_);
+  w.u32(peer_node_);
+  w.bytes(directory_.serialize());
+  w.bytes(latest_map_payload_);
+  w.u64(parent_hint_);
+  w.u32(rs_node_);
+  bool have_state = role_ == Role::kPrimary && tree_.has_value() && open_;
+  w.u8(have_state ? 1 : 0);
+  if (have_state) w.bytes(make_snapshot());
+  w.u32(static_cast<std::uint32_t>(departed_tickets_.size()));
+  for (const auto& [cid, ticket] : departed_tickets_) {
+    w.u64(cid);
+    w.bytes(ticket);
+  }
+  return w.take();
+}
+
+void AreaController::restore_state(ByteView blob) {
+  WireReader r(blob);
+  Role role = r.u8() == 0 ? Role::kPrimary : Role::kBackup;
+  bool open = r.u8() != 0;
+  std::uint64_t takeover_epoch = r.u64();
+  std::uint64_t rekey_epoch = r.u64();
+  std::uint64_t sync_version = r.u64();
+  std::uint64_t peer_sync_version = r.u64();
+  bool got_snapshot = r.u8() != 0;
+  Bytes latest_snapshot = r.bytes();
+  net::NodeId backup_node = r.u32();
+  net::NodeId peer_node = r.u32();
+  AcDirectory dir = AcDirectory::deserialize(r.bytes());
+  Bytes map_payload = r.bytes();
+  AcId parent_hint = r.u64();
+  net::NodeId rs_node = r.u32();
+  bool have_state = r.u8() != 0;
+  Bytes snapshot;
+  if (have_state) snapshot = r.bytes();
+  std::map<ClientId, Bytes> departed;
+  std::uint32_t n_dep = r.u32();
+  for (std::uint32_t i = 0; i < n_dep; ++i) {
+    ClientId cid = r.u64();
+    departed[cid] = r.bytes();
+  }
+  r.expect_done();
+
+  // The checkpoint is authoritative: wipe construction/session residue.
+  // State is restored semantically, not bit-for-bit — the ARQ endpoint and
+  // handshake maps start empty (peers re-drive), and the PRNG diverges.
+  ++timer_gen_;
+  prng_.mix(0x52455354u /* "REST" */);
+  net::SimTime now = network().now();
+  role_ = role;
+  takeover_epoch_ = takeover_epoch;
+  sync_version_ = sync_version;
+  peer_sync_version_ = peer_sync_version;
+  got_snapshot_ = got_snapshot;
+  latest_snapshot_ = std::move(latest_snapshot);
+  backup_node_ = backup_node;
+  peer_node_ = peer_node;
+  directory_ = std::move(dir);
+  latest_map_payload_ = std::move(map_payload);
+  parent_hint_ = parent_hint;
+  rs_node_ = rs_node;
+  departed_tickets_ = std::move(departed);
+  migrate_target_ = kNoAc;
+  migrate_quota_ = 0;
+  pending_joins_.clear();
+  early_step6_.clear();
+  pending_rejoins_.clear();
+  awaiting_cohort_.clear();
+  rejoin_timeout_tokens_.clear();
+  pending_leaves_.clear();
+  pending_join_rotation_ = false;
+  seen_data_.clear();
+  prev_area_key_.reset();
+  last_redirect_.clear();
+  takeover_trace_ = {};
+  rekey_epoch_ = rekey_epoch;
+
+  if (role_ == Role::kPrimary) {
+    open_ = open;
+    if (have_state) {
+      load_snapshot(snapshot);     // tree, roster, area group, uplink stub
+      rekey_epoch_ = rekey_epoch;  // load_snapshot re-read the same value
+      // If a takeover made the construction-time backup instance the
+      // captured primary, it never ran open_area — subscribe now (raw
+      // join_group is duplicate-safe for everyone else).
+      network().join_group(area_group_, id());
+      // Re-link the parent fresh: uplink keys are deliberately outside the
+      // snapshot ("only a minimal state information is replicated").
+      AcId parent = uplink_ ? uplink_->parent_ac : kNoAc;
+      uplink_.reset();
+      if (parent != kNoAc && directory_.find(parent) != nullptr)
+        connect_to_parent(parent);
+    }
+    last_area_tx_ = now;
+    last_member_scan_ = now;
+    last_fresh_rekey_ = now;
+    if (open_) start_primary_timers();
+    if (backup_node_ != net::kNoNode) {
+      if (config_.enable_timers)
+        network().set_timer(id(), config_.heartbeat_interval,
+                            timer_token(kTimerHeartbeat));
+      sync_backup();
+    }
+  } else {
+    open_ = false;
+    members_.clear();
+    uplink_.reset();
+    backup_node_ = net::kNoNode;
+    if (got_snapshot_ && !latest_snapshot_.empty()) {
+      // Re-subscribe to the area group we were silently shadowing.
+      WireReader sr(latest_snapshot_);
+      network().join_group(sr.u32(), id());
+    }
+    last_heartbeat_rx_ = now;  // grace before the takeover watchdog
+    if (config_.enable_timers)
+      network().set_timer(id(), config_.heartbeat_interval,
+                          timer_token(kTimerBackupWatch));
+  }
+}
+
 // ------------------------------------------------------------------ routing
 
 void AreaController::on_timer(std::uint64_t token) {
@@ -1427,6 +1731,19 @@ void AreaController::on_timer(std::uint64_t token) {
       }
       return;
     }
+    case kTimerLoadReport:
+      if (role_ != Role::kPrimary || !open_) return;
+      send_load_report();
+      // Piggyback a migration poll: re-issues directives whose members
+      // expired their migrate window (lost directive, denied rejoin).
+      if (migrate_quota_ > 0) issue_migrate_directives();
+      network().set_timer(id(), config_.load_report_interval,
+                          timer_token(kTimerLoadReport));
+      return;
+    case kTimerMigrate:
+      if (role_ != Role::kPrimary || !open_) return;
+      issue_migrate_directives();
+      return;
     case kTimerBackupWatch: {
       if (role_ != Role::kBackup) return;
       net::SimTime limit = config_.heartbeat_misses * config_.heartbeat_interval;
@@ -1489,14 +1806,23 @@ void AreaController::on_message(const net::Message& raw) {
         case MsgType::kHeartbeat:
           handle_heartbeat(msg);
           break;
+        case MsgType::kAreaMapUpdate:
+          // Standbys track the map too: a takeover must not revert the
+          // area topology to a pre-split view.
+          handle_area_map_update(msg);
+          break;
         case MsgType::kRejoinStep1:
         case MsgType::kJoinStep6:
         case MsgType::kAlive:
         case MsgType::kLeaveRequest:
         case MsgType::kKeyRecoveryRequest:
-          // Member control traffic addressed to us means the sender still
+        case MsgType::kRejoinStep4:
+          // Control traffic addressed to us means the sender still
           // believes we are the primary — it was crashed or partitioned
           // when the takeover was announced. Point it at the real one.
+          // (kRejoinStep4 is a peer AC doing a cohort check against its
+          // stale map; the redirect corrects its directory for the next
+          // attempt.)
           if (msg.group == net::kNoGroup) redirect_to_primary(msg);
           break;
         default:
@@ -1556,6 +1882,12 @@ void AreaController::on_message(const net::Message& raw) {
         break;
       case MsgType::kStateSyncRequest:
         handle_state_sync_request(msg);
+        break;
+      case MsgType::kAreaMapUpdate:
+        handle_area_map_update(msg);
+        break;
+      case MsgType::kMigrateRequest:
+        handle_migrate_request(msg);
         break;
       // A primary also listens to replication traffic: a StateSync or
       // heartbeat reaching a primary means a split brain (DESIGN.md 9.3).

@@ -52,6 +52,10 @@ class AreaController : public net::Node {
   void open_area(net::Network& net);
   /// Install the AC directory (identical content at every AC).
   void set_directory(AcDirectory directory) { directory_ = std::move(directory); }
+  /// Where the registration server lives: destination for load reports.
+  void set_rs_node(net::NodeId rs) { rs_node_ = rs; }
+  /// Preferred parent when a map update activates this (spare) AC.
+  void set_parent_hint(AcId parent) { parent_hint_ = parent; }
   /// Join `parent`'s area (Section III-A): this AC becomes a member of the
   /// parent's auxiliary key tree, enabling cross-area data forwarding.
   void connect_to_parent(AcId parent);
@@ -83,6 +87,19 @@ class AreaController : public net::Node {
   [[nodiscard]] const lkh::KeyTree& tree() const { return *tree_; }
   [[nodiscard]] std::size_t member_count() const { return members_.size(); }
   [[nodiscard]] bool has_member(ClientId c) const { return members_.contains(c); }
+  /// Current member roster (includes child ACs joined to this area).
+  [[nodiscard]] std::vector<ClientId> member_ids() const {
+    std::vector<ClientId> out;
+    out.reserve(members_.size());
+    for (const auto& [cid, rec] : members_) out.push_back(cid);
+    return out;
+  }
+  [[nodiscard]] const AcDirectory& directory() const { return directory_; }
+  /// Whether the current area map lists this AC (spares are dormant until a
+  /// split activates them; a merged-away AC goes dormant again).
+  [[nodiscard]] bool active_in_map() const {
+    return directory_.find(ac_id_) != nullptr;
+  }
   [[nodiscard]] bool uplink_ready() const {
     return uplink_ && uplink_->ready;
   }
@@ -107,6 +124,12 @@ class AreaController : public net::Node {
   }
   [[nodiscard]] const net::ArqEndpoint& arq() const { return arq_; }
 
+  /// Checkpoint the full controller state (role, epochs, directory, tree +
+  /// roster via the replication snapshot, departed tickets). See
+  /// mykil/checkpoint.h for the restore contract.
+  [[nodiscard]] Bytes checkpoint_state() const;
+  void restore_state(ByteView blob);
+
   struct Counters {
     std::uint64_t joins = 0;
     std::uint64_t rejoins = 0;
@@ -130,6 +153,11 @@ class AreaController : public net::Node {
     net::SimTime valid_until = 0;
     /// Rate limit on key-recovery answers (each costs a pk encryption).
     net::SimTime last_recovery_reply = 0;
+    /// Non-zero while a migrate directive is outstanding for this member:
+    /// a rejoin cohort check arriving before this deadline is answered
+    /// gone=true even though the member is still heard (it is leaving on
+    /// OUR instruction, not sharing its ticket).
+    net::SimTime migrate_until = 0;
   };
   struct PendingJoin {  ///< step 4 received, awaiting step 6
     ClientId client_id = 0;
@@ -194,6 +222,8 @@ class AreaController : public net::Node {
   void redirect_to_primary(const net::Message& msg);
   void handle_key_recovery_request(const net::Message& msg);
   void handle_key_recovery_reply(const net::Message& msg);
+  void handle_area_map_update(const net::Message& msg);
+  void handle_migrate_request(const net::Message& msg);
 
   // internals
   /// Admit `client` into the tree and area; returns the unicast path keys.
@@ -225,6 +255,20 @@ class AreaController : public net::Node {
   void start_primary_timers();
   /// Ask the parent for a sealed catch-up of OUR path in its tree.
   void request_uplink_recovery(const char* trigger);
+  /// Report this area's load (members, rekey epoch) to the RS.
+  void send_load_report();
+  /// Hand up to migrate_batch members a signed migrate directive; re-armed
+  /// on a timer while quota remains.
+  void issue_migrate_directives();
+  /// How long a directed member gets to complete its move before the
+  /// directive expires. Half the eviction horizon: long enough for a rejoin
+  /// with retries, short enough that a lost rejoin confirmation does not
+  /// leave the member dual-owned for a full silence window on top.
+  [[nodiscard]] net::SimDuration migrate_window() const {
+    return config_.member_silence_limit() / 2;
+  }
+  /// React to our own activation/deactivation after adopting a new map.
+  void apply_map_transition(bool was_active);
   /// Lazy ARQ setup (the network is only known after attach).
   void ensure_arq();
   /// Unicast control traffic through the ARQ layer.
@@ -307,6 +351,16 @@ class AreaController : public net::Node {
   /// promotion -> StateSync -> first rekey). active() while the heal span
   /// is open; the first emit_rekey after promotion closes it.
   net::TraceContext takeover_trace_;
+
+  // online area management (DESIGN.md 14)
+  net::NodeId rs_node_ = net::kNoNode;
+  AcId parent_hint_ = kNoAc;
+  /// The raw signed AreaMapUpdate envelope most recently adopted: embedded
+  /// in migrate directives so the member can verify the target area exists
+  /// before its own map catches up, and re-multicast into the area.
+  Bytes latest_map_payload_;
+  AcId migrate_target_ = kNoAc;
+  std::size_t migrate_quota_ = 0;
 
   Counters counters_;
 };

@@ -1,0 +1,126 @@
+#include "mykil/checkpoint.h"
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+
+namespace mykil::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'Y', 'K', 'I', 'L', 'C', 'K', '1'};
+
+}  // namespace
+
+Bytes capture_checkpoint(MykilGroup& group,
+                         const std::vector<Member*>& members) {
+  WireWriter w;
+  w.raw(ByteView(reinterpret_cast<const std::uint8_t*>(kMagic),
+                 sizeof(kMagic)));
+  w.u64(group.options().seed);
+  w.u32(static_cast<std::uint32_t>(group.area_count()));
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  w.u8(group.options().with_backups ? 1 : 0);
+  w.u64(group.network().now());
+
+  w.bytes(group.rs().checkpoint_state());
+  for (std::size_t i = 0; i < group.area_count(); ++i) {
+    w.bytes(group.ac(i).checkpoint_state());
+    if (AreaController* b = group.backup(i)) {
+      w.u8(1);
+      w.bytes(b->checkpoint_state());
+    } else {
+      w.u8(0);
+    }
+  }
+  for (Member* m : members) {
+    w.u64(m->client_id());
+    w.bytes(m->checkpoint_state());
+  }
+  return w.take();
+}
+
+CheckpointHeader read_checkpoint_header(ByteView blob) {
+  WireReader r(blob);
+  Bytes magic = r.raw(sizeof(kMagic));
+  if (!std::equal(magic.begin(), magic.end(),
+                  reinterpret_cast<const std::uint8_t*>(kMagic)))
+    throw ProtocolError("not a Mykil checkpoint (bad magic)");
+  CheckpointHeader h;
+  h.seed = r.u64();
+  h.area_count = r.u32();
+  h.member_count = r.u32();
+  h.with_backups = r.u8() != 0;
+  h.captured_at = r.u64();
+  return h;
+}
+
+void restore_checkpoint(MykilGroup& group, const std::vector<Member*>& members,
+                        ByteView blob) {
+  CheckpointHeader h = read_checkpoint_header(blob);
+  if (h.seed != group.options().seed)
+    throw ProtocolError("checkpoint seed does not match the deployment");
+  if (h.area_count != group.area_count() || h.member_count != members.size())
+    throw ProtocolError("checkpoint shape does not match the deployment");
+  if (h.with_backups != group.options().with_backups)
+    throw ProtocolError("checkpoint replication mode mismatch");
+
+  // Advance the fresh simulation to the capture time so every restored
+  // timestamp (ticket validity, ts-window checks) stays in the past where
+  // it belongs. The fresh deployment is quiescent, so this is cheap.
+  if (group.network().now() < h.captured_at)
+    group.network().run_until(h.captured_at);
+
+  WireReader r(blob);
+  (void)r.raw(sizeof(kMagic));
+  (void)r.u64();  // seed
+  (void)r.u32();  // areas
+  (void)r.u32();  // members
+  (void)r.u8();   // with_backups
+  (void)r.u64();  // captured_at
+
+  // Order matters: the RS first (ACs may immediately report load against
+  // the restored directory), then AC pairs (primary before backup, so the
+  // first post-restore state-sync lands on a restored peer), then members.
+  group.rs().restore_state(r.bytes());
+  for (std::size_t i = 0; i < group.area_count(); ++i) {
+    group.ac(i).restore_state(r.bytes());
+    bool has_backup = r.u8() != 0;
+    AreaController* b = group.backup(i);
+    if (has_backup != (b != nullptr))
+      throw ProtocolError("checkpoint backup layout mismatch");
+    if (has_backup) b->restore_state(r.bytes());
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    ClientId cid = r.u64();
+    if (cid != members[i]->client_id())
+      throw ProtocolError("checkpoint member order mismatch");
+    members[i]->restore_state(r.bytes());
+  }
+  r.expect_done();
+}
+
+Bytes semantic_digest(MykilGroup& group, const std::vector<Member*>& members) {
+  WireWriter w;
+  w.u64(group.rs().map_version());
+  w.u64(group.rs().completed_registrations());
+  for (std::size_t i = 0; i < group.area_count(); ++i) {
+    AreaController& ac = group.ac(i);
+    w.u64(ac.ac_id());
+    w.u64(ac.rekey_epoch());
+    w.u8(ac.active_in_map() ? 1 : 0);
+    std::vector<ClientId> ids = ac.member_ids();
+    std::sort(ids.begin(), ids.end());
+    w.u32(static_cast<std::uint32_t>(ids.size()));
+    for (ClientId c : ids) w.u64(c);
+  }
+  for (Member* m : members) {
+    w.u64(m->client_id());
+    w.u8(m->joined() ? 1 : 0);
+    w.u64(m->joined() ? m->current_ac() : 0);
+    w.u64(m->area_epoch());
+    if (m->joined()) w.u64(m->keys().group_key().fingerprint());
+  }
+  return crypto::Sha256::digest(w.data());
+}
+
+}  // namespace mykil::core

@@ -1,0 +1,52 @@
+// Checkpoint/restore for a whole Mykil deployment (DESIGN.md 14.4).
+//
+// A checkpoint serializes only DYNAMIC protocol state (memberships, key
+// trees, tickets, the versioned directory, counters). All key MATERIAL —
+// RSA keypairs, K_shared, every Prng — is a pure function of the group
+// seed and construction call order, so restore works by rebuilding an
+// identically-shaped deployment from the same seed and then overlaying
+// the captured state onto it. Restored Prngs are tweaked so the resumed
+// run's randomness diverges from the original's future (two executions of
+// "the same" nonce stream would be a replay hazard, not a feature).
+//
+// Equivalence is semantic, not bit-level: in-flight handshakes restart,
+// liveness clocks get a grace reset, and the simulated clock is advanced
+// to the capture time so timestamps stay coherent.
+#pragma once
+
+#include "mykil/group.h"
+#include "mykil/member.h"
+
+namespace mykil::core {
+
+/// Parsed checkpoint header (shape of the captured deployment).
+struct CheckpointHeader {
+  std::uint64_t seed = 0;
+  std::uint32_t area_count = 0;  ///< construction areas, spares included
+  std::uint32_t member_count = 0;
+  bool with_backups = false;
+  net::SimTime captured_at = 0;
+};
+
+/// Serialize the full deployment: RS, every AC pair (spares included),
+/// and `members` (in the order they were created).
+[[nodiscard]] Bytes capture_checkpoint(MykilGroup& group,
+                                       const std::vector<Member*>& members);
+
+/// Parse and validate just the header (e.g. to rebuild the right shape
+/// before restoring). Throws ProtocolError on a bad magic.
+[[nodiscard]] CheckpointHeader read_checkpoint_header(ByteView blob);
+
+/// Overlay a captured snapshot onto a freshly constructed deployment of
+/// the same seed and shape. Advances the fresh network's clock to the
+/// capture time first. Throws ProtocolError on any shape mismatch.
+void restore_checkpoint(MykilGroup& group, const std::vector<Member*>& members,
+                        ByteView blob);
+
+/// Digest of the protocol-visible state (per-member membership, epoch and
+/// group-key fingerprint; per-area epoch and roster size; RS map version).
+/// Equal before capture and after restore — the round-trip invariant.
+[[nodiscard]] Bytes semantic_digest(MykilGroup& group,
+                                    const std::vector<Member*>& members);
+
+}  // namespace mykil::core

@@ -84,6 +84,38 @@ struct MykilConfig {
   /// malicious member can extract).
   net::SimDuration key_recovery_min_interval = net::msec(200);
 
+  // ---- flash-crowd admission control (DESIGN.md 14.3) ----
+  /// Token-bucket refill rate, registrations per second, for join step 1 at
+  /// the registration server. 0 disables admission control entirely (every
+  /// request is processed inline, the pre-existing behavior).
+  double admission_rate = 0.0;
+  /// Bucket capacity: how many registrations may burst through at once.
+  std::size_t admission_burst = 4;
+  /// Bounded queue for over-rate step-1 requests; overflow is load-shed
+  /// with a retry-after reply instead of being silently dropped.
+  std::size_t admission_queue_limit = 16;
+  /// How often the queue-drain timer refills the bucket and services the
+  /// backlog.
+  net::SimDuration admission_drain_interval = net::msec(100);
+  /// Backoff hint carried in a load-shed reply; the client's watchdog
+  /// defers its join retry until it elapses.
+  net::SimDuration shed_retry_after = net::sec(2);
+
+  // ---- dynamic area management (DESIGN.md 14.1-14.2) ----
+  /// AC -> RS load-report cadence (members, rekey epoch). 0 disables the
+  /// reports (and with them the rebalancer's inputs).
+  net::SimDuration load_report_interval = 0;
+  /// RS rebalance-scan cadence. 0 disables splits and merges entirely.
+  net::SimDuration rebalance_interval = 0;
+  /// An area reporting at least this many members is split (half of them
+  /// migrate to a freshly activated spare AC). 0 disables splits.
+  std::size_t area_split_threshold = 0;
+  /// A dynamically activated area reporting at most this many members is
+  /// drained into a sibling and deactivated. 0 disables merges.
+  std::size_t area_merge_threshold = 0;
+  /// Members per migrate request batch during a split.
+  std::size_t migrate_batch = 4;
+
   // ---- simulation control ----
   /// Arm the periodic protocol timers (alive, eviction scans, rekey
   /// interval, heartbeats). Protocol-logic tests that drive the network

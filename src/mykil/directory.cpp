@@ -13,6 +13,15 @@ void AcDirectory::add(AcInfo info) {
   entries_.push_back(std::move(info));
 }
 
+void AcDirectory::remove(AcId ac_id) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->ac_id == ac_id) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
 const AcInfo* AcDirectory::find(AcId ac_id) const {
   for (const AcInfo& e : entries_) {
     if (e.ac_id == ac_id) return &e;
@@ -47,8 +56,26 @@ bool AcDirectory::verify(AcId ac_id, ByteView data, ByteView sig) const {
   return false;
 }
 
+bool AcDirectory::adopt(const AcDirectory& fresh) {
+  if (fresh.version_ <= version_) return false;
+  AcDirectory next = fresh;
+  for (AcInfo& e : next.entries_) {
+    const AcInfo* old = find(e.ac_id);
+    if (old != nullptr && old->node == e.backup_node &&
+        old->backup_node == e.node) {
+      // We saw a takeover the RS hasn't: keep our orientation so signature
+      // checks against the acting primary keep passing.
+      std::swap(e.node, e.backup_node);
+      std::swap(e.pubkey, e.backup_pubkey);
+    }
+  }
+  *this = std::move(next);
+  return true;
+}
+
 Bytes AcDirectory::serialize() const {
   WireWriter w;
+  w.u64(version_);
   w.u32(static_cast<std::uint32_t>(entries_.size()));
   for (const AcInfo& e : entries_) {
     w.u64(e.ac_id);
@@ -64,6 +91,7 @@ Bytes AcDirectory::serialize() const {
 AcDirectory AcDirectory::deserialize(ByteView data) {
   WireReader r(data);
   AcDirectory dir;
+  dir.version_ = r.u64();
   std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
     AcInfo e;

@@ -38,10 +38,25 @@ struct AcInfo {
 class AcDirectory {
  public:
   void add(AcInfo info);
+  /// Remove the entry for `ac_id` (area drained by a merge). No-op when the
+  /// id is unknown.
+  void remove(AcId ac_id);
   [[nodiscard]] const AcInfo* find(AcId ac_id) const;
   [[nodiscard]] const std::vector<AcInfo>& entries() const { return entries_; }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Map version (DESIGN.md 14.1). The registration server bumps it on every
+  /// split/merge; everyone else only ever adopts strictly newer maps.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  void set_version(std::uint64_t v) { version_ = v; }
+
+  /// Replace this directory's contents with a newer map from the RS while
+  /// preserving the local primary/backup orientation: the RS may have missed
+  /// a takeover we already observed, so if our entry for an AC is the exact
+  /// role-swap of the incoming one, keep ours swapped. Only applies when
+  /// `fresh` is strictly newer; returns whether the map was adopted.
+  bool adopt(const AcDirectory& fresh);
 
   /// Promote the backup of `ac_id` to primary (after a takeover message),
   /// demoting the previous primary to backup — the two roles swap, so
@@ -58,6 +73,7 @@ class AcDirectory {
 
  private:
   std::vector<AcInfo> entries_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace mykil::core

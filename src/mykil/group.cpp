@@ -7,7 +7,6 @@ namespace mykil::core {
 namespace {
 /// AC identities live far above client NIC ids so the two never collide in
 /// the shared key-tree member-id space.
-constexpr AcId kAcIdBase = 0x4143000000000000;  // "AC"
 }  // namespace
 
 MykilGroup::MykilGroup(net::Network& net, GroupOptions options)
@@ -31,6 +30,15 @@ std::uint32_t MykilGroup::area_shard(std::size_t area_index) const {
 }
 
 std::size_t MykilGroup::add_area(std::optional<std::size_t> parent) {
+  return add_area_impl(parent, /*spare=*/false);
+}
+
+std::size_t MykilGroup::add_spare_area() {
+  return add_area_impl(std::nullopt, /*spare=*/true);
+}
+
+std::size_t MykilGroup::add_area_impl(std::optional<std::size_t> parent,
+                                      bool spare) {
   if (finalized_) throw ProtocolError("add_area after finalize");
   if (parent && *parent >= areas_.size())
     throw ProtocolError("parent area index out of range");
@@ -38,6 +46,8 @@ std::size_t MykilGroup::add_area(std::optional<std::size_t> parent) {
   Area area;
   area.ac_id = kAcIdBase + areas_.size();
   area.parent = parent;
+  area.spare = spare;
+  if (!spare) ++placement_areas_;
 
   crypto::RsaKeyPair keys = crypto::rsa_generate(options_.rsa_bits, prng_);
   area.primary = std::make_unique<AreaController>(
@@ -74,14 +84,28 @@ void MykilGroup::finalize() {
       info.backup_node = a.backup->id();
       info.backup_pubkey = a.backup->public_key().serialize();
     }
-    directory_.add(info);
-    rs_->register_ac(info);
+    if (a.spare) {
+      // Dormant: reachable and replicated, but invisible to placement
+      // until the RS splits a hot area into it.
+      rs_->register_spare(info);
+    } else {
+      directory_.add(info);
+      rs_->register_ac(info);
+    }
   }
 
   for (Area& a : areas_) {
+    // Spares get the initial directory too (sibling pubkeys for signature
+    // checks); their own absence from it is what keeps them dormant.
     a.primary->set_directory(directory_);
+    a.primary->set_rs_node(rs_->id());
+    if (a.spare && !areas_.empty() && !areas_[0].spare)
+      a.primary->set_parent_hint(areas_[0].ac_id);
     if (a.backup) {
       a.backup->set_directory(directory_);
+      a.backup->set_rs_node(rs_->id());
+      if (a.spare && !areas_.empty() && !areas_[0].spare)
+        a.backup->set_parent_hint(areas_[0].ac_id);
       a.backup->start_watchdog();
       a.primary->set_backup(a.backup->id());
     }
@@ -91,6 +115,7 @@ void MykilGroup::finalize() {
   for (Area& a : areas_) {
     if (a.parent) a.primary->connect_to_parent(areas_[*a.parent].ac_id);
   }
+  rs_->start_timers();
   settle();
 }
 
@@ -105,8 +130,8 @@ std::unique_ptr<Member> MykilGroup::make_member(ClientId client,
   // (best effort: exact when members join in creation order). A member
   // that later moves to another area keeps its shard — traffic just
   // crosses shards, which is correct, merely less local.
-  if (!areas_.empty())
-    net_.set_shard(m->id(), area_shard(member_seq_++ % areas_.size()));
+  if (placement_areas_ > 0)
+    net_.set_shard(m->id(), area_shard(member_seq_++ % placement_areas_));
   m->start_timers();
   return m;
 }

@@ -46,6 +46,13 @@ class MykilGroup {
   /// controller). Returns the new area's index.
   std::size_t add_area(std::optional<std::size_t> parent = std::nullopt);
 
+  /// Create a dormant spare area controller (DESIGN.md 14.1): provisioned
+  /// and attached like any other AC — so key material stays a pure function
+  /// of the seed and construction order — but absent from the directory.
+  /// It serves no members until an RS-driven split activates it. Returns
+  /// the area index (usable with ac()/backup()).
+  std::size_t add_spare_area();
+
   /// Finish setup: distribute the directory, link area parents, replicate
   /// controllers, and settle the network. Call once, after add_area calls.
   void finalize();
@@ -71,6 +78,7 @@ class MykilGroup {
   [[nodiscard]] std::size_t area_count() const { return areas_.size(); }
   [[nodiscard]] net::Network& network() { return net_; }
   [[nodiscard]] const MykilConfig& config() const { return options_.config; }
+  [[nodiscard]] const GroupOptions& options() const { return options_; }
   [[nodiscard]] const AcDirectory& directory() const { return directory_; }
   [[nodiscard]] const crypto::RsaPublicKey& rs_public_key() const {
     return rs_->public_key();
@@ -82,14 +90,17 @@ class MykilGroup {
     std::unique_ptr<AreaController> backup;
     std::optional<std::size_t> parent;
     AcId ac_id = 0;
+    bool spare = false;
   };
 
   /// Shard for a new area / the next member (area-sharded, RS in 0).
   [[nodiscard]] std::uint32_t area_shard(std::size_t area_index) const;
+  std::size_t add_area_impl(std::optional<std::size_t> parent, bool spare);
 
   net::Network& net_;
   GroupOptions options_;
   std::size_t member_seq_ = 0;  ///< mirrors the RS round-robin for sharding
+  std::size_t placement_areas_ = 0;  ///< non-spare areas (the RS rotation)
   crypto::Prng prng_;
   crypto::SymmetricKey k_shared_;
   std::unique_ptr<RegistrationServer> rs_;

@@ -525,6 +525,86 @@ void Member::handle_key_recovery_reply(const net::Message& msg) {
     m->counter("member.key_recoveries").inc();
 }
 
+void Member::handle_join_shed(const net::Message& msg) {
+  // Advisory and unauthenticated (the RS sheds precisely because it cannot
+  // afford a signature per rejected request). Worst case a forger delays
+  // this one join by the clamped interval; the watchdog still retries.
+  if (!join_in_progress_ || joined_ || msg.from != rs_node_) return;
+  Envelope env = parse_envelope(msg.payload);
+  Bytes fields = strip_mac(env.box);
+  WireReader r(fields);
+  std::uint64_t retry_after_ms = std::min<std::uint64_t>(r.u64(), 60'000);
+  r.expect_done();
+  join_backoff_until_ = network().now() + net::msec(retry_after_ms);
+  ++sheds_received_;
+  if (auto* m = network().metrics()) m->counter("member.sheds_received").inc();
+}
+
+void Member::handle_area_map_update(const net::Message& msg) {
+  // RS-signed directory push, re-multicast into the area by our AC. The
+  // signature is the authority and adopt() enforces version monotonicity,
+  // so no freshness window is needed beyond replay being a no-op.
+  Envelope env = parse_envelope(msg.payload);
+  if (!verify_envelope(env, rs_pub_)) return;
+  Bytes fields = strip_mac(env.box);
+  WireReader r(fields);
+  (void)r.u64();  // ts
+  AcDirectory fresh = AcDirectory::deserialize(r.bytes());
+  r.expect_done();
+  if (!directory_.adopt(fresh)) return;
+  if (auto* m = network().metrics()) m->counter("member.map_updates").inc();
+  if (joined_ && directory_.find(ac_id_) == nullptr) {
+    // Our area was retired by a merge and we missed the migrate directive
+    // (lost, or we were down). The map itself is the fallback signal: drop
+    // the dead membership and take the ticket to a surviving area.
+    network().leave_group(area_group_, id());
+    keys_.clear();
+    joined_ = false;
+    if (!rejoin_in_progress_ && !sealed_ticket_.empty() &&
+        !directory_.entries().empty())
+      rejoin(directory_.entries().front().ac_id);
+  }
+}
+
+void Member::handle_migrate_directive(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes fields = strip_mac(env.box);
+  WireReader r(fields);
+  AcId from_ac = r.u64();
+  ClientId who = r.u64();
+  AcId target = r.u64();
+  std::uint64_t ts = r.u64();
+  Bytes map_payload = r.bytes();
+  r.expect_done();
+  if (!joined_ || from_ac != ac_id_ || who != nic_id_) return;
+  // Only our own AC may move us, and only recently (replayed directives
+  // must not bounce us back after a later move).
+  if (!directory_.verify(from_ac, env.box, env.sig)) return;
+  net::SimTime now = network().now();
+  net::SimTime skew = now >= ts ? now - ts : ts - now;
+  if (skew > config_.ts_window) return;
+  if (!map_payload.empty()) {
+    // The directive carries the RS's latest signed map so we can learn a
+    // freshly split target before our own copy catches up.
+    try {
+      Envelope map_env = parse_envelope(map_payload);
+      if (map_env.type == MsgType::kAreaMapUpdate &&
+          verify_envelope(map_env, rs_pub_)) {
+        Bytes map_fields = strip_mac(map_env.box);
+        WireReader mr(map_fields);
+        (void)mr.u64();  // ts
+        directory_.adopt(AcDirectory::deserialize(mr.bytes()));
+      }
+    } catch (const Error&) {
+    }
+  }
+  if (target == ac_id_ || rejoin_in_progress_) return;
+  if (directory_.find(target) == nullptr) return;
+  ++migrations_;
+  if (auto* m = network().metrics()) m->counter("member.migrations").inc();
+  rejoin(target);
+}
+
 AcId Member::next_rejoin_target() const {
   const std::vector<AcInfo>& entries = directory_.entries();
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -569,8 +649,10 @@ void Member::on_timer(std::uint64_t token) {
       net::SimTime now = network().now();
       if (join_in_progress_ && !joined_) {
         // A lossy network can eat any of the seven join messages; restart
-        // the handshake with fresh nonces.
-        if (now - join_started_ > config_.rejoin_retry_interval)
+        // the handshake with fresh nonces. An RS load-shed pushes the
+        // retry out further (handle_join_shed), flattening flash crowds.
+        if (now - join_started_ > config_.rejoin_retry_interval &&
+            now >= join_backoff_until_)
           join(rs_node_, requested_duration_);
       } else if (rejoin_in_progress_) {
         // Denied or lost: try again, rotating through the directory. A
@@ -599,6 +681,84 @@ void Member::on_timer(std::uint64_t token) {
     }
     default:
       return;
+  }
+}
+
+// ------------------------------------------------ checkpoint (DESIGN 14.4)
+
+Bytes Member::checkpoint_state() const {
+  WireWriter w;
+  std::uint8_t phase = 0;  // idle
+  if (joined_)
+    phase = 1;
+  else if (join_in_progress_)
+    phase = 2;
+  else if (rejoin_in_progress_)
+    phase = 3;
+  w.u8(phase);
+  w.u32(rs_node_);
+  w.u64(requested_duration_);
+  w.u64(ac_id_);
+  w.u32(ac_node_);
+  w.u32(area_group_);
+  w.u64(area_epoch_);
+  w.u64(rejoin_target_);
+  w.bytes(sealed_ticket_);
+  w.bytes(directory_.serialize());
+  w.bytes(keys_.serialize());
+  w.u64(watchdog_rejoins_);
+  w.u64(key_recoveries_);
+  w.u64(migrations_);
+  return w.take();
+}
+
+void Member::restore_state(ByteView blob) {
+  WireReader r(blob);
+  std::uint8_t phase = r.u8();
+  rs_node_ = r.u32();
+  requested_duration_ = r.u64();
+  ac_id_ = r.u64();
+  ac_node_ = r.u32();
+  area_group_ = r.u32();
+  area_epoch_ = r.u64();
+  rejoin_target_ = r.u64();
+  sealed_ticket_ = r.bytes();
+  directory_ = AcDirectory::deserialize(r.bytes());
+  keys_ = lkh::MemberKeyState::deserialize(r.bytes());
+  watchdog_rejoins_ = r.u64();
+  key_recoveries_ = r.u64();
+  migrations_ = r.u64();
+  r.expect_done();
+
+  // In-flight handshakes are NOT resumed: their nonces died with the peer's
+  // volatile state. A member captured mid-join/mid-rejoin restarts the
+  // exchange from scratch — same convergence, fresh randomness.
+  ++timer_gen_;
+  prng_.mix(0x52455354u);
+  joined_ = (phase == 1);
+  join_in_progress_ = false;
+  rejoin_in_progress_ = false;
+  recovery_pending_ = false;
+  join_backoff_until_ = 0;
+  seen_data_.clear();
+  received_data_.clear();
+  data_plane_cache_.clear();
+  last_heard_ac_ = network().now();  // grace period before the watchdog
+  last_sent_ac_ = network().now();
+  if (joined_ && directory_.find(ac_id_) == nullptr) {
+    // Captured after a merge retired our area but before we acted on it.
+    joined_ = false;
+    phase = 3;
+    if (!directory_.entries().empty())
+      rejoin_target_ = directory_.entries().front().ac_id;
+  }
+  if (joined_) network().join_group(area_group_, id());
+  start_timers();
+  if (phase == 2) {
+    join(rs_node_, requested_duration_);
+  } else if (phase == 3 && !sealed_ticket_.empty() &&
+             directory_.find(rejoin_target_) != nullptr) {
+    rejoin(rejoin_target_);
   }
 }
 
@@ -653,6 +813,15 @@ void Member::on_message(const net::Message& raw) {
         break;
       case MsgType::kKeyRecoveryReply:
         handle_key_recovery_reply(msg);
+        break;
+      case MsgType::kJoinShed:
+        handle_join_shed(msg);
+        break;
+      case MsgType::kAreaMapUpdate:
+        handle_area_map_update(msg);
+        break;
+      case MsgType::kMigrateDirective:
+        handle_migrate_directive(msg);
         break;
       default:
         break;

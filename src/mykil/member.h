@@ -83,7 +83,17 @@ class Member : public net::Node {
   }
   /// Completed key-recovery catch-ups (gap or stale-key triggered).
   [[nodiscard]] std::uint64_t key_recoveries() const { return key_recoveries_; }
+  /// Directed migrations obeyed (split/merge rebalancing, DESIGN.md 14.2).
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+  /// Step-1 load-shed replies received from the RS (DESIGN.md 14.3).
+  [[nodiscard]] std::uint64_t sheds_received() const { return sheds_received_; }
   [[nodiscard]] const net::ArqEndpoint& arq() const { return arq_; }
+
+  /// Checkpoint the member's dynamic protocol state (membership, ticket,
+  /// directory, held keys). Key material itself re-derives from seeded
+  /// construction on restore; see mykil/checkpoint.h.
+  [[nodiscard]] Bytes checkpoint_state() const;
+  void restore_state(ByteView blob);
 
   /// Simulate a malicious cohort: copy this member's credentials (ticket +
   /// keypair) into another Member instance. Test-support API.
@@ -109,6 +119,12 @@ class Member : public net::Node {
   void handle_split_update(const net::Message& msg);
   void handle_data(const net::Message& msg);
   void handle_takeover(const net::Message& msg);
+  /// RS load-shed reply to step 1: back off before retrying the join.
+  void handle_join_shed(const net::Message& msg);
+  /// Versioned directory push (RS-signed, re-multicast by our AC).
+  void handle_area_map_update(const net::Message& msg);
+  /// Our AC directs us to rejoin a sibling area (split/merge rebalancing).
+  void handle_migrate_directive(const net::Message& msg);
   /// AC idle-beacon: compare the advertised rekey epoch with ours and
   /// start key recovery on a gap (catches a lost final-rekey).
   void handle_ac_beacon(const net::Message& msg);
@@ -165,6 +181,10 @@ class Member : public net::Node {
   net::SimTime last_sent_ac_ = 0;
   bool rejoin_in_progress_ = false;
   std::uint64_t watchdog_rejoins_ = 0;
+  /// Earliest time the watchdog may retry step 1 after an RS load-shed.
+  net::SimTime join_backoff_until_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t sheds_received_ = 0;
   /// Bumped on crash so timers armed before the failure are ignored when
   /// they fire after recovery (the simulator suppresses only timers whose
   /// due time falls inside the down window).

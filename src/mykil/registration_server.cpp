@@ -1,18 +1,30 @@
 #include "mykil/registration_server.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "crypto/sealed.h"
+#include "obs/metrics.h"
 
 namespace mykil::core {
 
 namespace {
 const net::Label kLabelJoin{"mykil-join"};
-}
+const net::Label kLabelAdmin{"mykil-admin"};
+
+constexpr std::uint64_t kTimerAdmission = 1;
+constexpr std::uint64_t kTimerRebalance = 2;
+/// A reconfiguration that has not completed after this many rebalance
+/// intervals is abandoned (the map change, if any, stays).
+constexpr std::uint64_t kReconfigTimeoutIntervals = 10;
+}  // namespace
 
 RegistrationServer::RegistrationServer(MykilConfig config,
                                        crypto::RsaKeyPair keypair,
                                        crypto::Prng prng)
-    : config_(config), keypair_(std::move(keypair)), prng_(std::move(prng)) {}
+    : config_(config), keypair_(std::move(keypair)), prng_(std::move(prng)) {
+  tokens_ = static_cast<double>(config_.admission_burst);
+}
 
 void RegistrationServer::authorize(ClientId client, net::SimDuration duration) {
   auth_db_[client] = duration;
@@ -34,13 +46,49 @@ void RegistrationServer::send_ctrl(net::NodeId to, net::Label label,
   arq_.send(to, label, std::move(payload));
 }
 
+void RegistrationServer::start_timers() {
+  if (!config_.enable_timers || timers_started_) return;
+  timers_started_ = true;
+  last_refill_ = network().now();
+  std::uint64_t gen = static_cast<std::uint64_t>(timer_gen_) << 32;
+  if (config_.admission_rate > 0)
+    network().set_timer(id(), config_.admission_drain_interval,
+                        kTimerAdmission | gen);
+  if (config_.rebalance_interval > 0)
+    network().set_timer(id(), config_.rebalance_interval,
+                        kTimerRebalance | gen);
+}
+
 void RegistrationServer::on_timer(std::uint64_t token) {
   ensure_arq();
-  arq_.on_timer(token);  // the RS has no timers of its own
+  if (arq_.on_timer(token)) return;  // retransmission timers (bit 63)
+  if ((token >> 32) != timer_gen_) return;  // pre-crash timer
+  std::uint64_t gen = static_cast<std::uint64_t>(timer_gen_) << 32;
+  switch (token & 0xFFFFFFFFull) {
+    case kTimerAdmission:
+      drain_admission_queue();
+      network().set_timer(id(), config_.admission_drain_interval,
+                          kTimerAdmission | gen);
+      return;
+    case kTimerRebalance:
+      rebalance();
+      network().set_timer(id(), config_.rebalance_interval,
+                          kTimerRebalance | gen);
+      return;
+    default:
+      return;
+  }
 }
 
 void RegistrationServer::on_recover() {
   if (arq_.bound()) arq_.on_recover();
+  // Crashing dropped the pending timers along with the parked requests;
+  // bump the generation and re-arm from scratch.
+  bool was_running = timers_started_;
+  admission_queue_.clear();
+  ++timer_gen_;
+  timers_started_ = false;
+  if (was_running) start_timers();
 }
 
 void RegistrationServer::on_message(const net::Message& raw) {
@@ -61,10 +109,13 @@ void RegistrationServer::on_message(const net::Message& raw) {
   try {
     switch (env.type) {
       case MsgType::kJoinStep1:
-        handle_step1(msg);
+        admit_step1(msg);
         break;
       case MsgType::kJoinStep3:
         handle_step3(msg);
+        break;
+      case MsgType::kLoadReport:
+        handle_load_report(msg);
         break;
       default:
         break;  // not for the RS
@@ -73,6 +124,76 @@ void RegistrationServer::on_message(const net::Message& raw) {
     // Malformed, unauthentic, or replayed input: drop, never crash.
     ++rejected_;
   }
+}
+
+// --------------------------------------------------- admission (DESIGN 14.3)
+
+void RegistrationServer::refill_bucket() {
+  net::SimTime now = network().now();
+  if (now > last_refill_) {
+    double elapsed = net::to_seconds(now - last_refill_);
+    tokens_ = std::min(static_cast<double>(config_.admission_burst),
+                       tokens_ + elapsed * config_.admission_rate);
+    last_refill_ = now;
+  }
+}
+
+void RegistrationServer::admit_step1(const net::Message& msg) {
+  if (config_.admission_rate <= 0) {
+    handle_step1(msg);  // admission control disabled: legacy inline path
+    return;
+  }
+  refill_bucket();
+  auto* m = network().metrics();
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    if (m != nullptr) m->counter("rs.admitted").inc();
+    handle_step1(msg);
+    return;
+  }
+  if (admission_queue_.size() < config_.admission_queue_limit) {
+    admission_queue_.push_back({msg.from, msg.payload.clone()});
+    if (m != nullptr)
+      m->gauge("rs.admission_queue_depth")
+          .set(static_cast<std::int64_t>(admission_queue_.size()));
+    return;
+  }
+  // Queue full: shed with a retry-after hint. The reply is a plain unsigned
+  // advisory — a cheap datagram under overload, and the worst a forger can
+  // do is delay one client's retry by the backoff.
+  ++sheds_;
+  if (m != nullptr) {
+    m->counter("rs.sheds").inc();
+    m->gauge("rs.admission_queue_depth")
+        .set(static_cast<std::int64_t>(admission_queue_.size()));
+  }
+  WireWriter w;
+  w.u64(config_.shed_retry_after / 1000);  // retry-after, ms
+  network().unicast(id(), msg.from, kLabelAdmin,
+                    envelope(MsgType::kJoinShed, with_mac(w.data())));
+}
+
+void RegistrationServer::drain_admission_queue() {
+  refill_bucket();
+  while (tokens_ >= 1.0 && !admission_queue_.empty()) {
+    Parked p = std::move(admission_queue_.front());
+    admission_queue_.pop_front();
+    tokens_ -= 1.0;
+    net::Message replay;
+    replay.from = p.from;
+    replay.to = id();
+    replay.label = kLabelJoin;
+    replay.payload = std::move(p.payload);
+    if (auto* m = network().metrics()) m->counter("rs.admitted").inc();
+    try {
+      handle_step1(replay);
+    } catch (const Error&) {
+      ++rejected_;
+    }
+  }
+  if (auto* m = network().metrics())
+    m->gauge("rs.admission_queue_depth")
+        .set(static_cast<std::int64_t>(admission_queue_.size()));
 }
 
 void RegistrationServer::handle_step1(const net::Message& msg) {
@@ -123,6 +244,7 @@ const AcInfo& RegistrationServer::pick_area() {
     const AcInfo& info =
         directory_.entries()[next_area_ % directory_.size()];
     ++next_area_;
+    if (draining_.contains(info.ac_id)) continue;  // mid-merge: no new members
     if (config_.max_area_members == 0 ||
         assigned_[info.ac_id] < config_.max_area_members) {
       ++assigned_[info.ac_id];
@@ -190,6 +312,282 @@ void RegistrationServer::handle_step3(const net::Message& msg) {
                         keypair_.priv));
   }
   ++completed_;
+}
+
+// ------------------------------------------- rebalancing (DESIGN 14.1-14.2)
+
+void RegistrationServer::handle_load_report(const net::Message& msg) {
+  Envelope env = parse_envelope(msg.payload);
+  Bytes inner = strip_mac(env.box);
+  WireReader r(inner);
+  AcId ac_id = r.u64();
+  std::uint32_t members = r.u32();
+  std::uint64_t rekey_epoch = r.u64();
+  net::SimTime ts = r.u64();
+  r.expect_done();
+
+  net::SimTime now = network().now();
+  if (ts + config_.ts_window < now || ts > now + config_.ts_window)
+    throw AuthError("load report outside timestamp window");
+  if (!directory_.verify(ac_id, env.box, env.sig))
+    throw AuthError("load report signature rejected");
+  const AcInfo* info = directory_.find(ac_id);
+  if (info == nullptr) return;  // raced a merge removal: stale but harmless
+  if (msg.from != info->node && msg.from != info->backup_node)
+    throw AuthError("load report from unregistered node");
+  // Reports from the backup's address mean a takeover happened that no
+  // signed announcement has told us about yet — adopt the new orientation.
+  if (msg.from == info->backup_node && info->has_backup())
+    directory_.promote_backup(ac_id);
+
+  loads_[ac_id] = {members, rekey_epoch, now};
+  // Load reports supersede the join-time estimate for this area.
+  assigned_[ac_id] = members;
+
+  // Completion checks ride on the report that proves them, not on the next
+  // rebalance tick, so the latency histogram measures the protocol.
+  if (!reconfig_) return;
+  if (reconfig_->split) {
+    // A split is done when the new area holds the members the source was
+    // asked to shed. Judging by the source's own shrinkage is wrong: joins
+    // admitted mid-reconfiguration land on the source too, so its count can
+    // stay above any snapshot-based floor forever.
+    if (ac_id == reconfig_->target && members >= reconfig_->moved_goal)
+      finish_reconfig(false);
+  } else if (ac_id == reconfig_->source && members == 0) {
+    finish_reconfig(false);
+  }
+}
+
+void RegistrationServer::rebalance() {
+  if (config_.rebalance_interval == 0) return;
+  net::SimTime now = network().now();
+  if (reconfig_) {
+    if (now - reconfig_->started >=
+        kReconfigTimeoutIntervals * config_.rebalance_interval)
+      finish_reconfig(true);
+    return;  // one reconfiguration at a time
+  }
+  // Hottest area first: split beats merge when both are possible.
+  if (config_.area_split_threshold > 0 && !spares_.empty()) {
+    AcId hot = kNoAc;
+    std::size_t hot_members = 0;
+    for (const auto& [ac_id, load] : loads_) {
+      if (draining_.contains(ac_id)) continue;
+      if (directory_.find(ac_id) == nullptr) continue;
+      if (load.members >= config_.area_split_threshold &&
+          load.members > hot_members) {
+        hot = ac_id;
+        hot_members = load.members;
+      }
+    }
+    if (hot != kNoAc) {
+      start_split(hot, hot_members);
+      return;
+    }
+  }
+  if (config_.area_merge_threshold > 0 && directory_.size() > 1) {
+    for (AcId cold : dynamic_) {
+      auto load = loads_.find(cold);
+      if (load == loads_.end() || draining_.contains(cold)) continue;
+      if (load->second.members <= config_.area_merge_threshold) {
+        start_merge(cold);
+        return;
+      }
+    }
+  }
+}
+
+void RegistrationServer::start_split(AcId hot, std::size_t members) {
+  AcInfo spare = std::move(spares_.back());
+  spares_.pop_back();
+  AcId target = spare.ac_id;
+  directory_.add(std::move(spare));
+  dynamic_.insert(target);
+  assigned_[target] = 0;
+  reconfig_ = Reconfig{true, hot, target, network().now(), members,
+                       members / 2};
+  ++splits_;
+  if (auto* m = network().metrics()) m->counter("rs.area_splits").inc();
+  broadcast_map_update();
+  const AcInfo* src = directory_.find(hot);
+  send_migrate_request(*src, target,
+                       static_cast<std::uint32_t>(members / 2));
+}
+
+void RegistrationServer::start_merge(AcId cold) {
+  // Drain into the least-loaded sibling still accepting members.
+  AcId target = kNoAc;
+  std::size_t target_members = SIZE_MAX;
+  for (const AcInfo& e : directory_.entries()) {
+    if (e.ac_id == cold || draining_.contains(e.ac_id)) continue;
+    std::size_t m = assigned_.contains(e.ac_id) ? assigned_[e.ac_id] : 0;
+    if (m < target_members) {
+      target = e.ac_id;
+      target_members = m;
+    }
+  }
+  if (target == kNoAc) return;
+  auto load = loads_.find(cold);
+  std::size_t members = load == loads_.end() ? 0 : load->second.members;
+  draining_.insert(cold);
+  reconfig_ = Reconfig{false, cold, target, network().now(), members, 0};
+  const AcInfo* src = directory_.find(cold);
+  send_migrate_request(*src, target, 0xFFFFFFFF);
+}
+
+void RegistrationServer::finish_reconfig(bool timed_out) {
+  Reconfig r = *reconfig_;
+  reconfig_.reset();
+  if (timed_out) {
+    ++timeouts_;
+    if (auto* m = network().metrics()) m->counter("rs.reconfig_timeouts").inc();
+    // A timed-out split keeps its new area (it is live and owns members); a
+    // timed-out merge simply reopens the source for placement.
+    draining_.erase(r.source);
+    return;
+  }
+  if (auto* m = network().metrics())
+    m->histogram("rs.reconfig_latency_us")
+        .record(network().now() - r.started);
+  if (r.split) return;  // map already updated at start
+  // Merge drained: retire the area from the map and return the pair to the
+  // spare pool for a future split.
+  const AcInfo* info = directory_.find(r.source);
+  if (info == nullptr) return;
+  AcInfo retired = *info;
+  directory_.remove(r.source);
+  dynamic_.erase(r.source);
+  draining_.erase(r.source);
+  loads_.erase(r.source);
+  assigned_.erase(r.source);
+  ++merges_;
+  if (auto* m = network().metrics()) m->counter("rs.area_merges").inc();
+  broadcast_map_update(&retired);
+  spares_.push_back(std::move(retired));
+}
+
+void RegistrationServer::broadcast_map_update(const AcInfo* extra) {
+  directory_.set_version(directory_.version() + 1);
+  if (auto* m = network().metrics())
+    m->gauge("rs.map_version")
+        .set(static_cast<std::int64_t>(directory_.version()));
+  WireWriter f;
+  f.u64(network().now());
+  f.bytes(directory_.serialize());
+  Bytes payload =
+      signed_envelope(MsgType::kAreaMapUpdate, with_mac(f.data()),
+                      keypair_.priv);
+  auto push = [&](const AcInfo& e) {
+    send_ctrl(e.node, kLabelAdmin, payload);
+    if (e.has_backup()) send_ctrl(e.backup_node, kLabelAdmin, payload);
+  };
+  for (const AcInfo& e : directory_.entries()) push(e);
+  if (extra != nullptr) push(*extra);
+}
+
+void RegistrationServer::send_migrate_request(const AcInfo& src, AcId target,
+                                              std::uint32_t count) {
+  WireWriter f;
+  f.u64(target);
+  f.u32(count);
+  f.u64(network().now());
+  crypto::RsaPublicKey ac_pub = crypto::RsaPublicKey::deserialize(src.pubkey);
+  send_ctrl(src.node, kLabelAdmin,
+            signed_envelope(MsgType::kMigrateRequest,
+                            crypto::pk_encrypt(ac_pub, with_mac(f.data()),
+                                               prng_),
+                            keypair_.priv));
+}
+
+// ------------------------------------------------ checkpoint (DESIGN 14.4)
+
+Bytes RegistrationServer::checkpoint_state() const {
+  WireWriter w;
+  w.bytes(directory_.serialize());
+  w.u32(static_cast<std::uint32_t>(auth_db_.size()));
+  for (const auto& [client, duration] : auth_db_) {
+    w.u64(client);
+    w.u64(duration);
+  }
+  w.u32(static_cast<std::uint32_t>(assigned_.size()));
+  for (const auto& [ac_id, n] : assigned_) {
+    w.u64(ac_id);
+    w.u64(n);
+  }
+  w.u64(next_area_);
+  w.u64(completed_);
+  w.u64(rejected_);
+  w.u64(sheds_);
+  w.u64(splits_);
+  w.u64(merges_);
+  w.u64(timeouts_);
+  w.u32(static_cast<std::uint32_t>(spares_.size()));
+  for (const AcInfo& s : spares_) {
+    w.u64(s.ac_id);
+    w.u32(s.node);
+    w.u32(s.group);
+    w.bytes(s.pubkey);
+    w.u32(s.backup_node);
+    w.bytes(s.backup_pubkey);
+  }
+  w.u32(static_cast<std::uint32_t>(dynamic_.size()));
+  for (AcId a : dynamic_) w.u64(a);
+  return w.take();
+}
+
+void RegistrationServer::restore_state(ByteView blob) {
+  WireReader r(blob);
+  directory_ = AcDirectory::deserialize(r.bytes());
+  auth_db_.clear();
+  std::uint32_t n_auth = r.u32();
+  for (std::uint32_t i = 0; i < n_auth; ++i) {
+    ClientId client = r.u64();
+    auth_db_[client] = r.u64();
+  }
+  assigned_.clear();
+  std::uint32_t n_assigned = r.u32();
+  for (std::uint32_t i = 0; i < n_assigned; ++i) {
+    AcId ac_id = r.u64();
+    assigned_[ac_id] = r.u64();
+  }
+  next_area_ = r.u64();
+  completed_ = r.u64();
+  rejected_ = r.u64();
+  sheds_ = r.u64();
+  splits_ = r.u64();
+  merges_ = r.u64();
+  timeouts_ = r.u64();
+  spares_.clear();
+  std::uint32_t n_spares = r.u32();
+  for (std::uint32_t i = 0; i < n_spares; ++i) {
+    AcInfo s;
+    s.ac_id = r.u64();
+    s.node = r.u32();
+    s.group = r.u32();
+    s.pubkey = r.bytes();
+    s.backup_node = r.u32();
+    s.backup_pubkey = r.bytes();
+    spares_.push_back(std::move(s));
+  }
+  dynamic_.clear();
+  std::uint32_t n_dyn = r.u32();
+  for (std::uint32_t i = 0; i < n_dyn; ++i) dynamic_.insert(r.u64());
+  r.expect_done();
+  // In-flight nonce handshakes, parked step-1 requests, and the one
+  // in-flight reconfiguration are dropped: client watchdogs restart joins,
+  // and the rebalancer re-detects imbalance from fresh load reports.
+  pending_.clear();
+  admission_queue_.clear();
+  reconfig_.reset();
+  draining_.clear();
+  loads_.clear();
+  tokens_ = static_cast<double>(config_.admission_burst);
+  last_refill_ = network().now();
+  prng_.mix(0x52455354u /* "REST" */);
+  if (auto* m = network().metrics())
+    m->gauge("rs.map_version")
+        .set(static_cast<std::int64_t>(directory_.version()));
 }
 
 }  // namespace mykil::core

@@ -4,10 +4,18 @@
 // paper's credit-card stand-in), mutually authenticates clients with a
 // challenge-response over nonces, picks an area for each admitted client,
 // and introduces the client to that area's controller.
+//
+// Beyond the paper, the RS is also the topology owner for online area
+// management (DESIGN.md 14): it versions the AC directory, drives area
+// splits and merges from per-area load reports, and shields itself from
+// flash crowds with a token-bucket admission queue in front of step 1.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <optional>
+#include <set>
 
 #include "crypto/prng.h"
 #include "crypto/rsa.h"
@@ -33,9 +41,17 @@ class RegistrationServer : public net::Node {
 
   /// Register an area controller (and optional backup) in the directory.
   void register_ac(AcInfo info) { directory_.add(std::move(info)); }
+  /// Register a dormant spare AC: provisioned and reachable but not in the
+  /// directory, so it receives no members until a split activates it.
+  void register_spare(AcInfo info) { spares_.push_back(std::move(info)); }
   [[nodiscard]] const AcDirectory& directory() const { return directory_; }
   /// Local bookkeeping after a takeover announcement reaches the operator.
   void note_takeover(AcId ac_id) { directory_.promote_backup(ac_id); }
+
+  /// Arm the admission-drain and rebalance timers (no-ops when the
+  /// corresponding config knobs are disabled). Called once after the
+  /// directory is assembled.
+  void start_timers();
 
   [[nodiscard]] const crypto::RsaPublicKey& public_key() const {
     return keypair_.pub;
@@ -53,6 +69,24 @@ class RegistrationServer : public net::Node {
   [[nodiscard]] std::uint64_t rejected_registrations() const {
     return rejected_;
   }
+  /// Step-1 requests turned away with a retry-after reply.
+  [[nodiscard]] std::uint64_t sheds() const { return sheds_; }
+  [[nodiscard]] std::size_t admission_queue_depth() const {
+    return admission_queue_.size();
+  }
+  [[nodiscard]] std::uint64_t map_version() const {
+    return directory_.version();
+  }
+  [[nodiscard]] std::uint64_t area_splits() const { return splits_; }
+  [[nodiscard]] std::uint64_t area_merges() const { return merges_; }
+  [[nodiscard]] std::uint64_t reconfig_timeouts() const { return timeouts_; }
+  [[nodiscard]] std::size_t spare_count() const { return spares_.size(); }
+
+  /// Checkpoint the RS's durable state (directory + auth + load estimates;
+  /// in-flight nonce handshakes and the admission queue are dropped — the
+  /// clients' watchdogs restart those). See mykil/checkpoint.h.
+  [[nodiscard]] Bytes checkpoint_state() const;
+  void restore_state(ByteView blob);
 
  private:
   struct Session {
@@ -63,9 +97,43 @@ class RegistrationServer : public net::Node {
     std::uint64_t nonce_wc = 0;
     net::SimDuration duration = 0;
   };
+  /// One step-1 request parked in the admission queue.
+  struct Parked {
+    net::NodeId from = net::kNoNode;
+    Bytes payload;
+  };
+  /// Per-area load as last reported by the AC.
+  struct AreaLoad {
+    std::size_t members = 0;
+    std::uint64_t rekey_epoch = 0;
+    net::SimTime at = 0;
+  };
+  /// The one in-flight split or merge (the RS serializes reconfigurations).
+  struct Reconfig {
+    bool split = false;
+    AcId source = kNoAc;
+    AcId target = kNoAc;
+    net::SimTime started = 0;
+    std::size_t members_at_start = 0;
+    std::size_t moved_goal = 0;  ///< split: members the source was asked to shed
+  };
 
   void handle_step1(const net::Message& msg);
   void handle_step3(const net::Message& msg);
+  void handle_load_report(const net::Message& msg);
+  /// Token-bucket front door for step 1; either admits inline, parks the
+  /// request, or sheds it with a retry-after reply.
+  void admit_step1(const net::Message& msg);
+  void refill_bucket();
+  void drain_admission_queue();
+  void rebalance();
+  void start_split(AcId hot, std::size_t members);
+  void start_merge(AcId cold);
+  void finish_reconfig(bool timed_out);
+  /// Bump the map version and push the signed directory to every AC pair
+  /// (`extra` additionally receives it when it just left the map).
+  void broadcast_map_update(const AcInfo* extra = nullptr);
+  void send_migrate_request(const AcInfo& src, AcId target, std::uint32_t count);
   /// Lazy ARQ setup (the network is only known after attach).
   void ensure_arq();
   /// Unicast control traffic through the ARQ layer.
@@ -88,6 +156,27 @@ class RegistrationServer : public net::Node {
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
   net::ArqEndpoint arq_;
+
+  // ---- admission control (DESIGN.md 14.3) ----
+  double tokens_ = 0;
+  net::SimTime last_refill_ = 0;
+  std::deque<Parked> admission_queue_;
+  std::uint64_t sheds_ = 0;
+
+  // ---- dynamic area management (DESIGN.md 14.1-14.2) ----
+  std::map<AcId, AreaLoad> loads_;
+  std::vector<AcInfo> spares_;
+  /// Areas activated from the spare pool (the only merge candidates:
+  /// construction-time areas are never drained away).
+  std::set<AcId> dynamic_;
+  /// Merge sources mid-drain — excluded from placement.
+  std::set<AcId> draining_;
+  std::optional<Reconfig> reconfig_;
+  std::uint64_t splits_ = 0;
+  std::uint64_t merges_ = 0;
+  std::uint64_t timeouts_ = 0;
+  bool timers_started_ = false;
+  std::uint32_t timer_gen_ = 0;
 };
 
 }  // namespace mykil::core

@@ -20,6 +20,10 @@ namespace mykil::core {
 /// its network NodeId, which changes if a backup takes over).
 using AcId = std::uint64_t;
 inline constexpr AcId kNoAc = 0xFFFFFFFFFFFFFFFF;
+/// AcIds are allocated from this base ("AC" in ASCII). Child ACs joined to a
+/// parent area have ClientIds in this range too, which lets a migration
+/// sweep distinguish real members from nested area controllers.
+inline constexpr AcId kAcIdBase = 0x4143000000000000;
 /// Member identity — the paper suggests the NIC's MAC address.
 using ClientId = std::uint64_t;
 

@@ -55,6 +55,13 @@ enum class MsgType : std::uint8_t {
   kKeyRecoveryRequest = 33,  // member -> AC (also child AC -> parent AC)
   kKeyRecoveryReply = 34,    // AC -> member, signed
   kStateSyncRequest = 35,    // backup -> primary (version mismatch)
+
+  // Online area management (DESIGN.md 14).
+  kAreaMapUpdate = 36,     // RS -> AC (signed), AC -> area multicast
+  kLoadReport = 37,        // AC -> RS
+  kMigrateRequest = 38,    // RS -> AC (signed, sealed)
+  kMigrateDirective = 39,  // AC -> member (signed)
+  kJoinShed = 40,          // RS -> client (advisory, unauthenticated)
 };
 
 /// Append SHA-256(fields) to the fields — the paper's per-message MAC.

@@ -11,7 +11,17 @@
 //   2. no departed member holds any area's current key (forward secrecy),
 //   3. each area has exactly one acting primary (split brains resolved),
 //   4. each standby's replicated snapshot byte-equals the acting
-//      primary's current state (replication caught up).
+//      primary's current state (replication caught up),
+//   5. every live member is owned by at most one acting primary (online
+//      splits/merges never double-book a member, DESIGN.md 14),
+//   6. no area's composite key epoch ever moved backward during the run.
+//
+// With `dynamic_areas` the schedule additionally provisions spare ACs,
+// throws flash crowds and mass departures at the deployment, and lets the
+// RS split hot areas / merge cold ones mid-chaos. With
+// `checkpoint_restore` the run is stopped at half time, serialized,
+// rebuilt from the seed, restored, and resumed — the invariants must hold
+// on the resumed run exactly as they do on an uninterrupted one.
 //
 // The same schedule with `reliable_control = false` is the regression
 // guard: the fire-and-forget control plane demonstrably fails it, which
@@ -48,6 +58,20 @@ struct ChaosOptions {
   bool crash_primaries = true;
   /// The switch the regression guard flips off.
   bool reliable_control = true;
+  /// Online area management (DESIGN.md 14): provision spare ACs, enable
+  /// RS admission control + split/merge rebalancing, and extend the
+  /// schedule with flash-crowd and mass-departure events.
+  bool dynamic_areas = false;
+  /// Dormant spare ACs provisioned for splits (dynamic_areas only).
+  std::size_t spare_areas = 2;
+  /// Latecomer members (created but not joined) that flash-crowd events
+  /// register in bursts (dynamic_areas only).
+  std::size_t flash_pool = 6;
+  /// Stop the run at duration/2, checkpoint it, rebuild the deployment
+  /// from the seed, restore, and resume (DESIGN.md 14.4).
+  bool checkpoint_restore = false;
+  /// Non-empty: also write the captured checkpoint blob to this file.
+  std::string checkpoint_path;
   /// Simulator worker threads (net::Network::set_workers). The report —
   /// including its digest — is identical for every value; the determinism
   /// tests assert exactly that.
@@ -86,6 +110,21 @@ struct ChaosReport {
   std::size_t areas_without_primary = 0;  ///< invariant 3 violations
   std::size_t split_brains = 0;           ///< invariant 3 violations
   std::size_t backups_out_of_sync = 0;    ///< invariant 4 violations
+  std::size_t multi_owner_members = 0;    ///< invariant 5 violations
+  std::size_t epoch_regressions = 0;      ///< invariant 6 violations
+  /// Joined members absent from every acting primary's roster after
+  /// quiesce. Diagnostic, not a convergence gate: the member's own
+  /// watchdog resolves this by rejoining on its next silence horizon.
+  std::size_t orphan_members = 0;
+
+  // Online area management (dynamic_areas / checkpoint_restore runs).
+  std::uint64_t map_version = 0;   ///< final directory version at the RS
+  std::uint64_t area_splits = 0;
+  std::uint64_t area_merges = 0;
+  std::uint64_t migrations = 0;    ///< member moves obeying a directive
+  std::uint64_t sheds = 0;         ///< step-1 requests turned away
+  bool restored = false;           ///< run was checkpointed and resumed
+  std::size_t checkpoint_bytes = 0;
 
   // Repair work the protocol performed (diagnostics, not invariants).
   std::uint64_t retransmits = 0;
@@ -111,7 +150,8 @@ struct ChaosReport {
   [[nodiscard]] bool converged() const {
     return live_members > 0 && live_out_of_sync == 0 &&
            stale_key_holders == 0 && areas_without_primary == 0 &&
-           split_brains == 0 && backups_out_of_sync == 0;
+           split_brains == 0 && backups_out_of_sync == 0 &&
+           multi_owner_members == 0 && epoch_regressions == 0;
   }
 };
 

@@ -114,6 +114,7 @@ RunReport ChurnRunner::run(const ChurnSchedule& schedule,
     report.rekey_bytes_per_event = summarize("ac.rekey_bytes");
     report.trace_rejoin_latency = summarize("trace.rejoin_latency_us");
     report.trace_takeover_latency = summarize("trace.takeover_latency_us");
+    report.reconfig_latency = summarize("rs.reconfig_latency_us");
   }
   return report;
 }

@@ -40,6 +40,10 @@ struct RunReport {
   /// trace_takeover covers heartbeat miss -> first post-promotion rekey.
   obs::HistogramSummary trace_rejoin_latency;    ///< trace.rejoin_latency_us
   obs::HistogramSummary trace_takeover_latency;  ///< trace.takeover_latency_us
+  /// Online area management (DESIGN.md 14): time from the RS opening a
+  /// split/merge to the load report that proves it completed. All-zero
+  /// unless the schedule tripped the rebalancer.
+  obs::HistogramSummary reconfig_latency;  ///< rs.reconfig_latency_us
 };
 
 /// Applies a schedule to a group. Joins draw fresh members from an

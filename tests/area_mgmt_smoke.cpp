@@ -1,0 +1,143 @@
+// Online area management smoke (DESIGN.md 14): a deterministic, fault-free
+// run that drives one full split and one full merge.
+//
+//   - 12 members across 2 areas trip the split threshold; the RS activates
+//     the spare AC and half the hot area migrates into it.
+//   - A mass departure then drains the dynamic area below the merge floor;
+//     the RS merges it back and the spare returns to the pool.
+//
+// Exit 0 iff every stage happened and ownership stayed single-homed.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "mykil/group.h"
+#include "obs/metrics.h"
+
+using namespace mykil;
+
+namespace {
+
+int fail(const char* what) {
+  std::printf("area_mgmt_smoke: FAIL (%s)\n", what);
+  return 1;
+}
+
+core::AreaController* acting(core::MykilGroup& g, std::size_t a) {
+  if (g.ac(a).role() == core::AreaController::Role::kPrimary) return &g.ac(a);
+  if (core::AreaController* b = g.backup(a);
+      b != nullptr && b->role() == core::AreaController::Role::kPrimary)
+    return b;
+  return nullptr;
+}
+
+/// Each joined member must appear in exactly one acting primary's roster.
+bool single_homed(core::MykilGroup& g,
+                  const std::vector<std::unique_ptr<core::Member>>& members) {
+  for (const auto& m : members) {
+    if (!m->joined()) continue;
+    std::size_t owners = 0;
+    for (std::size_t a = 0; a < g.area_count(); ++a) {
+      core::AreaController* p = acting(g, a);
+      if (p == nullptr) continue;
+      for (core::ClientId c : p->member_ids())
+        if (c == m->client_id()) ++owners;
+    }
+    if (owners != 1) {
+      std::printf("  member %llu has %zu owners\n",
+                  static_cast<unsigned long long>(m->client_id()), owners);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  net::NetworkConfig ncfg;
+  ncfg.seed = 7;
+  net::Network net(ncfg);
+  obs::MetricsRegistry metrics;
+  net.set_metrics(&metrics);
+
+  core::GroupOptions gopt;
+  gopt.seed = 7;
+  gopt.with_backups = true;
+  gopt.config.admission_rate = 50.0;  // generous: this smoke tests rebalance
+  gopt.config.admission_burst = 8;
+  gopt.config.admission_queue_limit = 8;
+  gopt.config.load_report_interval = net::sec(1);
+  gopt.config.rebalance_interval = net::sec(2);
+  gopt.config.area_split_threshold = 5;
+  gopt.config.area_merge_threshold = 1;
+  gopt.config.migrate_batch = 2;
+  core::MykilGroup group(net, gopt);
+  group.add_area();
+  group.add_area(0);
+  group.add_spare_area();
+  group.finalize();
+  if (group.rs().spare_count() != 1) return fail("spare not registered");
+
+  std::vector<std::unique_ptr<core::Member>> members;
+  for (std::size_t i = 0; i < 12; ++i) {
+    members.push_back(group.make_member(100 + i, net::sec(360000)));
+    group.join_member(*members.back(), net::sec(360000));
+  }
+  group.settle(net::sec(30));
+
+  auto counter = [&](const char* name) -> std::uint64_t {
+    const obs::Counter* c = metrics.find_counter(name);
+    return c == nullptr ? 0 : c->value();
+  };
+  std::printf("after growth: map v%llu, %llu split(s), spares %zu\n",
+              static_cast<unsigned long long>(group.rs().map_version()),
+              static_cast<unsigned long long>(group.rs().area_splits()),
+              group.rs().spare_count());
+  std::printf("  counters: ac.map_updates=%llu ac.migrations=%llu "
+              "member.map_updates=%llu member.migrations=%llu\n",
+              static_cast<unsigned long long>(counter("ac.map_updates")),
+              static_cast<unsigned long long>(counter("ac.migrations")),
+              static_cast<unsigned long long>(counter("member.map_updates")),
+              static_cast<unsigned long long>(counter("member.migrations")));
+  for (std::size_t a = 0; a < group.area_count(); ++a)
+    std::printf("  area %zu (%s): %zu members\n", a,
+                group.ac(a).active_in_map() ? "active" : "dormant",
+                acting(group, a) ? acting(group, a)->member_count() : 0);
+
+  if (group.rs().area_splits() != 1) return fail("no split happened");
+  if (group.rs().spare_count() != 0) return fail("spare not consumed");
+  std::uint64_t moved = 0;
+  for (const auto& m : members) moved += m->migrations();
+  if (moved == 0) return fail("no member migrated into the new area");
+  if (!single_homed(group, members)) return fail("ownership after split");
+
+  // Mass departure: drain the deployment until the dynamic area is cold.
+  std::size_t left = 0;
+  for (auto& m : members) {
+    if (left >= 9) break;
+    if (m->joined()) {
+      m->leave();
+      ++left;
+      group.settle(net::sec(1));
+    }
+  }
+  group.settle(net::sec(45));  // eviction horizon + rebalance cycles
+
+  std::printf("after drain: map v%llu, %llu merge(s), spares %zu\n",
+              static_cast<unsigned long long>(group.rs().map_version()),
+              static_cast<unsigned long long>(group.rs().area_merges()),
+              group.rs().spare_count());
+  for (std::size_t a = 0; a < group.area_count(); ++a)
+    std::printf("  area %zu (%s): %zu members\n", a,
+                group.ac(a).active_in_map() ? "active" : "dormant",
+                acting(group, a) ? acting(group, a)->member_count() : 0);
+
+  if (group.rs().area_merges() != 1) return fail("no merge happened");
+  if (group.rs().spare_count() != 1) return fail("spare not returned to pool");
+  if (group.rs().reconfig_timeouts() != 0) return fail("reconfig timed out");
+  if (!single_homed(group, members)) return fail("ownership after merge");
+
+  std::printf("area_mgmt_smoke: OK\n");
+  return 0;
+}

@@ -6,7 +6,9 @@
 
 #include "common/error.h"
 #include "crypto/prng.h"
+#include "lkh/member_state.h"
 #include "lkh/rekey.h"
+#include "mykil/checkpoint.h"
 #include "mykil/directory.h"
 #include "mykil/ticket.h"
 #include "mykil/wire.h"
@@ -148,6 +150,126 @@ TEST(WireFuzz, KeyRecoveryRequestBodySurvivesGarbage) {
         r.expect_done();
       },
       109);
+}
+
+TEST(WireFuzz, AreaMapUpdateBodySurvivesGarbage) {
+  // {ts; bytes(directory)} behind an RS-signed envelope (DESIGN.md 14).
+  fuzz(
+      [](const Bytes& b) {
+        Bytes fields = core::strip_mac(b);
+        WireReader r(fields);
+        (void)r.u64();
+        core::AcDirectory::deserialize(r.bytes());
+        r.expect_done();
+      },
+      110);
+}
+
+TEST(WireFuzz, AreaMapUpdateBodySurvivesMutation) {
+  core::AcDirectory dir;
+  core::AcInfo a;
+  a.ac_id = core::kAcIdBase + 1;
+  a.node = 4;
+  a.group = 5;
+  a.pubkey = to_bytes("pk");
+  dir.add(a);
+  dir.set_version(3);
+  WireWriter w;
+  w.u64(123456);
+  w.bytes(dir.serialize());
+  mutate(
+      [](const Bytes& b) {
+        Bytes fields = core::strip_mac(b);
+        WireReader r(fields);
+        (void)r.u64();
+        core::AcDirectory::deserialize(r.bytes());
+        r.expect_done();
+      },
+      core::with_mac(w.data()));
+}
+
+TEST(WireFuzz, LoadReportBodySurvivesGarbage) {
+  // {ac_id; members; rekey_epoch; ts} — the RS-side reader.
+  fuzz(
+      [](const Bytes& b) {
+        Bytes fields = core::strip_mac(b);
+        WireReader r(fields);
+        (void)r.u64();
+        (void)r.u32();
+        (void)r.u64();
+        (void)r.u64();
+        r.expect_done();
+      },
+      111);
+}
+
+TEST(WireFuzz, MigrateRequestBodySurvivesGarbage) {
+  // {target; count; ts} — AC-side reader after pk_decrypt + strip_mac.
+  fuzz(
+      [](const Bytes& b) {
+        Bytes fields = core::strip_mac(b);
+        WireReader r(fields);
+        (void)r.u64();
+        (void)r.u32();
+        (void)r.u64();
+        r.expect_done();
+      },
+      112);
+}
+
+TEST(WireFuzz, MigrateDirectiveBodySurvivesGarbageAndMutation) {
+  // {from_ac; client; target; ts; bytes(map envelope)} — member-side reader.
+  auto parse = [](const Bytes& b) {
+    Bytes fields = core::strip_mac(b);
+    WireReader r(fields);
+    (void)r.u64();
+    (void)r.u64();
+    (void)r.u64();
+    (void)r.u64();
+    (void)r.bytes();
+    r.expect_done();
+  };
+  fuzz(parse, 113);
+  WireWriter w;
+  w.u64(core::kAcIdBase);
+  w.u64(42);
+  w.u64(core::kAcIdBase + 2);
+  w.u64(999999);
+  w.bytes(to_bytes("embedded-map-envelope"));
+  mutate(parse, core::with_mac(w.data()));
+}
+
+TEST(WireFuzz, JoinShedBodySurvivesGarbage) {
+  // {retry_after_ms} — the member-side reader of the advisory shed reply.
+  fuzz(
+      [](const Bytes& b) {
+        Bytes fields = core::strip_mac(b);
+        WireReader r(fields);
+        (void)r.u64();
+        r.expect_done();
+      },
+      114);
+}
+
+TEST(WireFuzz, CheckpointHeaderSurvivesGarbageAndMutation) {
+  fuzz([](const Bytes& b) { core::read_checkpoint_header(b); }, 115);
+  // A structurally valid prefix (magic + header fields) with trailing
+  // records; every mutation and truncation must throw, not crash.
+  WireWriter w;
+  const char magic[8] = {'M', 'Y', 'K', 'I', 'L', 'C', 'K', '1'};
+  w.raw(ByteView(reinterpret_cast<const std::uint8_t*>(magic), 8));
+  w.u64(7);    // seed
+  w.u32(3);    // areas
+  w.u32(12);   // members
+  w.u8(1);     // with_backups
+  w.u64(500);  // captured_at
+  w.bytes(to_bytes("rs-state"));
+  mutate([](const Bytes& b) { core::read_checkpoint_header(b); }, w.data());
+}
+
+TEST(WireFuzz, MemberKeyStateSurvivesGarbage) {
+  // Checkpointed member key blocks travel inside the checkpoint blob.
+  fuzz([](const Bytes& b) { lkh::MemberKeyState::deserialize(b); }, 116);
 }
 
 TEST(WireFuzz, RekeyRoundTripIsExact) {
