@@ -16,6 +16,8 @@
 // and otherwise parse line-by-line.
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -38,6 +40,14 @@ inline std::size_t peak_rss_mb() {
   }
   std::fclose(f);
   return kb / 1024;
+}
+
+/// Online CPUs on this host (0 where unavailable). Scale benches record it
+/// in every row: a speedup curve is meaningless without knowing whether
+/// the sweep ran on one core or sixteen.
+inline unsigned host_cores() {
+  long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<unsigned>(n) : 0;
 }
 
 /// Print a header line followed by a separator sized to it.

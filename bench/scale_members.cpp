@@ -31,8 +31,16 @@
 // parallel engine's per-shard accounting (busy/stall wall time, events
 // per window, cross-shard send matrix) into the JSON row.
 //
+// --shards caps how many shards the areas spread over (default: one shard
+// per area, the legacy layout); fewer shards than workers is a
+// configuration error the sweep will show as zero speedup, not a crash.
+// --xarea-us adds an inter-site latency (one site per area), which both
+// slows cross-area hops and lets the engine widen its conservative window
+// beyond the base latency (adaptive lookahead, DESIGN.md 11.3).
+//
 //   scale_members [--members=100000] [--areas=20] [--rounds=10]
-//                 [--workers=1,2,8] [--smoke] [--trace] [--engine-profile]
+//                 [--workers=1,2,8] [--shards=0] [--xarea-us=0]
+//                 [--smoke] [--trace] [--engine-profile]
 //                 [--json_out=BENCH_sim.json]
 #include <chrono>
 #include <cstdio>
@@ -122,6 +130,8 @@ struct Options {
   std::size_t areas = 20;
   std::size_t rounds = 10;
   std::vector<unsigned> workers{1};
+  std::size_t shards = 0;     ///< 0 = one shard per area (legacy layout)
+  std::uint64_t xarea_us = 0;  ///< inter-site latency (us); 0 = flat LAN
   std::string json_out;
   bool trace = false;           ///< traced rerun + overhead/digest check
   bool engine_profile = false;  ///< per-shard engine accounting in the JSON
@@ -140,6 +150,7 @@ struct RunResult {
   std::size_t in_sync = 0;
   std::size_t members = 0;
   std::size_t peak_rss_mb = 0;
+  std::uint64_t lookahead_us = 0;
   std::uint64_t digest = 0;
   bool residue = false;
   std::size_t trace_events = 0;       ///< traced runs only
@@ -170,7 +181,9 @@ RunResult run_one(const Options& opt, unsigned workers, bool traced) {
   RunResult res;
   const std::size_t per_area = opt.members / opt.areas;
 
-  net::Network net;  // default latency model, no loss: measures the engine
+  net::NetworkConfig ncfg;  // default latency model, no loss: the engine
+  ncfg.inter_site_latency = net::usec(opt.xarea_us);
+  net::Network net(ncfg);
   net.set_workers(workers);
   net.enable_engine_profile(opt.engine_profile);
   obs::Tracer tracer(1 << 20);
@@ -183,11 +196,18 @@ RunResult run_one(const Options& opt, unsigned workers, bool traced) {
   for (std::size_t a = 0; a < opt.areas; ++a) {
     Area& area = areas.emplace_back();
     net.attach(area.hub);
-    // One shard per area (shard 0 is left to drivers/registration in the
-    // full stack; the bench has no such node).
-    std::uint32_t shard =
-        1 + static_cast<std::uint32_t>(a % (net::Network::kMaxShards - 1));
+    // One shard per area by default (shard 0 is left to drivers in the
+    // full stack; the bench has no such node); --shards folds the areas
+    // onto a fixed shard count the way locality placement would. One site
+    // per area either way, so no site straddles shards and --xarea-us
+    // widens the lookahead instead of suppressing it.
+    std::size_t shard_slots = opt.shards > 0
+                                  ? opt.shards
+                                  : net::Network::kMaxShards - 1;
+    std::uint32_t shard = 1 + static_cast<std::uint32_t>(a % shard_slots);
+    auto site = static_cast<std::uint32_t>(a);
     net.set_shard(area.hub.id(), shard);
+    net.set_site(area.hub.id(), site);
     area.group = net.create_group();
     lkh::KeyTree::Config tcfg;
     tcfg.fanout = 4;
@@ -201,6 +221,7 @@ RunResult run_one(const Options& opt, unsigned workers, bool traced) {
       ScaleMember& member = members.emplace_back();
       net.attach(member);
       net.set_shard(member.id(), shard);
+      net.set_site(member.id(), site);
       net.join_group(area.group, member.id());
       lkh::MemberId mid = next_mid++;
       auto out = area.tree->join(mid);
@@ -310,6 +331,7 @@ RunResult run_one(const Options& opt, unsigned workers, bool traced) {
   d = fnv(d, net.now());
   res.digest = d;
   res.peak_rss_mb = bench::peak_rss_mb();
+  res.lookahead_us = static_cast<std::uint64_t>(net.current_lookahead());
   if (traced) {
     res.trace_events = tracer.size();
     res.trace_dropped = tracer.dropped();
@@ -321,17 +343,32 @@ RunResult run_one(const Options& opt, unsigned workers, bool traced) {
   return res;
 }
 
+/// Per-shard wall-time totals (0 when the run was not profiled).
+double busy_ms_total(const RunResult& r) {
+  double t = 0;
+  for (const net::ShardProfile& sh : r.profile.shards) t += sh.busy_ms;
+  return t;
+}
+double stall_ms_total(const RunResult& r) {
+  double t = 0;
+  for (const net::ShardProfile& sh : r.profile.shards) t += sh.stall_ms;
+  return t;
+}
+
 /// `, "engine_profile": {...}` fragment for the JSON row (empty when off).
 std::string profile_json(const RunResult& r) {
   if (!r.profiled) return "";
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof buf,
                 ", \"engine_profile\": {\"windows\": %llu, "
                 "\"solo_windows\": %llu, \"wall_ms\": %.1f, "
+                "\"merged_events\": %llu, \"arena_mb\": %.1f, "
                 "\"events_per_window_p50\": %.0f, "
                 "\"events_per_window_p95\": %.0f, \"shards\": [",
                 (unsigned long long)r.profile.windows,
                 (unsigned long long)r.profile.solo_windows, r.profile.wall_ms,
+                (unsigned long long)r.profile.merged_events,
+                r.profile.arena_bytes / 1e6,
                 r.profile.events_per_window.p50, r.profile.events_per_window.p95);
   std::string out = buf;
   for (std::size_t s = 0; s < r.profile.shards.size(); ++s) {
@@ -340,11 +377,13 @@ std::string profile_json(const RunResult& r) {
                   "%s{\"events\": %llu, \"windows_active\": %llu, "
                   "\"busy_ms\": %.1f, \"stall_ms\": %.1f, "
                   "\"peak_heap\": %llu, \"pool_slots\": %llu, "
+                  "\"outbox_peak\": %llu, \"arena_mb\": %.1f, "
                   "\"xshard_sent\": %llu}",
                   s == 0 ? "" : ", ", (unsigned long long)sh.events,
                   (unsigned long long)sh.windows_active, sh.busy_ms,
                   sh.stall_ms, (unsigned long long)sh.peak_heap,
                   (unsigned long long)sh.pool_slots,
+                  (unsigned long long)sh.outbox_peak, sh.arena_bytes / 1e6,
                   (unsigned long long)sh.xshard_sent);
     out += buf;
   }
@@ -379,6 +418,10 @@ int main(int argc, char** argv) {
         pos = comma + 1;
       }
       if (opt.workers.empty()) opt.workers = {1};
+    } else if (flag_value(argv[i], "--shards", v)) {
+      opt.shards = static_cast<std::size_t>(std::atoll(v.c_str()));
+    } else if (flag_value(argv[i], "--xarea-us", v)) {
+      opt.xarea_us = static_cast<std::uint64_t>(std::atoll(v.c_str()));
     } else if (flag_value(argv[i], "--json_out", v)) {
       opt.json_out = v;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -398,7 +441,11 @@ int main(int argc, char** argv) {
               "worker sweep:",
               opt.areas, per_area, opt.areas * per_area, opt.rounds);
   for (unsigned w : opt.workers) std::printf(" %u", w);
-  std::printf("\n");
+  std::printf("  [%u host cores", bench::host_cores());
+  if (opt.shards > 0) std::printf(", %zu shards", opt.shards);
+  if (opt.xarea_us > 0) std::printf(", xarea %llu us",
+                                    (unsigned long long)opt.xarea_us);
+  std::printf("]\n");
 
   bool ok = true;
   std::uint64_t base_digest = 0;
@@ -436,10 +483,16 @@ int main(int argc, char** argv) {
                 r.members, (unsigned long long)r.digest);
     if (r.profiled) {
       std::printf("engine: %llu windows (%llu solo), %.1f ms wall, "
+                  "busy %.1f ms, stall %.1f ms, merged %llu, "
+                  "lookahead %llu us, arena %.1f MB, "
                   "events/window p95=%.0f\n",
                   (unsigned long long)r.profile.windows,
                   (unsigned long long)r.profile.solo_windows,
-                  r.profile.wall_ms, r.profile.events_per_window.p95);
+                  r.profile.wall_ms, busy_ms_total(r), stall_ms_total(r),
+                  (unsigned long long)r.profile.merged_events,
+                  (unsigned long long)r.lookahead_us,
+                  r.profile.arena_bytes / 1e6,
+                  r.profile.events_per_window.p95);
       for (std::size_t s = 0; s < r.profile.shards.size(); ++s) {
         const net::ShardProfile& sh = r.profile.shards[s];
         std::printf("  shard %-2zu: %llu events, busy %.1f ms, "
@@ -476,17 +529,22 @@ int main(int argc, char** argv) {
           json,
           "{\"suite\": \"scale_members\", \"areas\": %zu, "
           "\"members\": %zu, \"rounds\": %zu, \"workers\": %u, "
+          "\"host_cores\": %u, \"shards\": %zu, \"xarea_us\": %llu, "
           "\"setup_s\": %.2f, \"run_s\": %.3f, \"events\": %zu, "
           "\"events_per_sec\": %.0f, \"rekey_multicasts\": %llu, "
           "\"fanout_copied_bytes\": %llu, \"fanout_expanded_bytes\": %llu, "
           "\"fanout_reduction\": %.1f, \"peak_pool_slots\": %zu, "
-          "\"peak_rss_mb\": %zu, \"in_sync\": %zu, "
+          "\"peak_rss_mb\": %zu, \"lookahead_us\": %llu, "
+          "\"busy_ms_total\": %.1f, \"stall_ms_total\": %.1f, "
+          "\"in_sync\": %zu, "
           "\"digest\": \"%016llx\"%s, \"ok\": %s}\n",
-          opt.areas, r.members, opt.rounds, workers, r.setup_s, r.run_s,
+          opt.areas, r.members, opt.rounds, workers, bench::host_cores(),
+          opt.shards, (unsigned long long)opt.xarea_us, r.setup_s, r.run_s,
           r.events, r.events_per_sec, (unsigned long long)r.rekey_multicasts,
           (unsigned long long)r.fanout_copied_bytes,
           (unsigned long long)r.fanout_expanded_bytes, r.fanout_reduction,
-          r.pool_slots, r.peak_rss_mb, r.in_sync,
+          r.pool_slots, r.peak_rss_mb, (unsigned long long)r.lookahead_us,
+          busy_ms_total(r), stall_ms_total(r), r.in_sync,
           (unsigned long long)r.digest, profile_json(r).c_str(),
           ok ? "true" : "false");
     }

@@ -1,0 +1,100 @@
+#include "mykil/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mykil::core {
+
+namespace {
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> place_units(const PlacementInput& in) {
+  const std::size_t n = in.units;
+  std::vector<std::uint32_t> shard(n, 0);
+  if (n == 0) return shard;
+  const std::uint32_t target = std::max<std::uint32_t>(in.target_shards, 1);
+
+  std::vector<double> load(n, 1.0);
+  for (std::size_t i = 0; i < std::min(in.load.size(), n); ++i)
+    load[i] = in.load[i] > 0.0 ? in.load[i] : 0.0;
+  const double total = std::accumulate(load.begin(), load.end(), 0.0);
+  // Fair-share cap with 25% slack: affinity may pull a cluster somewhat
+  // above an even split, but never let one cluster swallow the deployment —
+  // that would recreate the single-shard serial bottleneck.
+  const double cap = total / target * 1.25;
+
+  UnionFind uf(n);
+  std::vector<double> cluster_load = load;
+
+  std::vector<PlacementEdge> edges;
+  edges.reserve(in.affinity.size());
+  for (const PlacementEdge& e : in.affinity)
+    if (e.a < n && e.b < n && e.a != e.b && e.weight > 0.0)
+      edges.push_back(e);
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const PlacementEdge& x, const PlacementEdge& y) {
+                     if (x.weight != y.weight) return x.weight > y.weight;
+                     if (x.a != y.a) return x.a < y.a;
+                     return x.b < y.b;
+                   });
+  for (const PlacementEdge& e : edges) {
+    std::size_t ra = uf.find(e.a);
+    std::size_t rb = uf.find(e.b);
+    if (ra == rb) continue;
+    if (cluster_load[ra] + cluster_load[rb] > cap) continue;
+    // Smaller unit index becomes the root so cluster identity is stable.
+    std::size_t root = std::min(ra, rb);
+    std::size_t other = std::max(ra, rb);
+    uf.parent[other] = root;
+    cluster_load[root] += cluster_load[other];
+  }
+
+  // Longest-processing-time packing: heaviest cluster first onto the
+  // least-loaded shard, ties to the lowest shard index.
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < n; ++i)
+    if (uf.find(i) == i) roots.push_back(i);
+  std::stable_sort(roots.begin(), roots.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     if (cluster_load[x] != cluster_load[y])
+                       return cluster_load[x] > cluster_load[y];
+                     return x < y;
+                   });
+  std::vector<double> bin_load(target, 0.0);
+  std::vector<std::uint32_t> cluster_bin(n, 0);
+  for (std::size_t r : roots) {
+    std::uint32_t best = 0;
+    for (std::uint32_t b = 1; b < target; ++b)
+      if (bin_load[b] < bin_load[best]) best = b;
+    cluster_bin[r] = best;
+    bin_load[best] += cluster_load[r];
+  }
+
+  // Renumber so unit 0's shard is 0 (the RS convention); the other shards
+  // keep their relative order.
+  const std::uint32_t bin0 = cluster_bin[uf.find(0)];
+  std::vector<std::uint32_t> renumber(target, 0);
+  std::uint32_t next = 1;
+  for (std::uint32_t b = 0; b < target; ++b)
+    renumber[b] = b == bin0 ? 0 : next++;
+  for (std::size_t i = 0; i < n; ++i)
+    shard[i] = renumber[cluster_bin[uf.find(i)]];
+  return shard;
+}
+
+}  // namespace mykil::core

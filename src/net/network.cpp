@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <unordered_map>
 
 #include "common/error.h"
 
@@ -42,6 +43,15 @@ std::uint64_t mono_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Polite busy-wait hint for the barrier spin loops.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
 }
 
 }  // namespace
@@ -119,9 +129,11 @@ NodeId Network::attach(Node& node) {
   up_.push_back(true);
   partition_.push_back(0);
   node_shard_.push_back(0);
+  node_site_.push_back(0);
   origin_.emplace_back();
   node.network_ = this;
   node.id_ = id;
+  lookahead_dirty_ = true;
   return id;
 }
 
@@ -138,11 +150,47 @@ void Network::set_shard(NodeId node, std::uint32_t shard) {
     shards_.push_back(std::move(sh));
   }
   node_shard_[node] = shard;
+  lookahead_dirty_ = true;
 }
 
 std::uint32_t Network::shard_of(NodeId node) const {
   if (node >= nodes_.size()) throw SimError("shard_of: unknown node");
   return node_shard_[node];
+}
+
+void Network::set_site(NodeId node, std::uint32_t site) {
+  if (node >= nodes_.size()) throw SimError("set_site: unknown node");
+  if (in_callback()) throw SimError("set_site from a node callback");
+  node_site_[node] = site;
+  lookahead_dirty_ = true;
+}
+
+std::uint32_t Network::site_of(NodeId node) const {
+  if (node >= nodes_.size()) throw SimError("site_of: unknown node");
+  return node_site_[node];
+}
+
+void Network::ensure_lookahead() {
+  if (!lookahead_dirty_) return;
+  lookahead_dirty_ = false;
+  // base_latency is the minimum latency of every link, which bounds how
+  // soon an event can affect another shard. A zero base latency degrades
+  // the window to a single timestamp (and parallel dispatch is disabled:
+  // a zero-latency cross-shard send could land inside the open window).
+  lookahead_ = config_.base_latency > 0 ? config_.base_latency : 1;
+  if (config_.base_latency <= 0 || config_.inter_site_latency <= 0) return;
+  // Adaptive widening: when no site's nodes straddle two shards, every
+  // cross-shard delivery is cross-site and costs at least base_latency +
+  // inter_site_latency — so the window may be that wide. The check is a
+  // pure function of (site, shard) assignments: every placement that
+  // keeps sites whole (including everything on ONE shard) computes the
+  // same width, which is what keeps digests placement-invariant.
+  std::unordered_map<std::uint32_t, std::uint32_t> home;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    auto [it, fresh] = home.emplace(node_site_[n], node_shard_[n]);
+    if (!fresh && it->second != node_shard_[n]) return;  // straddler: stay
+  }
+  lookahead_ = config_.base_latency + config_.inter_site_latency;
 }
 
 void Network::set_workers(unsigned n) {
@@ -151,6 +199,10 @@ void Network::set_workers(unsigned n) {
   if (n == workers_) return;
   stop_workers();
   workers_ = n;
+  // Spin-then-block barrier tuning: spinning only pays when workers can
+  // actually run concurrently with the coordinator. On a single hardware
+  // thread the spin would steal the CPU the work needs, so block at once.
+  spin_limit_ = std::thread::hardware_concurrency() >= 2 ? 4000 : 0;
   if (n >= 2) {
     threads_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
@@ -162,12 +214,12 @@ void Network::stop_workers() {
   if (threads_.empty()) return;
   {
     std::lock_guard<std::mutex> lk(pool_mu_);
-    shutdown_ = true;
+    shutdown_.store(true, std::memory_order_seq_cst);
   }
   work_cv_.notify_all();
   for (auto& t : threads_) t.join();
   threads_.clear();
-  shutdown_ = false;
+  shutdown_.store(false, std::memory_order_relaxed);
 }
 
 void Network::crash(NodeId node) {
@@ -282,7 +334,8 @@ bool Network::deliverable(NodeId from, NodeId to) const {
   return true;
 }
 
-SimDuration Network::delivery_latency(std::size_t bytes, NodeId sender) {
+SimDuration Network::delivery_latency(std::size_t bytes, NodeId sender,
+                                      NodeId to) {
   SimDuration jitter = 0;
   if (config_.jitter != 0) {
     std::uint32_t o = sender == kNoNode ? 0 : sender + 1;
@@ -290,7 +343,14 @@ SimDuration Network::delivery_latency(std::size_t bytes, NodeId sender) {
         (static_cast<std::uint64_t>(o) << 8) | kPurposeJitter;
     jitter = prf_.uniform(stream, origin_[o].jitter_ctr, config_.jitter);
   }
-  return config_.base_latency +
+  // The inter-site surcharge keys off the NODES' sites — never their
+  // shards — so the latency model is identical for every placement and
+  // worker count. Driver sends with no origin node stay local.
+  SimDuration site_extra = 0;
+  if (config_.inter_site_latency > 0 && sender < nodes_.size() &&
+      to < nodes_.size() && node_site_[sender] != node_site_[to])
+    site_extra = config_.inter_site_latency;
+  return config_.base_latency + site_extra +
          static_cast<SimDuration>(config_.per_byte_latency_us *
                                   static_cast<double>(bytes)) +
          jitter;
@@ -413,7 +473,7 @@ void Network::queue_delivery(Message msg, NodeId to) {
     }
   }
   Event ev;
-  ev.at = local_now() + delivery_latency(msg.wire_size(), msg.from);
+  ev.at = local_now() + delivery_latency(msg.wire_size(), msg.from, to);
   ev.kind = Event::Kind::kDeliver;
   ev.deliver_to = to;
   ev.msg = std::move(msg);
@@ -520,14 +580,6 @@ void Network::cancel_timer(TimerId id) {
 
 // ---- running ----
 
-SimDuration Network::lookahead() const {
-  // base_latency is the minimum latency of every link, which bounds how
-  // soon an event can affect another shard. A zero base latency degrades
-  // the window to a single timestamp (and parallel dispatch is disabled:
-  // a zero-latency cross-shard send could land inside the open window).
-  return config_.base_latency > 0 ? config_.base_latency : 1;
-}
-
 SimTime Network::next_event_time() const {
   SimTime t = kNever;
   for (const auto& shp : shards_)
@@ -565,15 +617,69 @@ void Network::flush_window() {
   win_end_ = 0;
 }
 
+void Network::heapify(Shard& sh) {
+  const std::size_t n = sh.heap.size();
+  if (n < 2) return;
+  for (std::size_t i = (n - 2) / kHeapArity + 1; i-- > 0;) sift_down(sh, i);
+}
+
 void Network::merge_outboxes() {
   // Canonical keys were assigned at send time, so the heap order is
   // independent of the merge order; iterating shards in index order just
-  // keeps slot assignment tidy.
-  for (auto& shp : shards_) {
-    for (PendingEvent& p : shp->outbox)
-      place(*shards_[p.dest_shard], std::move(p.ev), p.key);
-    shp->outbox.clear();
+  // keeps slot assignment tidy. The merge is batched: one counting pass
+  // picks, per destination, between per-event sifts (small trickle into a
+  // deep heap) and a raw append followed by a single O(n) heapify (burst
+  // comparable to the heap itself) — the flash-crowd shape where per-event
+  // insertion used to cost an extra log factor at every barrier.
+  const std::size_t n = shards_.size();
+  bool any = false;
+  for (auto& shp : shards_)
+    if (!shp->outbox.empty()) {
+      any = true;
+      break;
+    }
+  if (!any) return;
+  merge_count_.assign(n, 0);
+  std::uint64_t total = 0;
+  for (auto& shp : shards_)
+    for (const PendingEvent& p : shp->outbox) ++merge_count_[p.dest_shard];
+  merge_bulk_.assign(n, 0);
+  for (std::size_t d = 0; d < n; ++d) {
+    total += merge_count_[d];
+    if (merge_count_[d] >= 32 &&
+        static_cast<std::size_t>(merge_count_[d]) * 4 >=
+            shards_[d]->heap.size())
+      merge_bulk_[d] = 1;
   }
+  if (profile_) prof_merged_events_ += total;
+  for (auto& shp : shards_) {
+    if (shp->outbox.size() > shp->prof_outbox_peak)
+      shp->prof_outbox_peak = shp->outbox.size();
+    for (PendingEvent& p : shp->outbox) {
+      Shard& dst = *shards_[p.dest_shard];
+      std::uint32_t slot = acquire_slot(dst);
+      SimTime at = p.ev.at;
+      dst.pool[slot] = std::move(p.ev);
+      if (merge_bulk_[p.dest_shard])
+        dst.heap.push_back({at, p.key, slot});
+      else
+        heap_push(dst, {at, p.key, slot});
+    }
+    // Arena reuse with hysteresis: keep the outbox capacity near its
+    // decaying high-water so steady windows reallocate nothing, while one
+    // flash-crowd burst stops pinning memory a few hundred windows later.
+    std::size_t sz = shp->outbox.size();
+    std::size_t decayed = shp->outbox_watermark - shp->outbox_watermark / 8;
+    shp->outbox_watermark = sz > decayed ? sz : decayed;
+    shp->outbox.clear();
+    if (shp->outbox.capacity() > 256 &&
+        shp->outbox.capacity() > 2 * shp->outbox_watermark) {
+      shp->outbox.shrink_to_fit();
+      shp->outbox.reserve(shp->outbox_watermark);
+    }
+  }
+  for (std::size_t d = 0; d < n; ++d)
+    if (merge_bulk_[d]) heapify(*shards_[d]);
 }
 
 void Network::merge_stats_deltas() {
@@ -695,37 +801,88 @@ std::size_t Network::run_sequential(SimTime deadline, std::size_t max_events) {
   return n;
 }
 
-void Network::run_epoch(SimTime cap) {
-  for (auto& shp : shards_) {
-    shp->processed = 0;
-    shp->prof_epoch_busy_ns = 0;
+void Network::reserve_headroom(Shard& sh) {
+  // Events a window creates are mostly intra-shard follow-ups, bounded in
+  // practice by a fraction of what is already queued. Grow by at least
+  // 1.5x when growing at all, so repeated reserves stay amortized O(1).
+  std::size_t growth = sh.heap.size() / 2 + 64;
+  if (sh.free_slots.size() < growth) {
+    std::size_t need = sh.pool.size() + (growth - sh.free_slots.size());
+    if (sh.pool.capacity() < need)
+      sh.pool.reserve(std::max(need, sh.pool.capacity() * 3 / 2));
   }
-  std::unique_lock<std::mutex> lk(pool_mu_);
-  epoch_cap_ = cap;
-  running_ = static_cast<unsigned>(threads_.size());
-  ++epoch_;
-  work_cv_.notify_all();
-  done_cv_.wait(lk, [&] { return running_ == 0; });
+  std::size_t hneed = sh.heap.size() + growth;
+  if (sh.heap.capacity() < hneed)
+    sh.heap.reserve(std::max(hneed, sh.heap.capacity() * 3 / 2));
 }
 
-void Network::worker_main(unsigned index) {
+void Network::run_epoch(SimTime cap) {
+  for (Shard* sh : active_shards_) {
+    sh->processed = 0;
+    reserve_headroom(*sh);
+  }
+  epoch_cap_ = cap;
+  work_cursor_.store(0, std::memory_order_relaxed);
+  running_.store(static_cast<unsigned>(threads_.size()),
+                 std::memory_order_relaxed);
+  // The seq_cst epoch bump publishes epoch_cap_ and active_shards_; the
+  // seq_cst sleepers_ read closes the Dekker race with a worker that
+  // checked the epoch and is about to block.
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    work_cv_.notify_all();
+  }
+  for (unsigned i = 0; i < spin_limit_; ++i) {
+    if (running_.load(std::memory_order_acquire) == 0) return;
+    cpu_relax();
+  }
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  coord_waiting_.store(true, std::memory_order_seq_cst);
+  done_cv_.wait(lk,
+                [&] { return running_.load(std::memory_order_seq_cst) == 0; });
+  coord_waiting_.store(false, std::memory_order_relaxed);
+}
+
+void Network::worker_main(unsigned) {
   std::uint64_t seen = 0;
   for (;;) {
-    SimTime cap;
-    {
-      std::unique_lock<std::mutex> lk(pool_mu_);
-      work_cv_.wait(lk, [&] { return shutdown_ || epoch_ != seen; });
-      if (shutdown_) return;
-      seen = epoch_;
-      cap = epoch_cap_;
+    // Await the next epoch: spin briefly (multi-core hosts only), then
+    // block on the condition variable. The sleepers_ counter lets the
+    // coordinator skip the notify syscall entirely while workers spin.
+    std::uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    unsigned spins = 0;
+    while (e == seen && !shutdown_.load(std::memory_order_relaxed)) {
+      if (++spins > spin_limit_) {
+        std::unique_lock<std::mutex> lk(pool_mu_);
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        work_cv_.wait(lk, [&] {
+          return shutdown_.load(std::memory_order_relaxed) ||
+                 epoch_.load(std::memory_order_seq_cst) != seen;
+        });
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
+        spins = 0;
+      } else {
+        cpu_relax();
+      }
+      e = epoch_.load(std::memory_order_seq_cst);
     }
-    for (std::size_t s = index; s < shards_.size(); s += workers_) {
-      Shard& sh = *shards_[s];
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    seen = e;
+    SimTime cap = epoch_cap_;
+    // Claim active shards through the shared cursor: pure dynamic load
+    // balancing. WHICH worker drains a shard is irrelevant to the
+    // schedule — all shard state is shard-local — so stealing is free.
+    for (;;) {
+      std::size_t i = work_cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= active_shards_.size()) break;
+      Shard& sh = *active_shards_[i];
       sh.processed = drain_shard(sh, cap, /*buffered=*/true);
     }
-    {
+    if (running_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        coord_waiting_.load(std::memory_order_seq_cst)) {
       std::lock_guard<std::mutex> lk(pool_mu_);
-      if (--running_ == 0) done_cv_.notify_one();
+      done_cv_.notify_one();
     }
   }
 }
@@ -747,16 +904,14 @@ std::size_t Network::run_parallel(SimTime deadline) {
     // usually light up a single shard: drain it inline and skip the
     // worker handshake — the result is identical because the window's
     // outcome never depends on the interleaving.
-    Shard* solo = nullptr;
-    unsigned active = 0;
-    for (auto& shp : shards_) {
-      if (!shp->heap.empty() && shp->heap[0].at <= cap) {
-        ++active;
-        solo = shp.get();
-      }
-    }
-    if (active <= 1) {
-      std::size_t n = solo != nullptr ? drain_shard(*solo, cap, false) : 0;
+    active_shards_.clear();
+    for (auto& shp : shards_)
+      if (!shp->heap.empty() && shp->heap[0].at <= cap)
+        active_shards_.push_back(shp.get());
+    if (active_shards_.size() <= 1) {
+      std::size_t n = active_shards_.empty()
+                          ? 0
+                          : drain_shard(*active_shards_[0], cap, false);
       total += n;
       if (prof) {
         ++prof_windows_;
@@ -764,10 +919,14 @@ std::size_t Network::run_parallel(SimTime deadline) {
         prof_events_per_window_.record(n);
       }
     } else {
-      std::uint64_t e0 = prof ? mono_ns() : 0;
+      std::uint64_t e0 = 0;
+      if (prof) {
+        e0 = mono_ns();
+        for (auto& shp : shards_) shp->prof_epoch_busy_ns = 0;
+      }
       run_epoch(cap);
       std::size_t n = 0;
-      for (auto& shp : shards_) n += shp->processed;
+      for (Shard* sh : active_shards_) n += sh->processed;
       total += n;
       merge_outboxes();
       if (prof) {
@@ -791,6 +950,7 @@ std::size_t Network::run_parallel(SimTime deadline) {
 }
 
 std::size_t Network::run(std::size_t max_events) {
+  ensure_lookahead();
   std::size_t n;
   if (max_events == SIZE_MAX && workers_ >= 2 && shards_.size() >= 2 &&
       config_.base_latency > 0)
@@ -803,6 +963,7 @@ std::size_t Network::run(std::size_t max_events) {
 }
 
 std::size_t Network::run_until(SimTime deadline) {
+  ensure_lookahead();
   std::size_t n;
   if (workers_ >= 2 && shards_.size() >= 2 && config_.base_latency > 0)
     n = run_parallel(deadline);
@@ -815,6 +976,7 @@ std::size_t Network::run_until(SimTime deadline) {
 }
 
 bool Network::step() {
+  ensure_lookahead();
   bool advanced = step_one(kNever);
   if (advanced && next_event_time() == kNever) flush_window();
   return advanced;
@@ -846,6 +1008,8 @@ EngineProfile Network::engine_profile() const {
   p.solo_windows = prof_solo_windows_;
   p.wall_ms = static_cast<double>(prof_wall_ns_) / 1e6;
   p.events_per_window = prof_events_per_window_.summary();
+  p.merged_events = prof_merged_events_;
+  p.lookahead_us = static_cast<std::uint64_t>(lookahead_);
   const std::size_t n = shards_.size();
   p.shards.resize(n);
   p.xshard.assign(n, std::vector<std::uint64_t>(n, 0));
@@ -858,6 +1022,16 @@ EngineProfile Network::engine_profile() const {
     row.stall_ms = static_cast<double>(sh.prof_stall_ns) / 1e6;
     row.peak_heap = sh.prof_peak_heap;
     row.pool_slots = sh.pool.size();
+    row.outbox_peak = sh.prof_outbox_peak;
+    // Arena high-water: bytes the shard's reusable buffers hold right now.
+    // Reuse working means this stays flat across windows instead of
+    // tracking the worker count.
+    row.arena_bytes =
+        sh.pool.capacity() * sizeof(Event) +
+        sh.heap.capacity() * sizeof(EventRef) +
+        sh.outbox.capacity() * sizeof(PendingEvent) +
+        sh.free_slots.capacity() * sizeof(std::uint32_t);
+    p.arena_bytes += row.arena_bytes;
     for (std::size_t j = 0; j < sh.prof_xshard.size(); ++j) {
       p.xshard[i][j] = sh.prof_xshard[j];
       row.xshard_sent += sh.prof_xshard[j];

@@ -79,6 +79,7 @@
 //     the job of the layer above: see net/arq.h.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -116,6 +117,16 @@ struct NetworkConfig {
   /// toss can still be lost to a crash/partition/blocked link (see the
   /// delivery guarantees above). 0 for the protocol benchmarks.
   double drop_probability = 0.0;
+  /// Extra one-way latency added when sender and receiver are in different
+  /// SITES (Network::set_site) — the paper's LAN/WAN split: IP multicast
+  /// inside an area is fast, AC-to-AC TCP crosses the wide area. A site is
+  /// a property of the node, never of its shard, so the delivery schedule
+  /// is identical for every shard placement and worker count. When every
+  /// site is placed whole (no site's nodes straddle two shards), the
+  /// parallel engine widens its conservative window from base_latency to
+  /// base_latency + inter_site_latency — fewer barriers per simulated
+  /// second. 0 (the default) preserves the flat latency model.
+  SimDuration inter_site_latency = 0;
 };
 
 /// Per-shard row of the engine profiler (DESIGN.md 13.2). All wall-clock
@@ -129,6 +140,12 @@ struct ShardProfile {
   std::uint64_t peak_heap = 0;   ///< max queued events at a drain start
   std::uint64_t pool_slots = 0;  ///< slab high-water (slots ever allocated)
   std::uint64_t xshard_sent = 0;  ///< cross-shard sends originating here
+  std::uint64_t outbox_peak = 0;  ///< max buffered cross-shard sends/window
+  /// Arena high-water: bytes currently reserved by this shard's event
+  /// pool, heap, free list, and outbox (capacity, not size — the reuse the
+  /// window barrier is supposed to preserve is observable here instead of
+  /// inferred from process RSS).
+  std::uint64_t arena_bytes = 0;
 };
 
 /// Snapshot of the parallel engine's per-shard accounting, collected while
@@ -139,6 +156,9 @@ struct EngineProfile {
   std::uint64_t windows = 0;       ///< lookahead windows executed
   std::uint64_t solo_windows = 0;  ///< single-active-shard fast-path windows
   double wall_ms = 0;              ///< wall time inside the parallel run loop
+  std::uint64_t merged_events = 0;  ///< cross-shard events merged at barriers
+  std::uint64_t lookahead_us = 0;   ///< conservative window width in use
+  std::uint64_t arena_bytes = 0;    ///< sum of per-shard arena high-waters
   obs::HistogramSummary events_per_window;
   std::vector<ShardProfile> shards;
   /// xshard[src][dst]: events a callback on shard src scheduled onto
@@ -201,6 +221,25 @@ class Network {
   [[nodiscard]] std::uint32_t shard_of(NodeId node) const;
   [[nodiscard]] std::uint32_t shard_count() const {
     return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Assign `node` to a latency site (default 0). Deliveries between
+  /// different sites cost config.inter_site_latency extra. A site is part
+  /// of the TOPOLOGY — it shifts delivery times identically in every
+  /// execution mode — whereas a shard is an execution detail; keep the two
+  /// distinct. The Mykil layer sets site = area, mirroring the paper's
+  /// LAN-per-area / WAN-between-ACs deployment. Same call-site rules as
+  /// set_shard: outside the event loop, before events target the node.
+  void set_site(NodeId node, std::uint32_t site);
+  [[nodiscard]] std::uint32_t site_of(NodeId node) const;
+
+  /// The conservative window width the engine currently runs with
+  /// (DESIGN.md 11): base_latency, widened by inter_site_latency whenever
+  /// the shard placement keeps every site whole. Recomputed on topology
+  /// change (set_shard / set_site / attach).
+  [[nodiscard]] SimDuration current_lookahead() {
+    ensure_lookahead();
+    return lookahead_;
   }
 
   /// Size the worker pool. 1 (the default) processes events inline on the
@@ -388,6 +427,10 @@ class Network {
     std::size_t processed = 0;  ///< events handled in the current epoch
     std::uint32_t index = 0;    ///< this shard's position in shards_
     std::vector<PendingEvent> outbox;
+    /// Decaying high-water of outbox size: when the retained capacity is
+    /// far above it, the barrier releases the slack (arena reuse with
+    /// hysteresis — one flash-crowd window must not pin memory forever).
+    std::size_t outbox_watermark = 0;
     std::vector<GroupOp> group_ops;
     NetStats stats_delta;  ///< worker-context accounting, merged after runs
     // Engine-profiler accounting (wall clock; written by whichever thread
@@ -399,6 +442,7 @@ class Network {
     std::uint64_t prof_epoch_busy_ns = 0;  ///< scratch: this epoch's drain
     std::uint64_t prof_stall_ns = 0;       ///< barrier wall minus busy
     std::uint64_t prof_peak_heap = 0;
+    std::uint64_t prof_outbox_peak = 0;  ///< max outbox size at any barrier
     std::vector<std::uint64_t> prof_xshard;  ///< sends per dest shard
   };
 
@@ -419,6 +463,9 @@ class Network {
   static void heap_push(Shard& sh, EventRef ref);
   static void heap_pop_min(Shard& sh);
   static void sift_down(Shard& sh, std::size_t i);
+  /// Restore the heap property over the whole heap in O(n) — the bulk half
+  /// of the batched outbox merge (refs appended raw, one heapify).
+  static void heapify(Shard& sh);
 
   static std::uint32_t acquire_slot(Shard& sh);
   static void release_slot(Shard& sh, std::uint32_t slot);
@@ -440,14 +487,21 @@ class Network {
 
   void queue_delivery(Message msg, NodeId to);
   [[nodiscard]] bool deliverable(NodeId from, NodeId to) const;
-  SimDuration delivery_latency(std::size_t bytes, NodeId sender);
+  SimDuration delivery_latency(std::size_t bytes, NodeId sender, NodeId to);
 
   /// Pop + execute the event behind `ref` (already removed from the heap).
   void process_event(Shard& sh, EventRef ref, bool buffered);
   /// Drain one shard's events with at <= cap. Returns events processed.
   std::size_t drain_shard(Shard& sh, SimTime cap, bool buffered);
 
-  [[nodiscard]] SimDuration lookahead() const;
+  [[nodiscard]] SimDuration lookahead() const { return lookahead_; }
+  /// Recompute the cached lookahead if topology changed since the last
+  /// run: base_latency + inter_site_latency when no site's nodes straddle
+  /// two shards (then every cross-shard delivery is cross-site), plain
+  /// base_latency otherwise. A pure function of (sites, shards), so every
+  /// placement that keeps sites whole — and every worker count — runs the
+  /// same window schedule.
+  void ensure_lookahead();
   /// Earliest queued event across shards; SimTime max when idle.
   [[nodiscard]] SimTime next_event_time() const;
   /// Emit metrics samples for every scheduled tick <= `upto` (called when
@@ -465,6 +519,11 @@ class Network {
   void run_epoch(SimTime cap);  ///< dispatch one window to the worker pool
   void worker_main(unsigned index);
   void stop_workers();
+  /// Coordinator-side arena growth: reserve pool/heap headroom for the
+  /// coming window so worker threads almost never reallocate. Keeping the
+  /// big allocations on ONE thread is what stops glibc's per-thread malloc
+  /// arenas from multiplying peak RSS by the worker count.
+  void reserve_headroom(Shard& sh);
 
   void raw_join(GroupId group, NodeId node);
   void raw_leave(GroupId group, NodeId node);
@@ -474,10 +533,17 @@ class Network {
   SimTime now_ = 0;
   SimTime win_end_ = 0;  ///< exclusive end of the open window; 0 = none
 
+  /// Cached conservative window width (see ensure_lookahead). Dirty after
+  /// any attach/set_shard/set_site; recomputed at run entry, never inside
+  /// the event loop.
+  SimDuration lookahead_ = usec(200);
+  bool lookahead_dirty_ = true;
+
   std::vector<Node*> nodes_;
   std::vector<bool> up_;
   std::vector<std::uint32_t> partition_;
   std::vector<std::uint32_t> node_shard_;
+  std::vector<std::uint32_t> node_site_;  ///< latency site (default 0)
   std::vector<OriginState> origin_;  ///< index node + 1; [0] = kNoNode
   std::unordered_set<std::uint64_t> blocked_links_;
   std::vector<std::vector<NodeId>> groups_;  ///< each sorted, duplicate-free
@@ -487,18 +553,33 @@ class Network {
   NetStats stats_;
 
   // Worker pool (set_workers >= 2): persistent threads synchronized by an
-  // epoch counter. The coordinator publishes a window cap, bumps the
-  // epoch, and waits for all workers; the mutex hand-off is the memory
-  // barrier that publishes shard state in both directions.
+  // atomic epoch counter with a spin-then-block barrier. The coordinator
+  // publishes the window cap and the active-shard list, release-stores the
+  // epoch, and acquire-waits for running_ to hit zero; those two atomics
+  // are the memory barrier that publishes shard state in both directions.
+  // Workers spin briefly (only on multi-core hosts) before falling back to
+  // the condition variables, so back-to-back windows cost no futex round
+  // trips. Workers claim shards from active_shards_ through an atomic
+  // cursor — dynamic load balancing instead of the old static striding.
   unsigned workers_ = 1;
   std::vector<std::thread> threads_;
   std::mutex pool_mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::uint64_t epoch_ = 0;
-  unsigned running_ = 0;
-  bool shutdown_ = false;
-  SimTime epoch_cap_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<unsigned> running_{0};
+  std::atomic<bool> shutdown_{false};
+  SimTime epoch_cap_ = 0;  ///< published by the epoch_ release store
+  std::vector<Shard*> active_shards_;  ///< shards with work this window
+  std::atomic<std::size_t> work_cursor_{0};
+  unsigned spin_limit_ = 0;  ///< barrier spin iterations; 0 on 1-core hosts
+  std::atomic<unsigned> sleepers_{0};      ///< workers blocked on work_cv_
+  std::atomic<bool> coord_waiting_{false};  ///< coordinator blocked on done_cv_
+
+  /// Barrier-merge scratch, coordinator-owned and reused across windows:
+  /// per-destination incoming counts and the bulk-vs-push decision.
+  std::vector<std::uint32_t> merge_count_;
+  std::vector<std::uint8_t> merge_bulk_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -520,6 +601,7 @@ class Network {
   std::uint64_t prof_windows_ = 0;
   std::uint64_t prof_solo_windows_ = 0;
   std::uint64_t prof_wall_ns_ = 0;
+  std::uint64_t prof_merged_events_ = 0;  ///< outbox events merged at barriers
   obs::Histogram prof_events_per_window_;
 };
 

@@ -1,0 +1,144 @@
+// Scaling gate for the parallel engine: a small embarrassingly-parallel
+// sweep must actually get faster with workers, not just stay correct.
+//
+// Eight independent event chains on eight shards, each event burning a few
+// microseconds of real compute (the engine's barrier cost only matters
+// relative to real per-event work). workers=4 must beat workers=1 by at
+// least 1.5x — a deliberately soft floor for an 8-way-parallel workload,
+// so CI noise doesn't flake it while a serialization regression (a barrier
+// that blocks, a merge that became quadratic) still trips it.
+//
+// Exit 77 (ctest SKIP_RETURN_CODE) on hosts with fewer than 4 cores: the
+// ratio is meaningless when the threads timeshare one core. Under
+// ThreadSanitizer the sweep still runs — that is the point, it is the race
+// check — but the timing assertion is waived (TSan serializes everything).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "net/network.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define MYKIL_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MYKIL_TSAN 1
+#endif
+#endif
+
+namespace {
+
+using namespace mykil;
+
+const net::Label kChainLabel{"scale-chain"};
+
+constexpr std::size_t kChains = 8;
+constexpr std::size_t kHops = 1500;
+constexpr std::size_t kWorkIters = 1200;  ///< ~a few us of compute per event
+
+/// One self-messaging chain: each delivery burns deterministic compute and
+/// forwards, so shards have real work and zero cross-shard traffic.
+class ChainNode : public net::Node {
+ public:
+  void on_message(const net::Message& msg) override {
+    std::uint64_t h = 14695981039346656037ull + hops_done;
+    for (std::size_t i = 0; i < kWorkIters; ++i) {
+      h ^= i;
+      h *= 1099511628211ull;
+    }
+    work_digest ^= h;
+    if (++hops_done < kHops)
+      network().unicast(id(), id(), kChainLabel, msg.payload);
+  }
+
+  std::uint64_t work_digest = 0;
+  std::size_t hops_done = 0;
+};
+
+struct SweepResult {
+  double wall_s = 0;
+  std::size_t events = 0;
+  std::uint64_t digest = 0;
+};
+
+SweepResult run_one(unsigned workers) {
+  SweepResult res;
+  net::Network net;
+  net.set_workers(workers);
+  std::vector<ChainNode> nodes(kChains);
+  for (std::size_t c = 0; c < kChains; ++c) {
+    net.attach(nodes[c]);
+    net.set_shard(nodes[c].id(), 1 + static_cast<std::uint32_t>(c));
+  }
+  for (ChainNode& n : nodes)
+    net.unicast(n.id(), n.id(), kChainLabel, Bytes(64, 0x5A));
+
+  auto t0 = std::chrono::steady_clock::now();
+  res.events = net.run();
+  auto t1 = std::chrono::steady_clock::now();
+  res.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  std::uint64_t d = 0;
+  for (const ChainNode& n : nodes) {
+    d ^= n.work_digest;
+    d += n.hops_done;
+  }
+  res.digest = d;
+  return res;
+}
+
+/// Best of three: the gate compares engine configurations, not scheduler
+/// jitter on a shared CI box.
+SweepResult best_of(unsigned workers) {
+  SweepResult best = run_one(workers);
+  for (int i = 0; i < 2; ++i) {
+    SweepResult r = run_one(workers);
+    if (r.digest != best.digest || r.events != best.events) {
+      std::printf("parallel_scale_smoke: FAIL — nondeterministic run at "
+                  "workers=%u\n", workers);
+      best.digest = 0;  // poison: caller treats as failure
+      return best;
+    }
+    if (r.wall_s < best.wall_s) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores < 4) {
+    std::printf("parallel_scale_smoke: SKIP — %u core(s) < 4, speedup "
+                "ratio is meaningless\n", cores);
+    return 77;
+  }
+
+  SweepResult r1 = best_of(1);
+  if (r1.digest == 0) return 1;
+  SweepResult r4 = best_of(4);
+  if (r4.digest == 0) return 1;
+
+  double ratio = r4.wall_s > 0 ? r1.wall_s / r4.wall_s : 0;
+  std::printf("parallel_scale_smoke: %zu events; workers=1 %.3fs, "
+              "workers=4 %.3fs (%.2fx), digest %s\n",
+              r1.events, r1.wall_s, r4.wall_s, ratio,
+              r4.digest == r1.digest ? "identical" : "MISMATCH");
+  if (r4.digest != r1.digest || r4.events != r1.events) {
+    std::printf("parallel_scale_smoke: FAIL — results differ across worker "
+                "counts\n");
+    return 1;
+  }
+#if defined(MYKIL_TSAN)
+  std::printf("parallel_scale_smoke: PASS (TSan build — race coverage only, "
+              "timing waived)\n");
+  return 0;
+#else
+  if (ratio < 1.5) {
+    std::printf("parallel_scale_smoke: FAIL — workers=4 only %.2fx faster "
+                "than workers=1 (need >= 1.5x)\n", ratio);
+    return 1;
+  }
+  std::printf("parallel_scale_smoke: PASS\n");
+  return 0;
+#endif
+}
